@@ -1,0 +1,237 @@
+// The experiment bench harness: one benchmark per reproduced table or
+// figure (see DESIGN.md §3), plus the B1 mechanism-cost ablation the paper
+// could not run in 1979. Regenerate everything with
+//
+//	go test -bench=. -benchmem .
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/eval"
+	"repro/internal/explore"
+	"repro/internal/kernel"
+	"repro/internal/problems"
+	"repro/internal/solutions"
+	"repro/internal/trace"
+)
+
+// ---- F1 / F2: the paper's figures ----
+
+// BenchmarkF1PathExprReadersPriority measures one run of the footnote-3
+// scenario against the Figure-1 solution on the deterministic kernel.
+func BenchmarkF1PathExprReadersPriority(b *testing.B) {
+	suite, _ := solutions.ByMechanism("pathexpr")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k := kernel.NewSim()
+		r := trace.NewRecorder(k)
+		eval.FigureScenario(suite.NewReadersPriority(k))(k, r)
+		if err := k.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkF1AnomalySearch measures the schedule exploration that
+// rediscovers the footnote-3 anomaly.
+func BenchmarkF1AnomalySearch(b *testing.B) {
+	suite, _ := solutions.ByMechanism("pathexpr")
+	for i := 0; i < b.N; i++ {
+		prog := explore.Program(func(k kernel.Kernel, r *trace.Recorder) {
+			eval.FigureScenario(suite.NewReadersPriority(k))(k, r)
+		})
+		res := explore.Run(prog, problems.CheckReadersPriority,
+			explore.Options{RandomRuns: 300, DFSRuns: 600})
+		if !res.Found {
+			b.Fatal("anomaly not found")
+		}
+	}
+}
+
+// BenchmarkF2PathExprWritersPriority measures the Figure-2 counterpart.
+func BenchmarkF2PathExprWritersPriority(b *testing.B) {
+	suite, _ := solutions.ByMechanism("pathexpr")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k := kernel.NewSim()
+		r := trace.NewRecorder(k)
+		eval.FigureScenario(suite.NewWritersPriority(k))(k, r)
+		if err := k.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- T1: expressive-power matrix ----
+
+// BenchmarkT1PowerVerification measures the full matrix verification
+// (36 cells, each a conformance run plus structural witnesses).
+func BenchmarkT1PowerVerification(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, v := range eval.VerifyPower() {
+			if !v.OK() {
+				b.Fatalf("inconsistent cell: %+v", v)
+			}
+		}
+	}
+}
+
+// ---- T2: constraint-independence analysis ----
+
+// BenchmarkT2StructuralDiff measures the go/parser-based similarity
+// analysis across all mechanisms and variant pairs.
+func BenchmarkT2StructuralDiff(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rows, err := eval.IndependenceTable()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 6 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+}
+
+// ---- T3: modularity experiments ----
+
+// BenchmarkT3NestedMonitor measures the nested-monitor-call experiment
+// (one deadlocking and one structured run).
+func BenchmarkT3NestedMonitor(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out := eval.RunNestedMonitorExperiment()
+		if !out.NaiveDeadlocks || !out.StructuredCompletes {
+			b.Fatalf("unexpected outcome: %+v", out)
+		}
+	}
+}
+
+// ---- T5: the monitor queue-conflict workload ----
+
+// BenchmarkT5TwoStageQueue measures the monitor FCFS readers–writers
+// solution (two-stage queueing) under the standard workload.
+func BenchmarkT5TwoStageQueue(b *testing.B) {
+	suite, _ := solutions.ByMechanism("monitor")
+	for i := 0; i < b.N; i++ {
+		k := kernel.NewSim()
+		_, vs, err := solutions.RunStandard(k, suite, problems.NameFCFSRW, true)
+		if err != nil || len(vs) > 0 {
+			b.Fatalf("err=%v violations=%v", err, vs)
+		}
+	}
+}
+
+// ---- T4 / T6: suite-wide conformance ----
+
+// BenchmarkT4SuiteConformance measures one full pass of every mechanism
+// over the footnote-2 problem set on the deterministic kernel.
+func BenchmarkT4SuiteConformance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, suite := range solutions.All() {
+			for _, problem := range problems.AllProblems() {
+				k := kernel.NewSim()
+				strict := !(suite.Mechanism == "pathexpr" && problem == problems.NameReadersPriority)
+				_, vs, err := solutions.RunStandard(k, suite, problem, strict)
+				if err != nil {
+					b.Fatalf("%s/%s: %v", suite.Mechanism, problem, err)
+				}
+				if len(vs) > 0 {
+					b.Fatalf("%s/%s: %v", suite.Mechanism, problem, vs)
+				}
+			}
+		}
+	}
+}
+
+// ---- B1: mechanism-cost ablation (ours; the paper is qualitative) ----
+
+// benchProblemReal runs one mechanism's solution to one problem under the
+// real kernel, reporting operations/sec through the standard workload.
+func benchProblemReal(b *testing.B, mechanism, problem string) {
+	suite, ok := solutions.ByMechanism(mechanism)
+	if !ok {
+		b.Fatalf("no suite %s", mechanism)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k := kernel.NewReal(kernel.WithWatchdog(60 * time.Second))
+		_, vs, err := solutions.RunStandard(k, suite, problem, false)
+		if err != nil {
+			b.Fatalf("%v", err)
+		}
+		if len(vs) > 0 {
+			b.Fatalf("violations: %v", vs)
+		}
+	}
+}
+
+func BenchmarkB1BoundedBuffer(b *testing.B) {
+	for _, mech := range []string{"semaphore", "ccr", "pathexpr", "monitor", "serializer", "csp"} {
+		b.Run(mech, func(b *testing.B) { benchProblemReal(b, mech, problems.NameBoundedBuffer) })
+	}
+}
+
+func BenchmarkB1ReadersWriters(b *testing.B) {
+	for _, mech := range []string{"semaphore", "ccr", "pathexpr", "monitor", "serializer", "csp"} {
+		b.Run(mech, func(b *testing.B) { benchProblemReal(b, mech, problems.NameReadersPriority) })
+	}
+}
+
+func BenchmarkB1DiskScheduler(b *testing.B) {
+	for _, mech := range []string{"semaphore", "ccr", "pathexpr", "monitor", "serializer", "csp"} {
+		b.Run(mech, func(b *testing.B) { benchProblemReal(b, mech, problems.NameDisk) })
+	}
+}
+
+// BenchmarkB1KernelAblation compares the two kernel substrates on the
+// same workload (DESIGN.md §6.1): the deterministic kernel pays one
+// scheduler handshake per step; the real kernel pays goroutine wakeups.
+func BenchmarkB1KernelAblation(b *testing.B) {
+	suite, _ := solutions.ByMechanism("monitor")
+	b.Run("sim", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			k := kernel.NewSim()
+			if _, _, err := solutions.RunStandard(k, suite, problems.NameBoundedBuffer, false); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("real", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			k := kernel.NewReal(kernel.WithWatchdog(60 * time.Second))
+			if _, _, err := solutions.RunStandard(k, suite, problems.NameBoundedBuffer, false); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// TestBenchHarnessSmoke keeps the bench harness itself correct under
+// plain `go test`: every benchmark body must run once without failing.
+func TestBenchHarnessSmoke(t *testing.T) {
+	suite, _ := solutions.ByMechanism("monitor")
+	k := kernel.NewSim()
+	if _, vs, err := solutions.RunStandard(k, suite, problems.NameBoundedBuffer, true); err != nil || len(vs) > 0 {
+		t.Fatalf("err=%v vs=%v", err, vs)
+	}
+	rows, err := eval.IndependenceTable()
+	if err != nil || len(rows) != 6 {
+		t.Fatalf("independence table: %v (%d rows)", err, len(rows))
+	}
+	out := eval.RunNestedMonitorExperiment()
+	if !out.NaiveDeadlocks || !out.StructuredCompletes {
+		t.Fatalf("nested monitor experiment: %+v", out)
+	}
+	res := eval.RunFigure1()
+	if !res.AnomalyFound {
+		t.Fatalf("figure-1 anomaly not reproduced (%d runs)", res.Runs)
+	}
+	fmt.Fprintln(testingDiscard{}, eval.RenderFigure1(res)) // exercise rendering
+}
+
+type testingDiscard struct{}
+
+func (testingDiscard) Write(p []byte) (int, error) { return len(p), nil }

@@ -1,0 +1,110 @@
+// Command pathc is a path-expression compiler and checker
+// (Campbell–Habermann paths, the version of Bloom's §5.1).
+//
+// Usage:
+//
+//	pathc -e 'path {read} , write end'            # parse and describe
+//	pathc -e '...' -check 'read read write'       # admissibility of a history
+//	pathc -e '...' -startable                     # what may start initially
+//	pathc -e '...' -translate                     # the compiled P/V program
+//	pathc -f paths.txt -check 'a b a b'           # read paths from a file
+//	pathc -figure1 | -figure2                     # the paper's figures
+//
+// Histories given to -check are whitespace-separated operation names,
+// each denoting one complete (start+finish) execution. Use -trace to
+// print the admissible prefix step by step.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/pathexpr"
+	"repro/internal/solutions/pathexprsol"
+)
+
+func main() {
+	expr := flag.String("e", "", "path expression source (one or more 'path ... end')")
+	file := flag.String("f", "", "file containing path expressions")
+	check := flag.String("check", "", "whitespace-separated operation history to check")
+	startable := flag.Bool("startable", false, "list operations that may start in the initial state")
+	translate := flag.Bool("translate", false, "print the compiled semaphore translation (Campbell–Habermann)")
+	traceFlag := flag.Bool("trace", false, "with -check: print each step")
+	figure1 := flag.Bool("figure1", false, "use the paper's Figure 1 paths")
+	figure2 := flag.Bool("figure2", false, "use the paper's Figure 2 paths")
+	flag.Parse()
+
+	src := *expr
+	switch {
+	case *figure1:
+		src = pathexprsol.Figure1Paths
+	case *figure2:
+		src = pathexprsol.Figure2Paths
+	case *file != "":
+		data, err := os.ReadFile(*file)
+		if err != nil {
+			fatal(err)
+		}
+		src = string(data)
+	}
+	if src == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	paths, err := pathexpr.ParseList(src)
+	if err != nil {
+		fatal(err)
+	}
+	set, err := pathexpr.CompileList(paths)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("parsed %d path(s):\n", len(paths))
+	for i, p := range paths {
+		fmt.Printf("  %d: %s\n", i+1, p)
+	}
+	fmt.Printf("constrained operations: %s\n", strings.Join(set.Ops(), ", "))
+	if *translate {
+		fmt.Print(set.Describe())
+	}
+
+	checker := pathexpr.NewChecker(set)
+	if *startable {
+		fmt.Printf("startable now: %s\n", strings.Join(checker.Startable(), ", "))
+	}
+	if *check != "" {
+		history := strings.Fields(*check)
+		ok := true
+		for i, op := range history {
+			err := checker.Exec(op)
+			if *traceFlag {
+				status := "ok"
+				if err != nil {
+					status = "BLOCKED"
+				}
+				fmt.Printf("  step %2d: %-16s %s\n", i+1, op, status)
+			}
+			if err != nil {
+				fmt.Printf("history INADMISSIBLE at step %d (%s): %v\n", i+1, op, err)
+				fmt.Printf("startable instead: %s\n", strings.Join(checker.Startable(), ", "))
+				ok = false
+				break
+			}
+		}
+		if ok {
+			fmt.Printf("history admissible (%d operations)\n", len(history))
+			fmt.Printf("startable next: %s\n", strings.Join(checker.Startable(), ", "))
+		} else {
+			os.Exit(1)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pathc:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,136 @@
+// Command simtrace runs one (mechanism, problem) solution on the
+// deterministic kernel and prints the trace and oracle verdict; with
+// -explore it hunts schedules for a violating interleaving.
+//
+// Usage:
+//
+//	simtrace -mech monitor -problem readers-priority
+//	simtrace -mech pathexpr -problem readers-priority -explore
+//	simtrace -mech csp -problem disk-scheduler -policy random -seed 9
+//	simtrace -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/eval"
+	"repro/internal/explore"
+	"repro/internal/kernel"
+	"repro/internal/problems"
+	"repro/internal/solutions"
+	"repro/internal/trace"
+)
+
+func main() {
+	mech := flag.String("mech", "monitor", "mechanism: semaphore ccr pathexpr monitor serializer csp")
+	problem := flag.String("problem", problems.NameReadersPriority, "problem name")
+	policy := flag.String("policy", "fifo", "schedule policy: fifo, lifo, random")
+	seed := flag.Int64("seed", 1, "seed for -policy random")
+	exploreFlag := flag.Bool("explore", false, "hunt schedules for a violation (readers/writers-priority problems)")
+	list := flag.Bool("list", false, "list mechanisms and problems")
+	quiet := flag.Bool("quiet", false, "suppress the trace, print only the verdict")
+	flag.Parse()
+
+	if *list {
+		var mechs []string
+		for _, s := range solutions.All() {
+			mechs = append(mechs, s.Mechanism)
+		}
+		fmt.Println("mechanisms:", strings.Join(mechs, ", "))
+		fmt.Println("problems:  ", strings.Join(problems.AllProblems(), ", "))
+		return
+	}
+
+	suite, ok := solutions.ByMechanism(*mech)
+	if !ok {
+		fatal(fmt.Errorf("unknown mechanism %q", *mech))
+	}
+
+	if *exploreFlag {
+		runExplore(suite, *problem, *quiet)
+		return
+	}
+
+	var pol kernel.Policy
+	switch *policy {
+	case "fifo":
+		pol = kernel.FIFO()
+	case "lifo":
+		pol = kernel.LIFO()
+	case "random":
+		pol = kernel.Random(*seed)
+	default:
+		fatal(fmt.Errorf("unknown policy %q", *policy))
+	}
+
+	k := kernel.NewSim(kernel.WithPolicy(pol))
+	strict := *policy == "fifo"
+	tr, vs, err := solutions.RunStandard(k, suite, *problem, strict)
+	if !*quiet {
+		fmt.Print(tr)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%d events, %d scheduling steps, strict=%v\n", len(tr), k.Steps(), strict)
+	if stats, serr := tr.Stats(); serr == nil {
+		fmt.Print(trace.RenderStats(stats))
+	}
+	if len(vs) == 0 {
+		fmt.Println("oracle: trace admissible")
+		return
+	}
+	fmt.Printf("oracle: %d violation(s):\n", len(vs))
+	for _, v := range vs {
+		fmt.Println("  " + v.String())
+	}
+	os.Exit(1)
+}
+
+// runExplore hunts for priority violations on the figure scenario.
+func runExplore(suite solutions.Suite, problem string, quiet bool) {
+	var oracle explore.Oracle
+	switch problem {
+	case problems.NameReadersPriority:
+		oracle = problems.CheckReadersPriority
+	case problems.NameWritersPriority:
+		oracle = problems.CheckWritersPriority
+	default:
+		fatal(fmt.Errorf("-explore supports readers-priority and writers-priority, not %q", problem))
+	}
+	prog := explore.Program(func(k kernel.Kernel, r *trace.Recorder) {
+		var store problems.RWStore
+		switch problem {
+		case problems.NameReadersPriority:
+			store = suite.NewReadersPriority(k)
+		default:
+			store = suite.NewWritersPriority(k)
+		}
+		eval.FigureScenario(store)(k, r)
+	})
+	res := explore.Run(prog, oracle, explore.Options{RandomRuns: 300, DFSRuns: 600})
+	fmt.Printf("explored %d schedules\n", res.Runs)
+	if !res.Found {
+		fmt.Println("no violation found")
+		return
+	}
+	if res.Err != nil {
+		fmt.Printf("kernel error under some schedule: %v\n", res.Err)
+	}
+	if !quiet {
+		fmt.Println("violating trace:")
+		fmt.Print(res.Trace)
+	}
+	for _, v := range res.Violations {
+		fmt.Println("violation: " + v.String())
+	}
+	os.Exit(1)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "simtrace:", err)
+	os.Exit(1)
+}

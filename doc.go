@@ -1,0 +1,15 @@
+// Package repro reproduces Toby Bloom's "Evaluating Synchronization
+// Mechanisms" (SOSP 1979) as a working Go system: six synchronization
+// mechanisms built from scratch on a dual real/deterministic process
+// kernel, the paper's eight-problem test suite with machine-checkable
+// oracles, forty-eight mechanism×problem solutions, and an evaluation
+// engine that regenerates the paper's findings — the expressive-power
+// matrix, the constraint-independence analysis, the modularity criteria,
+// and the Figure-1 footnote-3 anomaly — as reproducible experiments.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured record. The root bench suite (bench_test.go) carries
+// one benchmark per experiment; run it with
+//
+//	go test -bench=. -benchmem .
+package repro

@@ -1,0 +1,81 @@
+// Disk-head scheduling three ways: the same elevator policy implemented
+// with Hoare's monitor priority waits, serializer priority queues, and a
+// CSP server — all serving one workload on the deterministic kernel, with
+// the seek distance compared against first-come-first-served order.
+//
+// Run with:
+//
+//	go run ./examples/diskscheduler
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/kernel"
+	"repro/internal/problems"
+	"repro/internal/solutions"
+	"repro/internal/trace"
+)
+
+const (
+	startTrack = 50
+	maxTrack   = 200
+)
+
+func workload() problems.DiskConfig {
+	return problems.DiskConfig{
+		Requests: []problems.DiskRequest{
+			{Track: 55, Delay: 0},
+			{Track: 10, Delay: 0},
+			{Track: 60, Delay: 0},
+			{Track: 90, Delay: 0},
+			{Track: 20, Delay: 0},
+			{Track: 75, Delay: 6},
+			{Track: 40, Delay: 6},
+			{Track: 120, Delay: 12},
+		},
+		WorkYields: 4,
+	}
+}
+
+func main() {
+	cfg := workload()
+	var arrival []int64
+	for _, r := range cfg.Requests {
+		arrival = append(arrival, r.Track)
+	}
+	fmt.Printf("workload: tracks %v, head starts at %d\n", arrival, startTrack)
+	fmt.Printf("FCFS order would seek %d tracks; a full pre-loaded SCAN would seek %d\n\n",
+		problems.SeekDistance(startTrack, arrival),
+		problems.SeekDistance(startTrack, problems.ScanReference(startTrack, arrival)))
+
+	for _, mech := range []string{"monitor", "serializer", "csp"} {
+		suite, ok := solutions.ByMechanism(mech)
+		if !ok {
+			log.Fatalf("no suite for %s", mech)
+		}
+		k := kernel.NewSim()
+		r := trace.NewRecorder(k)
+		d := suite.NewDisk(k, startTrack, maxTrack)
+		if err := problems.DriveDisk(k, d, r, cfg); err != nil {
+			log.Fatalf("%s: %v", mech, err)
+		}
+		tr := r.Events()
+		if vs := problems.CheckDisk(tr, startTrack, true); len(vs) > 0 {
+			log.Fatalf("%s: oracle violations: %v", mech, vs)
+		}
+		var order []int64
+		for _, iv := range tr.MustIntervals() {
+			if iv.Op == problems.OpSeek {
+				order = append(order, iv.Arg)
+			}
+		}
+		fmt.Printf("  %-12s service order %v   seek distance %d\n",
+			mech, order, problems.SeekDistance(startTrack, order))
+	}
+
+	fmt.Println("\nAll three implement Hoare's elevator; the orders agree and beat FCFS.")
+	fmt.Println("(Arrivals mid-sweep keep the measured distance slightly above the ideal")
+	fmt.Println("pre-loaded SCAN, which sees the whole workload up front.)")
+}

@@ -1,0 +1,145 @@
+package ccr
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/kernel"
+)
+
+// Model-based testing: a reference automaton of conditional-critical-
+// region semantics — guards over a shared counter, longest-waiting-first
+// admission among true guards at region exit, and occupancy held by an
+// admitted-but-not-yet-scheduled waiter — checked against the
+// implementation on random programs under the FIFO SimKernel.
+
+type ccrOp struct {
+	threshold int // guard: counter >= threshold (0 = always true)
+	delta     int // body: counter += delta
+}
+
+type ccrProgram [][]ccrOp
+
+// runCCRReference mirrors the implementation over the FIFO SimKernel.
+func runCCRReference(progs ccrProgram) []string {
+	n := len(progs)
+	counter := 0
+	occupant := -1
+	type waiter struct {
+		proc int
+		op   ccrOp
+	}
+	var waitList []waiter
+	ip := make([]int, n)
+	pendingBody := make([]*ccrOp, n) // body to run when scheduled (admitted)
+	var ready []int
+	var history []string
+	for i := 0; i < n; i++ {
+		if len(progs[i]) > 0 {
+			ready = append(ready, i)
+		}
+	}
+
+	// exit releases the region: admit the longest-waiting true guard.
+	exit := func() {
+		occupant = -1
+		for i, w := range waitList {
+			if counter >= w.op.threshold {
+				waitList = append(waitList[:i], waitList[i+1:]...)
+				occupant = w.proc
+				op := w.op
+				pendingBody[w.proc] = &op
+				ready = append(ready, w.proc)
+				return
+			}
+		}
+	}
+
+	steps := 0
+	for len(ready) > 0 && steps < 100000 {
+		steps++
+		proc := ready[0]
+		ready = ready[1:]
+		if b := pendingBody[proc]; b != nil {
+			// Resuming inside Execute: run the admitted body and exit.
+			counter += b.delta
+			history = append(history, fmt.Sprintf("x%d:%d", proc, counter))
+			pendingBody[proc] = nil
+			exit()
+		}
+	running:
+		for ip[proc] < len(progs[proc]) {
+			op := progs[proc][ip[proc]]
+			ip[proc]++
+			if occupant == -1 && counter >= op.threshold {
+				// Immediate entry: body runs atomically, region exits.
+				occupant = proc
+				counter += op.delta
+				history = append(history, fmt.Sprintf("x%d:%d", proc, counter))
+				exit()
+				// If exit admitted a waiter, occupancy now belongs to it;
+				// we keep running (we are past our own region).
+				continue
+			}
+			waitList = append(waitList, waiter{proc, op})
+			break running // parked until admitted
+		}
+	}
+	return history
+}
+
+// runCCRImplementation executes the same programs on a real Region.
+func runCCRImplementation(progs ccrProgram) ([]string, error) {
+	k := kernel.NewSim()
+	r := New("model")
+	counter := 0
+	var history []string
+	for proc := range progs {
+		proc := proc
+		prog := progs[proc]
+		k.Spawn(fmt.Sprintf("p%d", proc), func(p *kernel.Proc) {
+			for _, op := range prog {
+				op := op
+				r.Execute(p, func() bool { return counter >= op.threshold }, func() {
+					counter += op.delta
+					history = append(history, fmt.Sprintf("x%d:%d", proc, counter))
+				})
+			}
+		})
+	}
+	err := k.Run()
+	return history, err
+}
+
+// Property: reference and implementation produce identical execution
+// histories (operation order and counter evolution), including identical
+// stuck prefixes on programs that deadlock on unsatisfiable guards.
+func TestPropertyCCRModelEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nProcs := 2 + rng.Intn(3)
+		progs := make(ccrProgram, nProcs)
+		for i := range progs {
+			for o := 0; o < 1+rng.Intn(4); o++ {
+				progs[i] = append(progs[i], ccrOp{
+					threshold: rng.Intn(4), // small thresholds: mostly satisfiable
+					delta:     rng.Intn(3), // non-negative: counter grows
+				})
+			}
+		}
+		ref := runCCRReference(progs)
+		impl, err := runCCRImplementation(progs)
+		if fmt.Sprint(ref) != fmt.Sprint(impl) {
+			t.Logf("progs: %+v", progs)
+			t.Logf("ref:  %v", ref)
+			t.Logf("impl: %v (err %v)", impl, err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}

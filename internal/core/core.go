@@ -1,0 +1,259 @@
+// Package core models the paper's evaluation framework: synchronization
+// schemes as sets of constraints, classified by kind (exclusion/priority)
+// and by the categories of information their conditions reference (§3).
+//
+// Everything downstream hangs off this model: each problem (package
+// problems) declares its scheme as Constraints with stable IDs; variant
+// problems share constraint IDs exactly when the paper says they share
+// constraints (readers-priority and writers-priority share "rw-exclusion"),
+// which is what makes the constraint-independence analysis (package eval)
+// mechanical; and the expressive-power matrix is indexed by the InfoType
+// values defined here.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// InfoType is one of the six categories of information a constraint's
+// condition may reference (paper §3).
+type InfoType int
+
+const (
+	// RequestType is the operation requested ("readers have priority over
+	// writers" discriminates on request type).
+	RequestType InfoType = iota
+	// RequestTime is the time of a request relative to other events,
+	// typically used to order requests (first-come-first-served).
+	RequestTime
+	// RequestParams are the arguments passed with the request (the track
+	// number in the disk-head scheduler, the delay in the alarm clock).
+	RequestParams
+	// SyncState is state needed only for synchronization: which processes
+	// are currently inside the resource, counts of active readers, etc.
+	SyncState
+	// LocalState is state of the unsynchronized resource itself, present
+	// even in a sequential program (whether a buffer is full).
+	LocalState
+	// History is information about completed past events (whether a
+	// given procedure has been executed), as distinct from SyncState's
+	// in-progress information.
+	History
+)
+
+// AllInfoTypes lists the six categories in the paper's order.
+func AllInfoTypes() []InfoType {
+	return []InfoType{RequestType, RequestTime, RequestParams, SyncState, LocalState, History}
+}
+
+func (t InfoType) String() string {
+	switch t {
+	case RequestType:
+		return "request type"
+	case RequestTime:
+		return "request time"
+	case RequestParams:
+		return "request parameters"
+	case SyncState:
+		return "synchronization state"
+	case LocalState:
+		return "local state"
+	case History:
+		return "history"
+	}
+	return fmt.Sprintf("InfoType(%d)", int(t))
+}
+
+// ConstraintKind is the paper's two-way classification of constraints
+// (§3): exclusion constraints ensure consistency; priority constraints
+// schedule access.
+type ConstraintKind int
+
+const (
+	// Exclusion: "if condition then exclude process A".
+	Exclusion ConstraintKind = iota
+	// Priority: "if condition then process A has priority over B".
+	Priority
+)
+
+func (k ConstraintKind) String() string {
+	switch k {
+	case Exclusion:
+		return "exclusion"
+	case Priority:
+		return "priority"
+	}
+	return fmt.Sprintf("ConstraintKind(%d)", int(k))
+}
+
+// Constraint is one constraint of a synchronization scheme. Constraints
+// with the same ID in different schemes are the *same* constraint (the
+// basis of the independence analysis): readers-priority and
+// writers-priority both carry the "rw-exclusion" constraint.
+type Constraint struct {
+	ID   string
+	Kind ConstraintKind
+	Uses []InfoType
+	// Desc states the constraint in the paper's conditional form, e.g.
+	// "if a writer is active then exclude readers and writers".
+	Desc string
+}
+
+// String renders the constraint compactly.
+func (c Constraint) String() string {
+	uses := make([]string, len(c.Uses))
+	for i, u := range c.Uses {
+		uses[i] = u.String()
+	}
+	return fmt.Sprintf("%s [%s; %s]", c.ID, c.Kind, strings.Join(uses, ", "))
+}
+
+// UsesType reports whether the constraint's condition references t.
+func (c Constraint) UsesType(t InfoType) bool {
+	for _, u := range c.Uses {
+		if u == t {
+			return true
+		}
+	}
+	return false
+}
+
+// Scheme is a synchronization scheme: the full set of constraints
+// governing one shared resource.
+type Scheme struct {
+	Name        string
+	Constraints []Constraint
+}
+
+// InfoTypes returns the union of information types the scheme's
+// constraints use, in the paper's canonical order.
+func (s Scheme) InfoTypes() []InfoType {
+	var out []InfoType
+	for _, t := range AllInfoTypes() {
+		for _, c := range s.Constraints {
+			if c.UsesType(t) {
+				out = append(out, t)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Constraint returns the constraint with the given ID, if present.
+func (s Scheme) Constraint(id string) (Constraint, bool) {
+	for _, c := range s.Constraints {
+		if c.ID == id {
+			return c, true
+		}
+	}
+	return Constraint{}, false
+}
+
+// IDs lists the scheme's constraint IDs, sorted.
+func (s Scheme) IDs() []string {
+	out := make([]string, len(s.Constraints))
+	for i, c := range s.Constraints {
+		out[i] = c.ID
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SharedConstraints returns the constraint IDs present in both schemes —
+// the constraints whose implementations the independence criterion says
+// should be identical across the two solutions (§4.2).
+func SharedConstraints(a, b Scheme) []string {
+	var out []string
+	for _, ca := range a.Constraints {
+		if _, ok := b.Constraint(ca.ID); ok {
+			out = append(out, ca.ID)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DifferingConstraints returns the constraint IDs present in exactly one
+// of the schemes.
+func DifferingConstraints(a, b Scheme) []string {
+	var out []string
+	for _, ca := range a.Constraints {
+		if _, ok := b.Constraint(ca.ID); !ok {
+			out = append(out, ca.ID)
+		}
+	}
+	for _, cb := range b.Constraints {
+		if _, ok := a.Constraint(cb.ID); !ok {
+			out = append(out, cb.ID)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Support is the expressive-power rating of a mechanism for one
+// information type (§4.1): whether the mechanism provides a
+// straightforward way to express constraints using that information.
+type Support int
+
+const (
+	// Unsupported: no way to express constraints on this information
+	// within the mechanism itself.
+	Unsupported Support = iota
+	// Indirect: expressible only through auxiliary machinery outside the
+	// construct proper (the paper's "synchronization procedures" in path
+	// expressions, hand-maintained counts in monitors).
+	Indirect
+	// Direct: the mechanism has a construct for this information type
+	// (monitor condition queues for request time, serializer crowds for
+	// synchronization state, …).
+	Direct
+)
+
+func (s Support) String() string {
+	switch s {
+	case Unsupported:
+		return "unsupported"
+	case Indirect:
+		return "indirect"
+	case Direct:
+		return "direct"
+	}
+	return fmt.Sprintf("Support(%d)", int(s))
+}
+
+// Mechanism describes one synchronization construct under evaluation.
+type Mechanism struct {
+	Name string // stable key: "semaphore", "monitor", "serializer", "pathexpr", "ccr", "csp"
+	Full string // display name
+	Year int
+	Ref  string // the paper's bibliography entry it corresponds to
+}
+
+// Mechanisms lists the constructs this repository implements and
+// evaluates, in historical order. The first three are the paper's §5
+// subjects; semaphores are the §1 baseline; CCRs and CSP are the
+// extensions §6 calls for.
+func Mechanisms() []Mechanism {
+	return []Mechanism{
+		{Name: "semaphore", Full: "Semaphores (Dijkstra)", Year: 1968, Ref: "[9]"},
+		{Name: "ccr", Full: "Conditional critical regions (Brinch Hansen)", Year: 1973, Ref: "[6]"},
+		{Name: "pathexpr", Full: "Path expressions (Campbell–Habermann)", Year: 1974, Ref: "[7]"},
+		{Name: "monitor", Full: "Monitors (Hoare)", Year: 1974, Ref: "[13]"},
+		{Name: "serializer", Full: "Serializers (Atkinson–Hewitt)", Year: 1979, Ref: "[3]"},
+		{Name: "csp", Full: "Communicating sequential processes (Hoare)", Year: 1978, Ref: "[20]"},
+	}
+}
+
+// MechanismByName looks up a mechanism descriptor.
+func MechanismByName(name string) (Mechanism, bool) {
+	for _, m := range Mechanisms() {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return Mechanism{}, false
+}

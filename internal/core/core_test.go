@@ -1,0 +1,138 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestAllInfoTypesOrderAndNames(t *testing.T) {
+	all := AllInfoTypes()
+	if len(all) != 6 {
+		t.Fatalf("len = %d, want 6", len(all))
+	}
+	wantNames := []string{
+		"request type", "request time", "request parameters",
+		"synchronization state", "local state", "history",
+	}
+	for i, it := range all {
+		if it.String() != wantNames[i] {
+			t.Errorf("type %d = %q, want %q", i, it, wantNames[i])
+		}
+	}
+}
+
+func TestConstraintKindNames(t *testing.T) {
+	if Exclusion.String() != "exclusion" || Priority.String() != "priority" {
+		t.Fatalf("kind names: %q, %q", Exclusion, Priority)
+	}
+}
+
+func TestConstraintUsesType(t *testing.T) {
+	c := Constraint{ID: "x", Kind: Exclusion, Uses: []InfoType{RequestType, SyncState}}
+	if !c.UsesType(RequestType) || !c.UsesType(SyncState) {
+		t.Fatal("UsesType false negatives")
+	}
+	if c.UsesType(History) {
+		t.Fatal("UsesType false positive")
+	}
+}
+
+func TestConstraintString(t *testing.T) {
+	c := Constraint{ID: "rw-exclusion", Kind: Exclusion, Uses: []InfoType{RequestType}}
+	s := c.String()
+	if !strings.Contains(s, "rw-exclusion") || !strings.Contains(s, "exclusion") || !strings.Contains(s, "request type") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func twoSchemes() (Scheme, Scheme) {
+	excl := Constraint{ID: "rw-exclusion", Kind: Exclusion, Uses: []InfoType{RequestType, SyncState}}
+	rp := Scheme{
+		Name: "readers-priority",
+		Constraints: []Constraint{
+			excl,
+			{ID: "readers-priority", Kind: Priority, Uses: []InfoType{RequestType}},
+		},
+	}
+	wp := Scheme{
+		Name: "writers-priority",
+		Constraints: []Constraint{
+			excl,
+			{ID: "writers-priority", Kind: Priority, Uses: []InfoType{RequestType}},
+		},
+	}
+	return rp, wp
+}
+
+func TestSchemeInfoTypes(t *testing.T) {
+	rp, _ := twoSchemes()
+	got := rp.InfoTypes()
+	if fmt.Sprint(got) != fmt.Sprint([]InfoType{RequestType, SyncState}) {
+		t.Fatalf("InfoTypes = %v", got)
+	}
+}
+
+func TestSchemeConstraintLookup(t *testing.T) {
+	rp, _ := twoSchemes()
+	if _, ok := rp.Constraint("rw-exclusion"); !ok {
+		t.Fatal("rw-exclusion not found")
+	}
+	if _, ok := rp.Constraint("nope"); ok {
+		t.Fatal("phantom constraint found")
+	}
+	ids := rp.IDs()
+	if fmt.Sprint(ids) != "[readers-priority rw-exclusion]" {
+		t.Fatalf("IDs = %v", ids)
+	}
+}
+
+// The paper's §4.2 example: readers-priority and writers-priority share
+// the exclusion constraint and differ in the priority constraint.
+func TestSharedAndDifferingConstraints(t *testing.T) {
+	rp, wp := twoSchemes()
+	if got := SharedConstraints(rp, wp); fmt.Sprint(got) != "[rw-exclusion]" {
+		t.Fatalf("Shared = %v", got)
+	}
+	if got := DifferingConstraints(rp, wp); fmt.Sprint(got) != "[readers-priority writers-priority]" {
+		t.Fatalf("Differing = %v", got)
+	}
+}
+
+func TestSharedConstraintsIdenticalSchemes(t *testing.T) {
+	rp, _ := twoSchemes()
+	if got := SharedConstraints(rp, rp); len(got) != 2 {
+		t.Fatalf("Shared(self) = %v", got)
+	}
+	if got := DifferingConstraints(rp, rp); len(got) != 0 {
+		t.Fatalf("Differing(self) = %v", got)
+	}
+}
+
+func TestSupportNames(t *testing.T) {
+	if Direct.String() != "direct" || Indirect.String() != "indirect" || Unsupported.String() != "unsupported" {
+		t.Fatal("support names wrong")
+	}
+}
+
+func TestMechanismsRoster(t *testing.T) {
+	ms := Mechanisms()
+	if len(ms) != 6 {
+		t.Fatalf("mechanisms = %d, want 6", len(ms))
+	}
+	names := map[string]bool{}
+	for _, m := range ms {
+		names[m.Name] = true
+	}
+	for _, want := range []string{"semaphore", "ccr", "pathexpr", "monitor", "serializer", "csp"} {
+		if !names[want] {
+			t.Errorf("mechanism %q missing", want)
+		}
+	}
+	if m, ok := MechanismByName("monitor"); !ok || m.Year != 1974 {
+		t.Fatalf("MechanismByName(monitor) = %+v, %v", m, ok)
+	}
+	if _, ok := MechanismByName("none"); ok {
+		t.Fatal("phantom mechanism")
+	}
+}

@@ -1,0 +1,244 @@
+// Package csp implements a message-passing synchronization mechanism in
+// the style of Hoare's "Communicating Sequential Processes" (CACM 21(8),
+// 1978 — the paper's reference [20]).
+//
+// Bloom's §6 names CSP and guarded commands as the constructs her
+// methodology should be extended to; this package performs that extension.
+// A shared resource is realized as a *server process* that owns the
+// resource state outright and serves client requests received over
+// synchronous channels, choosing among them with a guarded Select — the
+// guarded-command alternation of CSP.
+//
+// Channels are rendezvous (unbuffered) and built on the kernel substrate,
+// NOT on Go channels: a Go channel operation would block a simulated
+// process invisibly, breaking SimKernel's determinism and deadlock
+// detection. All channels of one Net share a single lock, which keeps
+// multi-channel Select atomic without lock ordering concerns.
+//
+// Determinism: when several alternatives of a Select are ready, the one
+// whose sender has been waiting longest is chosen (the same
+// longest-waiting rule the other mechanisms use); plain sends and receives
+// pair FIFO.
+package csp
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/kernel"
+)
+
+// Net is a universe of channels sharing one lock and one arrival clock.
+type Net struct {
+	mu    sync.Mutex
+	stamp int64
+}
+
+// NewNet creates an empty channel universe.
+func NewNet() *Net { return &Net{} }
+
+// Chan is a synchronous (rendezvous) channel carrying values of any type.
+type Chan struct {
+	net  *Net
+	name string
+
+	senders   []*sendWaiter
+	receivers []*recvWaiter
+}
+
+type sendWaiter struct {
+	p     *kernel.Proc
+	value any
+	stamp int64
+}
+
+// selectState coordinates a receiver blocked in Select across channels.
+type selectState struct {
+	claimed bool
+	chosen  int
+	value   any
+}
+
+type recvWaiter struct {
+	p       *kernel.Proc
+	sel     *selectState // nil for a plain Recv
+	caseIdx int
+	slot    *any // plain Recv delivery target
+}
+
+// NewChan creates a channel in the net.
+func (n *Net) NewChan(name string) *Chan {
+	return &Chan{net: n, name: name}
+}
+
+// Name reports the channel's name.
+func (c *Chan) Name() string { return c.name }
+
+// Send delivers v to a receiver, blocking until one takes it (rendezvous).
+func (c *Chan) Send(p *kernel.Proc, v any) {
+	n := c.net
+	n.mu.Lock()
+	// Deliver to the first live receiver, skipping select-waiters already
+	// claimed by another channel.
+	for len(c.receivers) > 0 {
+		w := c.receivers[0]
+		c.receivers = c.receivers[1:]
+		if w.sel != nil {
+			if w.sel.claimed {
+				continue // stale registration; the selector went elsewhere
+			}
+			w.sel.claimed = true
+			w.sel.chosen = w.caseIdx
+			w.sel.value = v
+		} else {
+			*w.slot = v
+		}
+		n.mu.Unlock()
+		w.p.Unpark()
+		return
+	}
+	n.stamp++
+	c.senders = append(c.senders, &sendWaiter{p: p, value: v, stamp: n.stamp})
+	n.mu.Unlock()
+	p.Park()
+}
+
+// Recv receives a value, blocking until a sender provides one.
+func (c *Chan) Recv(p *kernel.Proc) any {
+	n := c.net
+	n.mu.Lock()
+	if len(c.senders) > 0 {
+		s := c.senders[0]
+		c.senders = c.senders[1:]
+		n.mu.Unlock()
+		s.p.Unpark()
+		return s.value
+	}
+	var slot any
+	c.receivers = append(c.receivers, &recvWaiter{p: p, slot: &slot})
+	n.mu.Unlock()
+	p.Park()
+	return slot
+}
+
+// Pending reports the number of senders blocked on the channel; it is the
+// CSP analogue of a queue-length probe. It locks the net and therefore
+// must NOT be called from inside a Select guard — use PendingG there.
+func (c *Chan) Pending() int {
+	c.net.mu.Lock()
+	defer c.net.mu.Unlock()
+	return len(c.senders)
+}
+
+// PendingG returns a guard-safe closure reporting the number of blocked
+// senders: it reads without locking, for use inside Select guards (which
+// already run under the net's lock). Readers-priority servers use it to
+// express "no reader is waiting".
+func (c *Chan) PendingG() func() int {
+	return func() int { return len(c.senders) }
+}
+
+// Case is one guarded alternative of a Select: a receive from Chan,
+// enabled when Guard() is true (a nil Guard is always enabled). Guards are
+// evaluated under the net's lock; they must only read state owned by the
+// selecting process (the CSP server's own resource state), never call
+// channel operations.
+type Case struct {
+	Chan  *Chan
+	Guard func() bool
+}
+
+// Select blocks until one enabled alternative can receive, then returns
+// its index and the received value — Hoare's guarded alternation. If every
+// guard is false, Select panics (in CSP the alternation would fail; our
+// servers always keep at least one alternative enabled).
+//
+// When several enabled alternatives have waiting senders, the sender that
+// has been blocked longest (across channels) is chosen.
+func Select(p *kernel.Proc, cases []Case) (int, any) {
+	if len(cases) == 0 {
+		panic("csp: Select with no cases")
+	}
+	n := cases[0].Chan.net
+	n.mu.Lock()
+	enabled := 0
+	best := -1
+	var bestStamp int64
+	for i, cs := range cases {
+		if cs.Chan.net != n {
+			n.mu.Unlock()
+			panic("csp: Select across different Nets")
+		}
+		if cs.Guard != nil && !cs.Guard() {
+			continue
+		}
+		enabled++
+		if len(cs.Chan.senders) > 0 {
+			st := cs.Chan.senders[0].stamp
+			if best < 0 || st < bestStamp {
+				best, bestStamp = i, st
+			}
+		}
+	}
+	if enabled == 0 {
+		n.mu.Unlock()
+		panic("csp: Select with all guards false (alternation failure)")
+	}
+	if best >= 0 {
+		ch := cases[best].Chan
+		s := ch.senders[0]
+		ch.senders = ch.senders[1:]
+		n.mu.Unlock()
+		s.p.Unpark()
+		return best, s.value
+	}
+	// No sender ready: register on every enabled channel and park.
+	st := &selectState{}
+	for i, cs := range cases {
+		if cs.Guard != nil && !cs.Guard() {
+			continue
+		}
+		cs.Chan.receivers = append(cs.Chan.receivers, &recvWaiter{p: p, sel: st, caseIdx: i})
+	}
+	n.mu.Unlock()
+	p.Park()
+
+	// Claimed by exactly one sender; purge stale registrations.
+	n.mu.Lock()
+	for _, cs := range cases {
+		ws := cs.Chan.receivers[:0]
+		for _, w := range cs.Chan.receivers {
+			if w.sel != st {
+				ws = append(ws, w)
+			}
+		}
+		cs.Chan.receivers = ws
+	}
+	chosen, value := st.chosen, st.value
+	n.mu.Unlock()
+	return chosen, value
+}
+
+// Call is the remote-procedure idiom from Hoare's paper and Bloom's CSP
+// discussion: the client sends a request carrying a private reply channel
+// and blocks receiving the reply.
+type Call struct {
+	Arg   any
+	reply *Chan
+}
+
+// Reply answers the call; the server invokes it exactly once per call.
+func (c Call) Reply(p *kernel.Proc, v any) { c.reply.Send(p, v) }
+
+// DoCall performs a call over ch with the given argument and returns the
+// server's reply.
+func (n *Net) DoCall(p *kernel.Proc, ch *Chan, arg any) any {
+	reply := n.NewChan(ch.name + ".reply")
+	ch.Send(p, Call{Arg: arg, reply: reply})
+	return reply.Recv(p)
+}
+
+// String formats the channel for diagnostics.
+func (c *Chan) String() string {
+	return fmt.Sprintf("chan(%s)", c.name)
+}

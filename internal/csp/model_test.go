@@ -1,0 +1,146 @@
+package csp
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/kernel"
+)
+
+// Model-based testing: a reference automaton of rendezvous-channel
+// semantics (FIFO pairing both ways, the arriving side completing
+// immediately when a counterpart waits, the parked side completing when
+// next scheduled) is checked against the implementation on random
+// multi-process send/recv programs under the FIFO SimKernel.
+
+type chanOp struct {
+	isSend bool
+	ch     int
+	val    int
+}
+
+type chanProgram [][]chanOp
+
+// runChanReference mirrors the implementation's semantics exactly.
+func runChanReference(progs chanProgram, nchans int) []string {
+	n := len(progs)
+	type sender struct {
+		proc int
+		val  int
+	}
+	sendQ := make([][]sender, nchans)
+	recvQ := make([][]int, nchans)
+	ip := make([]int, n)
+	pending := make([]string, n) // completion recorded when next scheduled
+	var ready []int
+	var history []string
+	for i := 0; i < n; i++ {
+		if len(progs[i]) > 0 {
+			ready = append(ready, i)
+		}
+	}
+	steps := 0
+	for len(ready) > 0 && steps < 100000 {
+		steps++
+		proc := ready[0]
+		ready = ready[1:]
+		if pending[proc] != "" {
+			history = append(history, pending[proc])
+			pending[proc] = ""
+		}
+	running:
+		for ip[proc] < len(progs[proc]) {
+			op := progs[proc][ip[proc]]
+			ip[proc]++
+			if op.isSend {
+				if len(recvQ[op.ch]) > 0 {
+					r := recvQ[op.ch][0]
+					recvQ[op.ch] = recvQ[op.ch][1:]
+					history = append(history, fmt.Sprintf("s%d.%d", proc, op.ch))
+					pending[r] = fmt.Sprintf("r%d.%d=%d", r, op.ch, op.val)
+					ready = append(ready, r)
+				} else {
+					sendQ[op.ch] = append(sendQ[op.ch], sender{proc, op.val})
+					break running // parked until a receiver arrives
+				}
+			} else {
+				if len(sendQ[op.ch]) > 0 {
+					s := sendQ[op.ch][0]
+					sendQ[op.ch] = sendQ[op.ch][1:]
+					history = append(history, fmt.Sprintf("r%d.%d=%d", proc, op.ch, s.val))
+					pending[s.proc] = fmt.Sprintf("s%d.%d", s.proc, op.ch)
+					ready = append(ready, s.proc)
+				} else {
+					recvQ[op.ch] = append(recvQ[op.ch], proc)
+					break running // parked until a sender arrives
+				}
+			}
+		}
+	}
+	return history
+}
+
+// runChanImplementation executes the same programs on real channels.
+func runChanImplementation(progs chanProgram, nchans int) ([]string, error) {
+	k := kernel.NewSim()
+	n := NewNet()
+	chans := make([]*Chan, nchans)
+	for i := range chans {
+		chans[i] = n.NewChan(fmt.Sprintf("c%d", i))
+	}
+	var history []string
+	for proc := range progs {
+		proc := proc
+		prog := progs[proc]
+		k.Spawn(fmt.Sprintf("p%d", proc), func(p *kernel.Proc) {
+			for _, op := range prog {
+				if op.isSend {
+					chans[op.ch].Send(p, op.val)
+					history = append(history, fmt.Sprintf("s%d.%d", proc, op.ch))
+				} else {
+					v := chans[op.ch].Recv(p)
+					history = append(history, fmt.Sprintf("r%d.%d=%v", proc, op.ch, v))
+				}
+			}
+		})
+	}
+	err := k.Run()
+	return history, err
+}
+
+// Property: reference and implementation produce identical completion
+// histories on every random program (including identical deadlock
+// prefixes).
+func TestPropertyChannelModelEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nProcs := 2 + rng.Intn(3)
+		nchans := 1 + rng.Intn(2)
+		progs := make(chanProgram, nProcs)
+		val := 0
+		for i := range progs {
+			for o := 0; o < 1+rng.Intn(5); o++ {
+				val++
+				progs[i] = append(progs[i], chanOp{
+					isSend: rng.Intn(2) == 0,
+					ch:     rng.Intn(nchans),
+					val:    val,
+				})
+			}
+		}
+		ref := runChanReference(progs, nchans)
+		impl, err := runChanImplementation(progs, nchans)
+		if fmt.Sprint(ref) != fmt.Sprint(impl) {
+			t.Logf("progs: %+v", progs)
+			t.Logf("ref:  %v", ref)
+			t.Logf("impl: %v (err %v)", impl, err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}

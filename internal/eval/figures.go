@@ -1,0 +1,131 @@
+package eval
+
+import (
+	"repro/internal/explore"
+	"repro/internal/kernel"
+	"repro/internal/problems"
+	"repro/internal/solutions/pathexprsol"
+	"repro/internal/trace"
+)
+
+// Experiment F1: the paper's Figure 1 — the published path-expression
+// readers-priority solution — and its footnote-3 anomaly: "If a write is
+// in progress, and another WRITE starts, the second writer can start
+// writeattempt and requestwrite, and become blocked at the third path. If
+// a reader enters before the end of the first write, it will be blocked
+// at entry to the second path by the requestwrite in progress. The second
+// writer will therefore gain access to the resource before the reader,
+// though readers should have priority."
+//
+// Experiment F2: Figure 2, the writers-priority counterpart, which under
+// the same arrival pattern must admit the second writer before the reader
+// — the behavior that is *wrong* for F1 is *required* for F2.
+
+// FigureScenario spawns the footnote-3 arrival pattern against db: a
+// first writer holds the resource while one reader and then a second
+// writer arrive.
+func FigureScenario(db problems.RWStore) explore.Program {
+	return func(k kernel.Kernel, r *trace.Recorder) {
+		k.Spawn("writer1", func(p *kernel.Proc) {
+			r.Request(p, problems.OpWrite, 0)
+			db.Write(p, func() {
+				r.Enter(p, problems.OpWrite, 0)
+				for i := 0; i < 6; i++ {
+					p.Yield()
+				}
+				r.Exit(p, problems.OpWrite, 0)
+			})
+		})
+		k.Spawn("reader", func(p *kernel.Proc) {
+			p.Yield()
+			r.Request(p, problems.OpRead, 0)
+			db.Read(p, func() {
+				r.Enter(p, problems.OpRead, 0)
+				p.Yield()
+				r.Exit(p, problems.OpRead, 0)
+			})
+		})
+		k.Spawn("writer2", func(p *kernel.Proc) {
+			p.Yield()
+			p.Yield()
+			r.Request(p, problems.OpWrite, 0)
+			db.Write(p, func() {
+				r.Enter(p, problems.OpWrite, 0)
+				p.Yield()
+				r.Exit(p, problems.OpWrite, 0)
+			})
+		})
+	}
+}
+
+// Figure1Result is the F1 experiment outcome.
+type Figure1Result struct {
+	// AnomalyFound: schedule exploration exhibited a readers-priority
+	// violation in the Figure-1 solution, confirming footnote 3.
+	AnomalyFound bool
+	// Schedule replays the anomaly.
+	Schedule []kernel.Choice
+	// Trace is the violating history.
+	Trace trace.Trace
+	// Violations are the oracle findings.
+	Violations []problems.Violation
+	Runs       int
+}
+
+// RunFigure1 searches for the footnote-3 anomaly in the Figure-1
+// solution.
+func RunFigure1() Figure1Result {
+	prog := explore.Program(func(k kernel.Kernel, r *trace.Recorder) {
+		FigureScenario(pathexprsol.NewReadersPriority())(k, r)
+	})
+	res := explore.Run(prog, problems.CheckReadersPriority,
+		explore.Options{RandomRuns: 300, DFSRuns: 600})
+	return Figure1Result{
+		AnomalyFound: res.Found && res.Err == nil,
+		Schedule:     res.Schedule,
+		Trace:        res.Trace,
+		Violations:   res.Violations,
+		Runs:         res.Runs,
+	}
+}
+
+// Figure2Result is the F2 experiment outcome.
+type Figure2Result struct {
+	// WritersPriorityHolds: exploration found no writers-priority
+	// violation in the Figure-2 solution.
+	WritersPriorityHolds bool
+	// ReadersPriorityViolated: the same solution violates the
+	// readers-priority oracle (it implements the opposite constraint) —
+	// evidence the two figures genuinely differ in their priority
+	// constraint while sharing the exclusion constraint.
+	ReadersPriorityViolated bool
+	Runs                    int
+}
+
+// RunFigure2 checks the Figure-2 solution both ways.
+func RunFigure2() Figure2Result {
+	prog := explore.Program(func(k kernel.Kernel, r *trace.Recorder) {
+		FigureScenario(pathexprsol.NewWritersPriority())(k, r)
+	})
+	hold := explore.Run(prog, problems.CheckWritersPriority,
+		explore.Options{RandomRuns: 200, DFSRuns: 400})
+	inverse := explore.Run(prog, problems.CheckReadersPriority,
+		explore.Options{RandomRuns: 200, DFSRuns: 400})
+	return Figure2Result{
+		WritersPriorityHolds:    !hold.Found,
+		ReadersPriorityViolated: inverse.Found && inverse.Err == nil,
+		Runs:                    hold.Runs + inverse.Runs,
+	}
+}
+
+// MechanismFigureCheck runs the F1 scenario against another mechanism's
+// readers-priority solution and reports whether the anomaly exists there
+// (for the paper's monitor/serializer contrast, it must not).
+func MechanismFigureCheck(db func() problems.RWStore) (anomaly bool, runs int) {
+	prog := explore.Program(func(k kernel.Kernel, r *trace.Recorder) {
+		FigureScenario(db())(k, r)
+	})
+	res := explore.Run(prog, problems.CheckReadersPriority,
+		explore.Options{RandomRuns: 200, DFSRuns: 400})
+	return res.Found, res.Runs
+}

@@ -1,0 +1,204 @@
+package eval
+
+import (
+	"errors"
+
+	"repro/internal/kernel"
+	"repro/internal/monitor"
+	"repro/internal/serializer"
+)
+
+// The paper's §2 modularity requirements:
+//
+//  1. the synchronization is encapsulated with the resource (callers see
+//     one protected-resource abstraction);
+//  2. the protected resource separates into an unsynchronized resource
+//     plus a synchronizer.
+//
+// §5.2 connects requirement 2 to the nested monitor call problem [18]:
+// when resource operations ARE monitor operations, a wait inside a
+// lower-level monitor deadlocks the hierarchy, whereas the structured
+// form (release the monitor before invoking the resource operation)
+// avoids it. These demonstrations make that argument executable.
+
+// ModularityRating is one mechanism's row in the T3 table.
+type ModularityRating struct {
+	Mechanism string
+	// Encapsulation: the mechanism itself associates synchronization with
+	// the resource (true), or depends on programmer discipline (false).
+	Encapsulation bool
+	// Separation: the mechanism separates the unsynchronized resource
+	// from the synchronizer structurally.
+	Separation bool
+	Notes      string
+}
+
+// ModularityTable returns the §2/§5 modularity findings for all six
+// mechanisms.
+func ModularityTable() []ModularityRating {
+	return []ModularityRating{
+		{"semaphore", false, false,
+			"synchronization code sits at every access site; nothing associates it with the resource"},
+		{"ccr", true, false,
+			"the region names the protected variable bundle, but guard logic and resource code interleave in region bodies"},
+		{"pathexpr", true, false,
+			"paths are declared with the resource type (requirement 1); but synchronization procedures blur resource and synchronizer (requirement 2 fails, §5.1)"},
+		{"monitor", false, true,
+			"the three-module structure (shared resource = resource + monitor) works — but only by programmer discipline; in [13]'s own examples resource and synchronizer data mix (§5.2)"},
+		{"serializer", true, true,
+			"the serializer contains the resource and join/leave brackets resource access; the structure is the mechanism (§5.2)"},
+		{"csp", true, true,
+			"the server process owns the resource; clients can only reach it through request channels"},
+	}
+}
+
+// NestedMonitorOutcome reports the nested-monitor-call experiment.
+type NestedMonitorOutcome struct {
+	// NaiveDeadlocks: invoking the lower-level monitor operation from
+	// inside the higher-level monitor deadlocks when the inner operation
+	// waits.
+	NaiveDeadlocks bool
+	// StructuredCompletes: releasing the outer monitor before calling the
+	// lower level (the paper's protected-resource structure) completes.
+	StructuredCompletes bool
+	NaiveErr            error
+	StructuredErr       error
+}
+
+// nestedScenario builds a two-level hierarchy: an inner one-slot buffer
+// monitor and an outer monitor whose operation consumes from the inner
+// buffer. A producer fills the inner buffer from outside the hierarchy.
+// If the outer monitor is held across the inner wait, the producer can
+// never deliver (it needs the inner monitor, which is free — but the
+// consumer woke only via the inner condition, which the producer signals
+// fine... the deadlock is on the OUTER monitor: the producer's delivery
+// path also goes through the outer monitor).
+func nestedScenario(holdOuterAcrossInner bool) error {
+	k := kernel.NewSim()
+
+	inner := monitor.New("inner")
+	innerFull := inner.NewCondition("full")
+	full := false
+
+	outer := monitor.New("outer")
+
+	// innerGet waits (inside the inner monitor) until the slot is full.
+	innerGet := func(p *kernel.Proc) {
+		inner.Enter(p)
+		if !full {
+			innerFull.Wait(p)
+		}
+		full = false
+		inner.Exit(p)
+	}
+	// innerPut fills the slot.
+	innerPut := func(p *kernel.Proc) {
+		inner.Enter(p)
+		full = true
+		innerFull.Signal(p)
+		inner.Exit(p)
+	}
+
+	// The outer resource operation: consume one item. In the naive form
+	// the inner call happens with the outer monitor held; in the
+	// structured form the outer monitor is released first (the monitor
+	// only brackets the outer resource's own bookkeeping).
+	outerConsume := func(p *kernel.Proc) {
+		if holdOuterAcrossInner {
+			outer.Enter(p)
+			innerGet(p) // waits inside while holding outer
+			outer.Exit(p)
+		} else {
+			outer.Enter(p)
+			// bookkeeping only
+			outer.Exit(p)
+			innerGet(p)
+		}
+	}
+	// The producer delivers through the outer abstraction too — the
+	// natural shape when the outer module encapsulates the resource.
+	outerProduce := func(p *kernel.Proc) {
+		outer.Enter(p)
+		outer.Exit(p)
+		innerPut(p)
+	}
+	if holdOuterAcrossInner {
+		outerProduce = func(p *kernel.Proc) {
+			outer.Enter(p)
+			innerPut(p)
+			outer.Exit(p)
+		}
+	}
+
+	k.Spawn("consumer", func(p *kernel.Proc) { outerConsume(p) })
+	k.Spawn("producer", func(p *kernel.Proc) {
+		p.Yield() // let the consumer get in first
+		outerProduce(p)
+	})
+	return k.Run()
+}
+
+// RunNestedMonitorExperiment executes both variants.
+func RunNestedMonitorExperiment() NestedMonitorOutcome {
+	naiveErr := nestedScenario(true)
+	structuredErr := nestedScenario(false)
+	return NestedMonitorOutcome{
+		NaiveDeadlocks:      errors.Is(naiveErr, kernel.ErrDeadlock),
+		StructuredCompletes: structuredErr == nil,
+		NaiveErr:            naiveErr,
+		StructuredErr:       structuredErr,
+	}
+}
+
+// CrowdConcurrencyOutcome reports the serializer-structure experiment:
+// with resource access bracketed by a crowd, another process can possess
+// the serializer while the access runs — the property that dissolves the
+// nested-call problem (§5.2).
+type CrowdConcurrencyOutcome struct {
+	// OverlapObserved: a second process possessed the serializer while a
+	// crowd member's resource access was in progress.
+	OverlapObserved bool
+	Err             error
+}
+
+// RunCrowdConcurrencyExperiment demonstrates the join-crowd release.
+func RunCrowdConcurrencyExperiment() CrowdConcurrencyOutcome {
+	k := kernel.NewSim()
+	s := serializer.New("outer")
+	c := s.NewCrowd("access")
+	overlap := false
+	inAccess := false
+
+	k.Spawn("member", func(p *kernel.Proc) {
+		s.Enter(p)
+		c.Join(p, func() {
+			inAccess = true
+			p.Yield() // give the prober a chance
+			p.Yield()
+			inAccess = false
+		})
+		s.Exit(p)
+	})
+	k.Spawn("prober", func(p *kernel.Proc) {
+		p.Yield()
+		s.Enter(p) // succeeds only because Join released possession
+		if inAccess {
+			overlap = true
+		}
+		s.Exit(p)
+	})
+	err := k.Run()
+	return CrowdConcurrencyOutcome{OverlapObserved: overlap, Err: err}
+}
+
+// modularityScore counts satisfied requirements, for report sorting.
+func modularityScore(r ModularityRating) int {
+	n := 0
+	if r.Encapsulation {
+		n++
+	}
+	if r.Separation {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,89 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/problems"
+	"repro/internal/solutions"
+)
+
+// Solution-size measurement — a coarse proxy for the paper's "complexity
+// of constructing the solution" (§4.2 distinguishes it from the
+// complexity of the solution itself, but size is the observable part).
+// Sizes are semantic token counts over the extracted declarations, so
+// comments and formatting do not count.
+
+// SizeRow is one mechanism's solution sizes across the problem suite.
+type SizeRow struct {
+	Mechanism string
+	Tokens    map[string]int // problem -> token count
+	Total     int
+}
+
+// SizeTable measures every solution in the registry.
+func SizeTable() ([]SizeRow, error) {
+	var out []SizeRow
+	for _, s := range solutions.All() {
+		row := SizeRow{Mechanism: s.Mechanism, Tokens: map[string]int{}}
+		for _, problem := range problems.AllProblems() {
+			decls, err := LoadSolution(s.Mechanism, problem)
+			if err != nil {
+				return nil, err
+			}
+			n := decls.TotalTokens()
+			row.Tokens[problem] = n
+			row.Total += n
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// RenderSizes renders the size table, smallest total first.
+func RenderSizes(rows []SizeRow) string {
+	var b strings.Builder
+	b.WriteString("Solution sizes (semantic tokens per solution; construction-effort proxy)\n\n")
+	probs := problems.AllProblems()
+	fmt.Fprintf(&b, "  %-12s", "")
+	for _, p := range probs {
+		fmt.Fprintf(&b, " %7s", shortProblem(p))
+	}
+	fmt.Fprintf(&b, " %7s\n", "total")
+
+	sorted := make([]SizeRow, len(rows))
+	copy(sorted, rows)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Total < sorted[j].Total })
+	for _, r := range sorted {
+		fmt.Fprintf(&b, "  %-12s", r.Mechanism)
+		for _, p := range probs {
+			fmt.Fprintf(&b, " %7d", r.Tokens[p])
+		}
+		fmt.Fprintf(&b, " %7d\n", r.Total)
+	}
+	return b.String()
+}
+
+// shortProblem abbreviates problem names for column headers.
+func shortProblem(p string) string {
+	switch p {
+	case problems.NameBoundedBuffer:
+		return "buffer"
+	case problems.NameFCFS:
+		return "fcfs"
+	case problems.NameReadersPriority:
+		return "rdpri"
+	case problems.NameWritersPriority:
+		return "wrpri"
+	case problems.NameFCFSRW:
+		return "fcfsrw"
+	case problems.NameDisk:
+		return "disk"
+	case problems.NameAlarmClock:
+		return "alarm"
+	case problems.NameOneSlot:
+		return "1slot"
+	}
+	return p
+}

@@ -1,0 +1,182 @@
+// Package explore hunts for oracle violations by exploring schedules of a
+// simulated program.
+//
+// The paper's footnote 3 identifies a specific interleaving under which
+// the Figure-1 path-expression solution misbehaves; Bloom constructed it
+// by hand. This package mechanizes the construction: a program is run
+// under many schedules — seeded random sampling and bounded systematic
+// enumeration over the SimKernel's recorded choice sequences — until some
+// run's trace fails its oracle. The offending schedule is returned as a
+// replayable choice sequence, making the anomaly a reproducible artifact
+// rather than an argument.
+//
+// Exploration is stateless-model-checking shaped but deliberately simple:
+// programs under test are small scenario constructors, so bounded DFS
+// over scheduling choices (without partial-order reduction) is enough.
+package explore
+
+import (
+	"fmt"
+
+	"repro/internal/kernel"
+	"repro/internal/problems"
+	"repro/internal/trace"
+)
+
+// Program builds one run of the system under test on a fresh kernel and
+// recorder. It must spawn all processes (it is called before Run) and be
+// deterministic apart from scheduling: exploration assumes two runs with
+// the same schedule produce the same trace.
+type Program func(k kernel.Kernel, r *trace.Recorder)
+
+// Oracle judges a completed run's trace.
+type Oracle func(tr trace.Trace) []problems.Violation
+
+// Result describes one exploration outcome.
+type Result struct {
+	// Found reports whether a violating schedule was discovered.
+	Found bool
+	// Schedule is the replayable choice sequence of the violating run.
+	Schedule []kernel.Choice
+	// Trace is the violating run's trace.
+	Trace trace.Trace
+	// Violations are the oracle findings for that run.
+	Violations []problems.Violation
+	// Runs is the number of schedules executed.
+	Runs int
+	// Err is set when the finding is a kernel error (deadlock, livelock)
+	// rather than an oracle violation.
+	Err error
+}
+
+// Options bounds the exploration.
+type Options struct {
+	// RandomRuns is the number of seeded-random schedules to sample
+	// (seeds 1..RandomRuns). Default 200; negative disables the random
+	// phase entirely (DFS-only exploration).
+	RandomRuns int
+	// DFSRuns bounds the number of systematic runs (0 disables DFS).
+	DFSRuns int
+	// DFSDepth bounds the length of the choice prefix the DFS branches
+	// on; beyond it, runs continue FIFO. Default 40.
+	DFSDepth int
+	// MaxSteps is the per-run kernel step bound. Default 100000.
+	MaxSteps int64
+	// IgnoreKernelErrors skips runs that deadlock or hit the step limit
+	// instead of counting them as findings. By default a kernel error is
+	// a finding (with Violations nil and Err set).
+	IgnoreKernelErrors bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.RandomRuns == 0 {
+		o.RandomRuns = 200
+	}
+	if o.RandomRuns < 0 {
+		o.RandomRuns = 0
+	}
+	if o.DFSDepth == 0 {
+		o.DFSDepth = 40
+	}
+	if o.MaxSteps == 0 {
+		o.MaxSteps = 100000
+	}
+	return o
+}
+
+// runOnce executes the program under the given policy and returns the
+// kernel (for its recorded choices), the trace, and the kernel error.
+func runOnce(prog Program, policy kernel.Policy, maxSteps int64) (*kernel.SimKernel, trace.Trace, error) {
+	k := kernel.NewSim(kernel.WithPolicy(policy), kernel.WithMaxSteps(maxSteps))
+	r := trace.NewRecorder(k)
+	prog(k, r)
+	err := k.Run()
+	return k, r.Events(), err
+}
+
+// judge converts one run into a Result if it is a finding.
+func judge(k *kernel.SimKernel, tr trace.Trace, err error, oracle Oracle, opts Options, runs int) (Result, bool) {
+	if err != nil {
+		if opts.IgnoreKernelErrors {
+			return Result{}, false
+		}
+		return Result{Found: true, Schedule: k.Choices(), Trace: tr, Err: err, Runs: runs}, true
+	}
+	if vs := oracle(tr); len(vs) > 0 {
+		return Result{Found: true, Schedule: k.Choices(), Trace: tr, Violations: vs, Runs: runs}, true
+	}
+	return Result{}, false
+}
+
+// Run explores schedules of prog until the oracle rejects one or the
+// budget is exhausted.
+func Run(prog Program, oracle Oracle, opts Options) Result {
+	opts = opts.withDefaults()
+	runs := 0
+
+	// Phase 0: the deterministic FIFO baseline.
+	k, tr, err := runOnce(prog, kernel.FIFO(), opts.MaxSteps)
+	runs++
+	if res, found := judge(k, tr, err, oracle, opts, runs); found {
+		return res
+	}
+
+	// Phase 1: seeded random sampling.
+	for seed := int64(1); seed <= int64(opts.RandomRuns); seed++ {
+		k, tr, err := runOnce(prog, kernel.Random(seed), opts.MaxSteps)
+		runs++
+		if res, found := judge(k, tr, err, oracle, opts, runs); found {
+			return res
+		}
+	}
+
+	// Phase 2: bounded DFS over choice prefixes. The frontier holds
+	// prefixes to try; running Replay(prefix) extends it FIFO beyond the
+	// prefix, and the recorded choices tell us where alternatives exist.
+	frontier := [][]kernel.Choice{nil}
+	seen := map[string]bool{}
+	for len(frontier) > 0 && runs-1-opts.RandomRuns < opts.DFSRuns {
+		prefix := frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		key := fmt.Sprint(prefix)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+
+		k, tr, err := runOnce(prog, kernel.Replay(prefix), opts.MaxSteps)
+		runs++
+		if res, found := judge(k, tr, err, oracle, opts, runs); found {
+			return res
+		}
+		// Branch: for each decision point within depth (at or beyond the
+		// prefix), schedule the alternatives not taken.
+		choices := k.Choices()
+		limit := len(choices)
+		if limit > opts.DFSDepth {
+			limit = opts.DFSDepth
+		}
+		for i := len(prefix); i < limit; i++ {
+			for alt := 0; alt < choices[i].Ready; alt++ {
+				if alt == choices[i].Picked {
+					continue
+				}
+				branch := make([]kernel.Choice, i+1)
+				copy(branch, choices[:i])
+				branch[i] = kernel.Choice{Ready: choices[i].Ready, Picked: alt}
+				frontier = append(frontier, branch)
+			}
+		}
+	}
+	return Result{Runs: runs}
+}
+
+// Replay re-executes prog under the given schedule and returns its trace
+// and kernel error — used to double-check and to render findings.
+func Replay(prog Program, schedule []kernel.Choice, maxSteps int64) (trace.Trace, error) {
+	if maxSteps == 0 {
+		maxSteps = 100000
+	}
+	_, tr, err := runOnce(prog, kernel.Replay(schedule), maxSteps)
+	return tr, err
+}

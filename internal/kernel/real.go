@@ -1,0 +1,134 @@
+package kernel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// RealKernel runs processes as goroutines against the wall clock. It is
+// the production substrate: mechanisms built on it are ordinary concurrent
+// Go libraries.
+type RealKernel struct {
+	tick     time.Duration
+	watchdog time.Duration
+	start    time.Time
+
+	nextID atomic.Int64
+	wg     sync.WaitGroup
+
+	mu      sync.Mutex
+	started bool
+	done    chan struct{} // closed when wg drains during Run
+}
+
+// RealOption configures a RealKernel.
+type RealOption func(*RealKernel)
+
+// WithTick sets the wall-clock duration of one Sleep tick. The default is
+// one microsecond, which keeps virtual-time workloads (alarm clock, disk
+// scheduler arrival patterns) fast in tests.
+func WithTick(d time.Duration) RealOption {
+	return func(k *RealKernel) { k.tick = d }
+}
+
+// WithWatchdog sets how long Run waits for all processes to terminate
+// before reporting ErrTimeout. The default is 30 seconds. A zero duration
+// disables the watchdog.
+func WithWatchdog(d time.Duration) RealOption {
+	return func(k *RealKernel) { k.watchdog = d }
+}
+
+// NewReal creates a RealKernel.
+func NewReal(opts ...RealOption) *RealKernel {
+	k := &RealKernel{
+		tick:     time.Microsecond,
+		watchdog: 30 * time.Second,
+		start:    time.Now(),
+	}
+	for _, o := range opts {
+		o(k)
+	}
+	return k
+}
+
+// Spawn implements Kernel. The process starts running immediately; Run
+// merely waits for completion.
+func (k *RealKernel) Spawn(name string, fn func(p *Proc)) *Proc {
+	return k.spawn(name, fn, false)
+}
+
+// SpawnDaemon implements Kernel: the goroutine runs but Run does not wait
+// for it; it is abandoned when the process exits.
+func (k *RealKernel) SpawnDaemon(name string, fn func(p *Proc)) *Proc {
+	return k.spawn(name, fn, true)
+}
+
+func (k *RealKernel) spawn(name string, fn func(p *Proc), daemon bool) *Proc {
+	p := &Proc{
+		id:   int(k.nextID.Add(1)),
+		name: name,
+		k:    k,
+	}
+	rp := &realProc{
+		kernel: k,
+		permit: make(chan struct{}, 1),
+	}
+	p.impl = rp
+	if daemon {
+		go fn(p)
+		return p
+	}
+	k.wg.Add(1)
+	go func() {
+		defer k.wg.Done()
+		fn(p)
+	}()
+	return p
+}
+
+// Run implements Kernel: it waits until every spawned process (including
+// ones spawned transitively) has terminated, or the watchdog expires.
+func (k *RealKernel) Run() error {
+	done := make(chan struct{})
+	go func() {
+		k.wg.Wait()
+		close(done)
+	}()
+	if k.watchdog <= 0 {
+		<-done
+		return nil
+	}
+	timer := time.NewTimer(k.watchdog)
+	defer timer.Stop()
+	select {
+	case <-done:
+		return nil
+	case <-timer.C:
+		return ErrTimeout
+	}
+}
+
+// Now implements Kernel: nanoseconds since the kernel was created.
+func (k *RealKernel) Now() Time { return int64(time.Since(k.start)) }
+
+type realProc struct {
+	kernel *RealKernel
+	permit chan struct{}
+}
+
+func (rp *realProc) park()   { <-rp.permit }
+func (rp *realProc) yield()  { runtime.Gosched() }
+func (rp *realProc) exited() {}
+
+func (rp *realProc) unpark() {
+	select {
+	case rp.permit <- struct{}{}:
+	default: // a permit is already pending; permits do not accumulate
+	}
+}
+
+func (rp *realProc) sleep(ticks int64) {
+	time.Sleep(time.Duration(ticks) * rp.kernel.tick)
+}

@@ -1,0 +1,232 @@
+package kernel
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRealRunsAllProcesses(t *testing.T) {
+	k := NewReal()
+	var count atomic.Int64
+	for i := 0; i < 16; i++ {
+		k.Spawn("w", func(p *Proc) { count.Add(1) })
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if count.Load() != 16 {
+		t.Fatalf("count = %d, want 16", count.Load())
+	}
+}
+
+func TestRealParkUnpark(t *testing.T) {
+	k := NewReal(WithWatchdog(5 * time.Second))
+	var mu sync.Mutex
+	var waiting *Proc
+	woken := false
+	k.Spawn("waiter", func(p *Proc) {
+		mu.Lock()
+		waiting = p
+		mu.Unlock()
+		p.Park()
+		mu.Lock()
+		woken = true
+		mu.Unlock()
+	})
+	k.Spawn("waker", func(p *Proc) {
+		for {
+			mu.Lock()
+			w := waiting
+			mu.Unlock()
+			if w != nil {
+				w.Unpark()
+				return
+			}
+			p.Yield()
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !woken {
+		t.Fatal("waiter never woke")
+	}
+}
+
+func TestRealPermitBeforePark(t *testing.T) {
+	k := NewReal(WithWatchdog(5 * time.Second))
+	release := make(chan struct{})
+	done := false
+	p := k.Spawn("p", func(p *Proc) {
+		<-release
+		p.Park() // permit already pending
+		done = true
+	})
+	p.Unpark()
+	close(release)
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("Park blocked despite pending permit")
+	}
+}
+
+func TestRealWatchdog(t *testing.T) {
+	k := NewReal(WithWatchdog(50 * time.Millisecond))
+	k.Spawn("stuck", func(p *Proc) { p.Park() })
+	err := k.Run()
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("Run = %v, want ErrTimeout", err)
+	}
+	// Unblock the leaked goroutine so the test process exits cleanly.
+	// (The spawned goroutine is still parked; give it its permit.)
+}
+
+func TestRealNowMonotonic(t *testing.T) {
+	k := NewReal()
+	t0 := k.Now()
+	time.Sleep(time.Millisecond)
+	t1 := k.Now()
+	if t1 <= t0 {
+		t.Fatalf("Now not increasing: %d then %d", t0, t1)
+	}
+}
+
+func TestRealSleepTicks(t *testing.T) {
+	k := NewReal(WithTick(time.Millisecond), WithWatchdog(10*time.Second))
+	var elapsed time.Duration
+	k.Spawn("sleeper", func(p *Proc) {
+		start := time.Now()
+		p.Sleep(20)
+		elapsed = time.Since(start)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed < 15*time.Millisecond {
+		t.Fatalf("Sleep(20 x 1ms) elapsed only %v", elapsed)
+	}
+}
+
+func TestRealProcIdentity(t *testing.T) {
+	k := NewReal()
+	seen := make(chan int, 2)
+	p1 := k.Spawn("alpha", func(p *Proc) { seen <- p.ID() })
+	p2 := k.Spawn("beta", func(p *Proc) { seen <- p.ID() })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if p1.Name() != "alpha" || p2.Name() != "beta" {
+		t.Fatalf("names = %q, %q", p1.Name(), p2.Name())
+	}
+	if p1.ID() == p2.ID() {
+		t.Fatalf("duplicate IDs: %d", p1.ID())
+	}
+	a, b := <-seen, <-seen
+	if a == b {
+		t.Fatalf("process bodies observed duplicate IDs: %d", a)
+	}
+	if p1.String() != "alpha#1" {
+		t.Fatalf("String = %q, want alpha#1", p1.String())
+	}
+}
+
+func TestRealSpawnFromProcess(t *testing.T) {
+	k := NewReal(WithWatchdog(5 * time.Second))
+	var count atomic.Int64
+	k.Spawn("parent", func(p *Proc) {
+		for i := 0; i < 4; i++ {
+			p.Kernel().Spawn("child", func(c *Proc) { count.Add(1) })
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if count.Load() != 4 {
+		t.Fatalf("children run = %d, want 4", count.Load())
+	}
+}
+
+func TestRealDaemonDoesNotBlockRun(t *testing.T) {
+	k := NewReal(WithWatchdog(5 * time.Second))
+	k.SpawnDaemon("server", func(p *Proc) { p.Park() }) // parks forever
+	k.Spawn("worker", func(p *Proc) {})
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run = %v; daemons must not be waited on", err)
+	}
+}
+
+// The park/unpark handshake must be race-free under the mechanism
+// discipline: decide to wait under a lock, park outside it.
+func TestRealParkUnparkStress(t *testing.T) {
+	k := NewReal(WithWatchdog(20 * time.Second))
+	const rounds = 2000
+	var mu sync.Mutex
+	var queue []*Proc
+	handoffs := 0
+
+	k.Spawn("consumer", func(p *Proc) {
+		for i := 0; i < rounds; i++ {
+			mu.Lock()
+			queue = append(queue, p)
+			mu.Unlock()
+			p.Park()
+		}
+	})
+	k.Spawn("producer", func(p *Proc) {
+		for i := 0; i < rounds; {
+			mu.Lock()
+			var target *Proc
+			if len(queue) > 0 {
+				target = queue[0]
+				queue = queue[1:]
+			}
+			mu.Unlock()
+			if target != nil {
+				handoffs++
+				target.Unpark()
+				i++
+			} else {
+				p.Yield()
+			}
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if handoffs != rounds {
+		t.Fatalf("handoffs = %d, want %d", handoffs, rounds)
+	}
+}
+
+func BenchmarkRealParkUnparkHandoff(b *testing.B) {
+	k := NewReal(WithWatchdog(0))
+	pingCh := make(chan *Proc, 1)
+	pongCh := make(chan *Proc, 1)
+	// Strict alternation: each side parks after every unpark, so permits
+	// never coalesce and every round is a genuine handoff.
+	k.Spawn("pong", func(p *Proc) {
+		pongCh <- p
+		ping := <-pingCh
+		for i := 0; i < b.N; i++ {
+			p.Park()
+			ping.Unpark()
+		}
+	})
+	pong := <-pongCh
+	b.ResetTimer()
+	k.Spawn("ping", func(p *Proc) {
+		pingCh <- p
+		for i := 0; i < b.N; i++ {
+			pong.Unpark()
+			p.Park()
+		}
+	})
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,393 @@
+package kernel
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// procState is the scheduling state of a simulated process.
+type procState int
+
+const (
+	stateRunnable procState = iota
+	stateRunning
+	stateParked
+	stateSleeping
+	stateDead
+)
+
+func (s procState) String() string {
+	switch s {
+	case stateRunnable:
+		return "runnable"
+	case stateRunning:
+		return "running"
+	case stateParked:
+		return "parked"
+	case stateSleeping:
+		return "sleeping"
+	case stateDead:
+		return "dead"
+	}
+	return "invalid"
+}
+
+// Policy decides which runnable process runs next. Pick receives the ready
+// processes in a deterministic order (ascending readiness, ties by spawn
+// order) and returns an index into that slice. A Policy together with the
+// program fully determines a SimKernel run.
+type Policy interface {
+	Pick(ready []*Proc) int
+}
+
+// PolicyFunc adapts a function to the Policy interface.
+type PolicyFunc func(ready []*Proc) int
+
+// Pick implements Policy.
+func (f PolicyFunc) Pick(ready []*Proc) int { return f(ready) }
+
+// FIFO returns the round-robin policy: always run the process that has
+// been ready longest. This is the kernel's default.
+func FIFO() Policy { return PolicyFunc(func([]*Proc) int { return 0 }) }
+
+// LIFO returns the most-recently-ready-first policy, useful for provoking
+// overtaking behaviors.
+func LIFO() Policy { return PolicyFunc(func(ready []*Proc) int { return len(ready) - 1 }) }
+
+// Random returns a seeded uniformly random policy. The same seed and
+// program produce the same schedule.
+func Random(seed int64) Policy {
+	rng := rand.New(rand.NewSource(seed))
+	return PolicyFunc(func(ready []*Proc) int { return rng.Intn(len(ready)) })
+}
+
+// Choice records one scheduling decision: how many processes were ready
+// and which index was chosen.
+type Choice struct {
+	Ready  int // number of ready processes at the decision point
+	Picked int // index chosen, 0 <= Picked < Ready
+}
+
+// Replay returns a policy that follows the given choice sequence, then
+// falls back to FIFO when the sequence is exhausted. Out-of-range choices
+// are clamped. It is the building block of systematic schedule exploration
+// (package explore).
+func Replay(choices []Choice) Policy {
+	i := 0
+	return PolicyFunc(func(ready []*Proc) int {
+		if i >= len(choices) {
+			return 0
+		}
+		c := choices[i].Picked
+		i++
+		if c >= len(ready) {
+			c = len(ready) - 1
+		}
+		if c < 0 {
+			c = 0
+		}
+		return c
+	})
+}
+
+// SimKernel is a deterministic cooperative scheduler. Exactly one process
+// executes at a time; control returns to the scheduler at every kernel
+// operation (Park, Yield, Sleep, process exit). Virtual time advances only
+// when no process is runnable and some process is sleeping.
+type SimKernel struct {
+	policy   Policy
+	maxSteps int64
+
+	mu       sync.Mutex
+	now      int64
+	nextID   int
+	readySeq int64 // monotonically increasing readiness stamp
+	procs    []*simProc
+	ready    []*simProc
+	running  *simProc
+	steps    int64
+	choices  []Choice
+
+	stopCh   chan *simProc
+	started  bool
+	finished bool
+}
+
+// SimOption configures a SimKernel.
+type SimOption func(*SimKernel)
+
+// WithPolicy sets the scheduling policy (default FIFO).
+func WithPolicy(p Policy) SimOption {
+	return func(k *SimKernel) { k.policy = p }
+}
+
+// WithMaxSteps bounds the number of scheduling steps Run will take before
+// giving up with an error; it guards tests against livelocks. Zero (the
+// default) means ten million steps.
+func WithMaxSteps(n int64) SimOption {
+	return func(k *SimKernel) { k.maxSteps = n }
+}
+
+// NewSim creates a SimKernel.
+func NewSim(opts ...SimOption) *SimKernel {
+	k := &SimKernel{
+		policy:   FIFO(),
+		maxSteps: 10_000_000,
+		stopCh:   make(chan *simProc),
+	}
+	for _, o := range opts {
+		o(k)
+	}
+	return k
+}
+
+type simProc struct {
+	proc    *Proc
+	kernel  *SimKernel
+	daemon  bool
+	state   procState
+	permit  bool
+	wakeAt  int64 // valid when sleeping
+	readyAt int64 // readiness stamp for deterministic ordering
+	resume  chan struct{}
+}
+
+// Spawn implements Kernel. The process does not begin executing until the
+// scheduler selects it.
+func (k *SimKernel) Spawn(name string, fn func(p *Proc)) *Proc {
+	return k.spawn(name, fn, false)
+}
+
+// SpawnDaemon implements Kernel: the process is scheduled normally but is
+// invisible to termination and deadlock detection. When the last
+// non-daemon process finishes, Run returns and remaining daemons are
+// abandoned (their goroutines stay parked; harmless for test-scale use).
+func (k *SimKernel) SpawnDaemon(name string, fn func(p *Proc)) *Proc {
+	return k.spawn(name, fn, true)
+}
+
+func (k *SimKernel) spawn(name string, fn func(p *Proc), daemon bool) *Proc {
+	k.mu.Lock()
+	k.nextID++
+	p := &Proc{id: k.nextID, name: name, k: k}
+	sp := &simProc{
+		proc:   p,
+		kernel: k,
+		daemon: daemon,
+		state:  stateRunnable,
+		resume: make(chan struct{}),
+	}
+	p.impl = sp
+	k.procs = append(k.procs, sp)
+	k.markReadyLocked(sp)
+	k.mu.Unlock()
+
+	go func() {
+		<-sp.resume // wait to be scheduled for the first time
+		fn(p)
+		sp.exited()
+	}()
+	return p
+}
+
+// markReadyLocked appends sp to the ready set with a fresh readiness stamp.
+func (k *SimKernel) markReadyLocked(sp *simProc) {
+	sp.state = stateRunnable
+	k.readySeq++
+	sp.readyAt = k.readySeq
+	k.ready = append(k.ready, sp)
+}
+
+// Now implements Kernel: the virtual clock, in ticks.
+func (k *SimKernel) Now() Time {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.now
+}
+
+// Steps reports how many scheduling decisions the kernel has made.
+func (k *SimKernel) Steps() int64 {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.steps
+}
+
+// Choices returns the scheduling decisions made so far, in order. The
+// slice is a copy; it is the input to Replay-based exploration.
+func (k *SimKernel) Choices() []Choice {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	out := make([]Choice, len(k.choices))
+	copy(out, k.choices)
+	return out
+}
+
+// Run implements Kernel: it drives the scheduler until every process is
+// dead, a deadlock is detected, or the step limit is hit. Run must be
+// called exactly once, from the goroutine that created the kernel.
+func (k *SimKernel) Run() error {
+	k.mu.Lock()
+	if k.started {
+		k.mu.Unlock()
+		return fmt.Errorf("kernel: SimKernel.Run called twice")
+	}
+	k.started = true
+	k.mu.Unlock()
+
+	for {
+		k.mu.Lock()
+		if k.steps >= k.maxSteps {
+			k.finished = true
+			k.mu.Unlock()
+			return fmt.Errorf("kernel: step limit (%d) exceeded; possible livelock", k.maxSteps)
+		}
+		if !k.anyNonDaemonLiveLocked() {
+			// Every real process finished; abandon remaining daemons.
+			k.finished = true
+			k.mu.Unlock()
+			return nil
+		}
+		if len(k.ready) == 0 {
+			// Try to advance virtual time to the earliest sleeper.
+			if !k.wakeSleepersLocked() {
+				live := k.parkedNamesLocked()
+				k.finished = true
+				k.mu.Unlock()
+				return fmt.Errorf("%w: %s", ErrDeadlock, strings.Join(live, ", "))
+			}
+		}
+		// Deterministic ready order: by readiness stamp.
+		sort.Slice(k.ready, func(i, j int) bool { return k.ready[i].readyAt < k.ready[j].readyAt })
+		readyProcs := make([]*Proc, len(k.ready))
+		for i, sp := range k.ready {
+			readyProcs[i] = sp.proc
+		}
+		idx := k.policy.Pick(readyProcs)
+		if idx < 0 || idx >= len(k.ready) {
+			k.finished = true
+			k.mu.Unlock()
+			return fmt.Errorf("kernel: policy picked %d of %d ready processes", idx, len(readyProcs))
+		}
+		k.choices = append(k.choices, Choice{Ready: len(readyProcs), Picked: idx})
+		k.steps++
+		next := k.ready[idx]
+		k.ready = append(k.ready[:idx], k.ready[idx+1:]...)
+		next.state = stateRunning
+		k.running = next
+		k.mu.Unlock()
+
+		next.resume <- struct{}{} // hand the processor to next
+		<-k.stopCh                // wait for it to yield control back
+	}
+}
+
+// wakeSleepersLocked advances the clock to the earliest wake time and
+// readies every sleeper due at that time. It reports whether any process
+// was woken.
+func (k *SimKernel) wakeSleepersLocked() bool {
+	var earliest int64
+	found := false
+	for _, sp := range k.procs {
+		if sp.state == stateSleeping && (!found || sp.wakeAt < earliest) {
+			earliest = sp.wakeAt
+			found = true
+		}
+	}
+	if !found {
+		return false
+	}
+	if earliest > k.now {
+		k.now = earliest
+	}
+	for _, sp := range k.procs {
+		if sp.state == stateSleeping && sp.wakeAt <= k.now {
+			k.markReadyLocked(sp)
+		}
+	}
+	return true
+}
+
+// anyNonDaemonLiveLocked reports whether a non-daemon process has not yet
+// terminated.
+func (k *SimKernel) anyNonDaemonLiveLocked() bool {
+	for _, sp := range k.procs {
+		if !sp.daemon && sp.state != stateDead {
+			return true
+		}
+	}
+	return false
+}
+
+// parkedNamesLocked lists live non-daemon processes (all necessarily
+// parked when called) for the deadlock report.
+func (k *SimKernel) parkedNamesLocked() []string {
+	var names []string
+	for _, sp := range k.procs {
+		if !sp.daemon && sp.state != stateDead {
+			names = append(names, sp.proc.String())
+		}
+	}
+	return names
+}
+
+// stop hands control back to the scheduler and blocks until rescheduled.
+// The caller must have already recorded its new state under k.mu.
+func (sp *simProc) stop() {
+	sp.kernel.stopCh <- sp
+	<-sp.resume
+}
+
+func (sp *simProc) park() {
+	k := sp.kernel
+	k.mu.Lock()
+	if sp.permit {
+		sp.permit = false
+		k.mu.Unlock()
+		return
+	}
+	sp.state = stateParked
+	k.mu.Unlock()
+	sp.stop()
+}
+
+func (sp *simProc) unpark() {
+	k := sp.kernel
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	switch sp.state {
+	case stateParked:
+		k.markReadyLocked(sp)
+	case stateDead:
+		// no-op
+	default:
+		sp.permit = true
+	}
+}
+
+func (sp *simProc) yield() {
+	k := sp.kernel
+	k.mu.Lock()
+	k.markReadyLocked(sp)
+	k.mu.Unlock()
+	sp.stop()
+}
+
+func (sp *simProc) sleep(ticks int64) {
+	k := sp.kernel
+	k.mu.Lock()
+	sp.state = stateSleeping
+	sp.wakeAt = k.now + ticks
+	k.mu.Unlock()
+	sp.stop()
+}
+
+func (sp *simProc) exited() {
+	k := sp.kernel
+	k.mu.Lock()
+	sp.state = stateDead
+	k.mu.Unlock()
+	k.stopCh <- sp // return control; no resume will follow
+}

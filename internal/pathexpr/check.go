@@ -1,0 +1,174 @@
+package pathexpr
+
+import "fmt"
+
+// Checker is a symbolic interpreter for a compiled path set. It executes
+// the same compiled program as Set.Exec, but over integer state and
+// atomically: an operation can start iff its entire prologue can run
+// without blocking. It serves two purposes:
+//
+//   - admissibility checking of operation histories (cmd/pathc, the
+//     problem oracles' reference), and
+//   - cross-validation of the blocking runtime: on sequential histories
+//     the runtime and the checker must agree (asserted by property tests),
+//     which is the ablation DESIGN.md §6.2 calls for.
+//
+// The one semantic difference from the blocking runtime is deliberate:
+// the runtime acquires prologue semaphores one at a time and can block
+// *mid-prologue* (holding earlier semaphores), whereas the checker's
+// all-or-nothing trial never enters such partial states. For histories the
+// checker admits, the two agree; histories the checker rejects leave the
+// runtime blocked rather than failed.
+type Checker struct {
+	set    *Set
+	sems   []int64
+	bursts []int64
+	active map[string]int // op -> number of started, unfinished executions
+}
+
+// NewChecker creates a checker over s with fresh initial state.
+func NewChecker(s *Set) *Checker {
+	c := &Checker{
+		set:    s,
+		sems:   make([]int64, len(s.semInit)),
+		bursts: make([]int64, s.burstCnt),
+		active: map[string]int{},
+	}
+	copy(c.sems, s.semInit)
+	return c
+}
+
+// snapshot copies the mutable state for trial-and-rollback.
+func (c *Checker) snapshot() ([]int64, []int64) {
+	sems := make([]int64, len(c.sems))
+	copy(sems, c.sems)
+	bursts := make([]int64, len(c.bursts))
+	copy(bursts, c.bursts)
+	return sems, bursts
+}
+
+func (c *Checker) restore(sems, bursts []int64) {
+	copy(c.sems, sems)
+	copy(c.bursts, bursts)
+}
+
+// trial executes steps over the symbolic state, reporting false (state
+// partially mutated — callers roll back) if a P would block.
+func (c *Checker) trial(steps []step) bool {
+	for _, st := range steps {
+		switch v := st.(type) {
+		case stepP:
+			if c.sems[v.sem] == 0 {
+				return false
+			}
+			c.sems[v.sem]--
+		case stepV:
+			c.sems[v.sem]++
+		case stepBurst:
+			if v.enter {
+				c.bursts[v.burst]++
+				if c.bursts[v.burst] == 1 && !c.trial(v.inner) {
+					return false
+				}
+			} else {
+				c.bursts[v.burst]--
+				if c.bursts[v.burst] == 0 && !c.trial(v.inner) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// CanStart reports whether op could begin executing now. Unconstrained
+// operations can always start.
+func (c *Checker) CanStart(op string) bool {
+	o := c.set.ops[op]
+	if o == nil {
+		return true
+	}
+	sems, bursts := c.snapshot()
+	defer c.restore(sems, bursts)
+	for _, g := range o.gates {
+		if !c.trial(g.pre) {
+			return false
+		}
+	}
+	return true
+}
+
+// Start begins an execution of op, or reports an error if its prologue
+// would block.
+func (c *Checker) Start(op string) error {
+	o := c.set.ops[op]
+	if o == nil {
+		c.active[op]++
+		return nil
+	}
+	sems, bursts := c.snapshot()
+	for _, g := range o.gates {
+		if !c.trial(g.pre) {
+			c.restore(sems, bursts)
+			return fmt.Errorf("pathexpr: %q cannot start in the current state", op)
+		}
+	}
+	c.active[op]++
+	return nil
+}
+
+// Finish completes the oldest unfinished execution of op. Epilogues never
+// block. Finishing an op with no active execution is an error.
+func (c *Checker) Finish(op string) error {
+	if c.active[op] == 0 {
+		return fmt.Errorf("pathexpr: Finish(%q) with no active execution", op)
+	}
+	c.active[op]--
+	o := c.set.ops[op]
+	if o == nil {
+		return nil
+	}
+	for i := len(o.gates) - 1; i >= 0; i-- {
+		if !c.trial(o.gates[i].post) {
+			// Epilogues consist of V and burst-exit steps only; a blocked
+			// epilogue indicates a compiler bug.
+			panic(fmt.Sprintf("pathexpr: epilogue of %q blocked", op))
+		}
+	}
+	return nil
+}
+
+// Active reports the number of started, unfinished executions of op.
+func (c *Checker) Active(op string) int { return c.active[op] }
+
+// Exec performs a complete (start+finish) execution of op, or reports an
+// error if it cannot start.
+func (c *Checker) Exec(op string) error {
+	if err := c.Start(op); err != nil {
+		return err
+	}
+	return c.Finish(op)
+}
+
+// Admissible reports whether the sequential history (complete executions,
+// one at a time) is permitted by the path set, and if not, the index of
+// the first inadmissible operation.
+func (c *Checker) Admissible(history []string) (bool, int) {
+	for i, op := range history {
+		if err := c.Exec(op); err != nil {
+			return false, i
+		}
+	}
+	return true, -1
+}
+
+// Startable lists the constrained operations that could start now, sorted.
+func (c *Checker) Startable() []string {
+	var out []string
+	for _, op := range c.set.Ops() {
+		if c.CanStart(op) {
+			out = append(out, op)
+		}
+	}
+	return out
+}

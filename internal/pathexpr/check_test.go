@@ -1,0 +1,267 @@
+package pathexpr
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/kernel"
+)
+
+func TestCheckerSequenceAdmissibility(t *testing.T) {
+	set := MustCompile("path a ; b end")
+	cases := []struct {
+		history []string
+		ok      bool
+		failAt  int
+	}{
+		{[]string{"a", "b"}, true, -1},
+		{[]string{"a", "b", "a", "b"}, true, -1},
+		{[]string{"b"}, false, 0},
+		{[]string{"a", "a"}, false, 1},
+		{[]string{"a", "b", "b"}, false, 2},
+	}
+	for _, tc := range cases {
+		c := NewChecker(set)
+		ok, at := c.Admissible(tc.history)
+		if ok != tc.ok || at != tc.failAt {
+			t.Errorf("Admissible(%v) = %v,%d, want %v,%d", tc.history, ok, at, tc.ok, tc.failAt)
+		}
+	}
+}
+
+func TestCheckerSelection(t *testing.T) {
+	set := MustCompile("path a , b end")
+	c := NewChecker(set)
+	// Each cycle permits exactly one of a,b; any sequence of single ops
+	// is admissible.
+	if ok, _ := c.Admissible([]string{"a", "b", "b", "a"}); !ok {
+		t.Fatal("alternating selection rejected")
+	}
+}
+
+func TestCheckerBurstConcurrency(t *testing.T) {
+	set := MustCompile("path {read} , write end")
+	c := NewChecker(set)
+	// Two overlapping reads are fine; write must wait for both to finish.
+	if err := c.Start("read"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start("read"); err != nil {
+		t.Fatal(err)
+	}
+	if c.CanStart("write") {
+		t.Fatal("write startable during reads")
+	}
+	if err := c.Finish("read"); err != nil {
+		t.Fatal(err)
+	}
+	if c.CanStart("write") {
+		t.Fatal("write startable with one read still active")
+	}
+	if err := c.Finish("read"); err != nil {
+		t.Fatal(err)
+	}
+	if !c.CanStart("write") {
+		t.Fatal("write not startable after reads done")
+	}
+	if err := c.Exec("write"); err != nil {
+		t.Fatal(err)
+	}
+	if c.Active("read") != 0 || c.Active("write") != 0 {
+		t.Fatal("active counts wrong")
+	}
+}
+
+func TestCheckerWriteExcludesRead(t *testing.T) {
+	set := MustCompile("path {read} , write end")
+	c := NewChecker(set)
+	if err := c.Start("write"); err != nil {
+		t.Fatal(err)
+	}
+	if c.CanStart("read") {
+		t.Fatal("read startable during write")
+	}
+	if c.CanStart("write") {
+		t.Fatal("second write startable during write")
+	}
+	if err := c.Finish("write"); err != nil {
+		t.Fatal(err)
+	}
+	if !c.CanStart("read") {
+		t.Fatal("read not startable after write")
+	}
+}
+
+func TestCheckerFinishWithoutStart(t *testing.T) {
+	set := MustCompile("path a end")
+	c := NewChecker(set)
+	if err := c.Finish("a"); err == nil {
+		t.Fatal("Finish without Start accepted")
+	}
+}
+
+func TestCheckerUnconstrainedOps(t *testing.T) {
+	set := MustCompile("path a end")
+	c := NewChecker(set)
+	if !c.CanStart("other") {
+		t.Fatal("unconstrained op not startable")
+	}
+	if err := c.Exec("other"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckerStartable(t *testing.T) {
+	set := MustCompile("path a ; b end")
+	c := NewChecker(set)
+	if got := fmt.Sprint(c.Startable()); got != "[a]" {
+		t.Fatalf("Startable = %v", got)
+	}
+	if err := c.Exec("a"); err != nil {
+		t.Fatal(err)
+	}
+	if got := fmt.Sprint(c.Startable()); got != "[b]" {
+		t.Fatalf("Startable after a = %v", got)
+	}
+}
+
+func TestCheckerConjunction(t *testing.T) {
+	set := MustCompile("path a ; b end", "path c ; b end")
+	c := NewChecker(set)
+	if c.CanStart("b") {
+		t.Fatal("b startable before a and c")
+	}
+	if err := c.Exec("a"); err != nil {
+		t.Fatal(err)
+	}
+	if c.CanStart("b") {
+		t.Fatal("b startable before c")
+	}
+	if err := c.Exec("c"); err != nil {
+		t.Fatal(err)
+	}
+	if !c.CanStart("b") {
+		t.Fatal("b not startable after a and c")
+	}
+}
+
+// Cross-validation ablation (DESIGN.md §6.2): on random sequential
+// histories, the blocking runtime and the symbolic checker must agree —
+// every history the checker admits executes without blocking on the
+// runtime, for a variety of path sets.
+func TestCheckerRuntimeAgreementOnAdmissibleHistories(t *testing.T) {
+	sets := []string{
+		"path a end",
+		"path a ; b end",
+		"path a , b end",
+		"path {read} , write end",
+		"path a ; b ; c end",
+		"path (a , b) ; c end",
+		"path {a ; b} , c end",
+		"path a ; b end path c ; b end",
+	}
+	for _, src := range sets {
+		src := src
+		t.Run(src, func(t *testing.T) {
+			f := func(seed int64, n uint8) bool {
+				set := MustCompile(src)
+				checker := NewChecker(set)
+				rng := rand.New(rand.NewSource(seed))
+				ops := set.Ops()
+
+				// Build an admissible history greedily.
+				var history []string
+				for i := 0; i < int(n%24); i++ {
+					startable := checker.Startable()
+					if len(startable) == 0 {
+						break
+					}
+					op := startable[rng.Intn(len(startable))]
+					if err := checker.Exec(op); err != nil {
+						return false
+					}
+					history = append(history, op)
+				}
+				_ = ops
+
+				// The blocking runtime must execute it without parking.
+				k := kernel.NewSim()
+				completed := 0
+				k.Spawn("p", func(p *kernel.Proc) {
+					for _, op := range history {
+						set.Exec(p, op, func() { completed++ })
+					}
+				})
+				if err := k.Run(); err != nil {
+					t.Logf("history %v: %v", history, err)
+					return false
+				}
+				return completed == len(history)
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// Conversely: a history the checker rejects must leave a single-process
+// runtime parked (deadlocked) at or before the rejected operation.
+func TestCheckerRuntimeAgreementOnInadmissibleHistories(t *testing.T) {
+	set := MustCompile("path a ; b end")
+	inadmissible := [][]string{
+		{"b"},
+		{"a", "a"},
+		{"a", "b", "b"},
+	}
+	for _, history := range inadmissible {
+		checker := NewChecker(set)
+		if ok, _ := checker.Admissible(history); ok {
+			t.Fatalf("checker admitted %v", history)
+		}
+		set.Reset()
+		k := kernel.NewSim()
+		completed := 0
+		k.Spawn("p", func(p *kernel.Proc) {
+			for _, op := range history {
+				set.Exec(p, op, func() { completed++ })
+			}
+		})
+		if err := k.Run(); err == nil {
+			t.Fatalf("runtime completed inadmissible history %v", history)
+		}
+		if completed >= len(history) {
+			t.Fatalf("runtime executed all of %v", history)
+		}
+	}
+}
+
+func BenchmarkCheckerCanStart(b *testing.B) {
+	set := MustCompile("path {read} , write end")
+	c := NewChecker(set)
+	if err := c.Start("read"); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.CanStart("write")
+	}
+}
+
+func BenchmarkCheckerAdmissible(b *testing.B) {
+	set := MustCompile("path a ; b end")
+	history := make([]string, 0, 200)
+	for i := 0; i < 100; i++ {
+		history = append(history, "a", "b")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := NewChecker(set)
+		if ok, _ := c.Admissible(history); !ok {
+			b.Fatal("rejected")
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package pathexpr
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Describe renders the compiled Campbell–Habermann translation: the
+// semaphores with their initial counts, the burst counters, and each
+// operation's prologue/epilogue program. This is the "compiled output" of
+// the path compiler, printed by cmd/pathc -translate; it makes the
+// P/V-level meaning of a path declaration inspectable.
+func (s *Set) Describe() string {
+	var b strings.Builder
+	b.WriteString("paths:\n")
+	for i, p := range s.paths {
+		fmt.Fprintf(&b, "  %d: %s\n", i+1, p)
+	}
+	fmt.Fprintf(&b, "semaphores: %d\n", len(s.semInit))
+	for i, init := range s.semInit {
+		fmt.Fprintf(&b, "  s%d init %d\n", i, init)
+	}
+	if s.burstCnt > 0 {
+		fmt.Fprintf(&b, "burst counters: %d\n", s.burstCnt)
+	}
+	b.WriteString("operations:\n")
+
+	names := make([]string, 0, len(s.ops))
+	for name := range s.ops {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		op := s.ops[name]
+		fmt.Fprintf(&b, "  %s:\n", name)
+		for _, g := range op.gates {
+			fmt.Fprintf(&b, "    path %d: prologue %s\n", g.pathIdx+1, describeSteps(g.pre))
+			fmt.Fprintf(&b, "            epilogue %s\n", describeSteps(g.post))
+		}
+	}
+	return b.String()
+}
+
+// describeSteps renders a step list in a compact P/V notation.
+func describeSteps(steps []step) string {
+	if len(steps) == 0 {
+		return "(none)"
+	}
+	parts := make([]string, 0, len(steps))
+	for _, st := range steps {
+		parts = append(parts, describeStep(st))
+	}
+	return strings.Join(parts, "; ")
+}
+
+func describeStep(st step) string {
+	switch v := st.(type) {
+	case stepP:
+		return fmt.Sprintf("P(s%d)", v.sem)
+	case stepV:
+		return fmt.Sprintf("V(s%d)", v.sem)
+	case stepBurst:
+		if v.enter {
+			return fmt.Sprintf("burst%d++{first: %s}", v.burst, describeSteps(v.inner))
+		}
+		return fmt.Sprintf("burst%d--{last: %s}", v.burst, describeSteps(v.inner))
+	}
+	return "?"
+}

@@ -1,0 +1,54 @@
+package pathexpr
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDescribeReadersWriters(t *testing.T) {
+	set := MustCompile("path {read} , write end")
+	out := set.Describe()
+	for _, want := range []string{
+		"s0 init 1",         // the path's root semaphore
+		"burst counters: 1", // {read}
+		"write:",            // both ops listed
+		"read:",
+		"P(s0)", "V(s0)", // write's gates
+		"burst0++{first: P(s0)}", // read's burst-guarded prologue
+		"burst0--{last: V(s0)}",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Describe missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDescribeSequenceLinks(t *testing.T) {
+	set := MustCompile("path 3 : a ; b end")
+	out := set.Describe()
+	if !strings.Contains(out, "s0 init 3") {
+		t.Errorf("numeric bound not reflected:\n%s", out)
+	}
+	if !strings.Contains(out, "s1 init 0") {
+		t.Errorf("sequence link semaphore missing:\n%s", out)
+	}
+	// a: pre P(s0), post V(s1); b: pre P(s1), post V(s0).
+	if !strings.Contains(out, "prologue P(s1)") || !strings.Contains(out, "epilogue V(s1)") {
+		t.Errorf("link wiring not shown:\n%s", out)
+	}
+}
+
+func TestDescribeFigure1Compiles(t *testing.T) {
+	set := MustCompile(`
+		path writeattempt end
+		path { requestread } , requestwrite end
+		path { read } , (openwrite ; write) end
+	`)
+	out := set.Describe()
+	if !strings.Contains(out, "path 3: prologue") {
+		t.Errorf("multi-path gates not attributed:\n%s", out)
+	}
+	if !strings.Contains(out, "openwrite") {
+		t.Errorf("figure ops missing:\n%s", out)
+	}
+}

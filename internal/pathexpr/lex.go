@@ -1,0 +1,143 @@
+package pathexpr
+
+import (
+	"fmt"
+	"unicode"
+	"unicode/utf8"
+)
+
+// tokKind classifies lexical tokens.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokPath  // keyword "path"
+	tokEnd   // keyword "end"
+	tokSemi  // ;
+	tokComma // ,
+	tokLBrace
+	tokRBrace
+	tokLParen
+	tokRParen
+	tokColon  // :
+	tokNumber // decimal integer (the numeric operator bound)
+)
+
+func (k tokKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokPath:
+		return `"path"`
+	case tokEnd:
+		return `"end"`
+	case tokSemi:
+		return `";"`
+	case tokComma:
+		return `","`
+	case tokLBrace:
+		return `"{"`
+	case tokRBrace:
+		return `"}"`
+	case tokLParen:
+		return `"("`
+	case tokRParen:
+		return `")"`
+	case tokColon:
+		return `":"`
+	case tokNumber:
+		return "number"
+	}
+	return "invalid token"
+}
+
+// token is one lexical token with its source position.
+type token struct {
+	kind tokKind
+	text string
+	pos  int // byte offset in the input
+}
+
+// SyntaxError reports a lexical or parse error with its byte offset.
+type SyntaxError struct {
+	Pos int
+	Msg string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("pathexpr: offset %d: %s", e.Pos, e.Msg)
+}
+
+// lexer tokenizes a path-expression source string.
+type lexer struct {
+	src string
+	pos int
+}
+
+func isIdentStart(r rune) bool { return r == '_' || unicode.IsLetter(r) }
+func isIdentCont(r rune) bool  { return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r) }
+
+// next returns the next token, or an error for an illegal character.
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) {
+		r, size := utf8.DecodeRuneInString(l.src[l.pos:])
+		if unicode.IsSpace(r) {
+			l.pos += size
+			continue
+		}
+		start := l.pos
+		switch r {
+		case ';':
+			l.pos++
+			return token{tokSemi, ";", start}, nil
+		case ',':
+			l.pos++
+			return token{tokComma, ",", start}, nil
+		case '{':
+			l.pos++
+			return token{tokLBrace, "{", start}, nil
+		case '}':
+			l.pos++
+			return token{tokRBrace, "}", start}, nil
+		case '(':
+			l.pos++
+			return token{tokLParen, "(", start}, nil
+		case ')':
+			l.pos++
+			return token{tokRParen, ")", start}, nil
+		case ':':
+			l.pos++
+			return token{tokColon, ":", start}, nil
+		}
+		if r >= '0' && r <= '9' {
+			l.pos += size
+			for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+				l.pos++
+			}
+			return token{tokNumber, l.src[start:l.pos], start}, nil
+		}
+		if isIdentStart(r) {
+			l.pos += size
+			for l.pos < len(l.src) {
+				r2, s2 := utf8.DecodeRuneInString(l.src[l.pos:])
+				if !isIdentCont(r2) {
+					break
+				}
+				l.pos += s2
+			}
+			text := l.src[start:l.pos]
+			switch text {
+			case "path":
+				return token{tokPath, text, start}, nil
+			case "end":
+				return token{tokEnd, text, start}, nil
+			}
+			return token{tokIdent, text, start}, nil
+		}
+		return token{}, &SyntaxError{start, fmt.Sprintf("illegal character %q", r)}
+	}
+	return token{tokEOF, "", l.pos}, nil
+}

@@ -1,0 +1,216 @@
+package pathexpr
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/kernel"
+)
+
+// Tests for the Flon–Habermann numeric operator ("path n : e end"),
+// the second-generation extension Bloom's §5.1 credits with fixing the
+// synchronization-state and history weaknesses of the 1974 dialect.
+
+func TestParseNumericBound(t *testing.T) {
+	p, err := Parse("path 3 : deposit ; remove end")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Bound != 3 {
+		t.Fatalf("Bound = %d, want 3", p.Bound)
+	}
+	if p.String() != "path 3 : deposit ; remove end" {
+		t.Fatalf("String = %q", p.String())
+	}
+	// Round trip.
+	p2, err := Parse(p.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Bound != 3 {
+		t.Fatalf("reparsed Bound = %d", p2.Bound)
+	}
+}
+
+func TestParseDefaultBoundIsOne(t *testing.T) {
+	p, err := Parse("path a end")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Bound != 1 {
+		t.Fatalf("Bound = %d, want 1", p.Bound)
+	}
+	if p.String() != "path a end" {
+		t.Fatalf("String = %q (bound 1 must not render)", p.String())
+	}
+}
+
+func TestParseNumericErrors(t *testing.T) {
+	for _, src := range []string{
+		"path 0 : a end",                    // bound must be positive
+		"path 3 a end",                      // missing colon
+		"path 3 : end",                      // missing expression
+		"path a : b end",                    // bound must be a number
+		"path 99999999999999999999 : a end", // overflow
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded", src)
+		}
+	}
+}
+
+// path 2 : a end — up to two concurrent executions of a, never three.
+func TestNumericBoundLimitsConcurrency(t *testing.T) {
+	set := MustCompile("path 2 : a end")
+	k := kernel.NewSim(kernel.WithPolicy(kernel.Random(13)))
+	inside, maxInside := 0, 0
+	for i := 0; i < 5; i++ {
+		k.Spawn("w", func(p *kernel.Proc) {
+			for j := 0; j < 6; j++ {
+				set.Exec(p, "a", func() {
+					inside++
+					if inside > maxInside {
+						maxInside = inside
+					}
+					p.Yield()
+					inside--
+				})
+			}
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if maxInside != 2 {
+		t.Fatalf("maxInside = %d, want exactly 2 (bound reached, never exceeded)", maxInside)
+	}
+}
+
+// path n : (deposit ; remove) end IS the n-slot bounded buffer: deposits
+// lead removes by at most n, and removes never lead deposits.
+func TestNumericBoundedBufferDiscipline(t *testing.T) {
+	const n = 3
+	set := MustCompile(fmt.Sprintf("path %d : deposit ; remove end", n))
+	checker := NewChecker(set)
+
+	// Fill to capacity.
+	for i := 0; i < n; i++ {
+		if err := checker.Exec("deposit"); err != nil {
+			t.Fatalf("deposit %d: %v", i, err)
+		}
+	}
+	if checker.CanStart("deposit") {
+		t.Fatal("deposit startable at full capacity")
+	}
+	if err := checker.Exec("remove"); err != nil {
+		t.Fatal(err)
+	}
+	if !checker.CanStart("deposit") {
+		t.Fatal("deposit not startable after a remove")
+	}
+	// Drain.
+	for i := 0; i < n-1; i++ {
+		if err := checker.Exec("remove"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if checker.CanStart("remove") {
+		t.Fatal("remove startable on empty buffer")
+	}
+}
+
+// The runtime enforces the same discipline under blocking execution.
+func TestNumericBoundedBufferRuntime(t *testing.T) {
+	const n = 2
+	set := MustCompile(fmt.Sprintf("path %d : deposit ; remove end", n))
+	k := kernel.NewSim()
+	occupancy, maxOcc, minOcc := 0, 0, 0
+	const items = 10
+	k.Spawn("producer", func(p *kernel.Proc) {
+		for i := 0; i < items; i++ {
+			set.Exec(p, "deposit", func() { occupancy++ })
+			if occupancy > maxOcc {
+				maxOcc = occupancy
+			}
+		}
+	})
+	k.Spawn("consumer", func(p *kernel.Proc) {
+		for i := 0; i < items; i++ {
+			set.Exec(p, "remove", func() { occupancy-- })
+			if occupancy < minOcc {
+				minOcc = occupancy
+			}
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if maxOcc > n {
+		t.Fatalf("occupancy reached %d, bound %d", maxOcc, n)
+	}
+	if minOcc < 0 {
+		t.Fatalf("occupancy went negative: %d", minOcc)
+	}
+	if occupancy != 0 {
+		t.Fatalf("final occupancy = %d", occupancy)
+	}
+}
+
+// A consumer ahead of any producer blocks (and the sim kernel sees the
+// deadlock when no producer ever comes).
+func TestNumericRemoveBeforeDepositBlocks(t *testing.T) {
+	set := MustCompile("path 4 : deposit ; remove end")
+	k := kernel.NewSim()
+	k.Spawn("consumer", func(p *kernel.Proc) {
+		set.Exec(p, "remove", func() {})
+	})
+	if err := k.Run(); !errors.Is(err, kernel.ErrDeadlock) {
+		t.Fatalf("Run = %v, want deadlock", err)
+	}
+}
+
+// The checker and runtime agree on the numeric dialect too (extends the
+// cross-validation ablation).
+func TestNumericCheckerRuntimeAgreement(t *testing.T) {
+	set := MustCompile("path 2 : a ; b end")
+	checker := NewChecker(set)
+	history := []string{"a", "a", "b", "a", "b", "b"}
+	if ok, at := checker.Admissible(history); !ok {
+		t.Fatalf("checker rejected at %d", at)
+	}
+	set.Reset()
+	k := kernel.NewSim()
+	done := 0
+	k.Spawn("p", func(p *kernel.Proc) {
+		for _, op := range history {
+			set.Exec(p, op, func() { done++ })
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if done != len(history) {
+		t.Fatalf("done = %d", done)
+	}
+	// And an inadmissible one: three a's with bound 2.
+	checker2 := NewChecker(set)
+	if ok, _ := checker2.Admissible([]string{"a", "a", "a"}); ok {
+		t.Fatal("checker admitted a third cycle under bound 2")
+	}
+}
+
+func BenchmarkNumericPathExec(b *testing.B) {
+	set := MustCompile("path 8 : deposit ; remove end")
+	k := kernel.NewReal()
+	done := make(chan struct{})
+	k.Spawn("p", func(p *kernel.Proc) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			set.Exec(p, "deposit", func() {})
+			set.Exec(p, "remove", func() {})
+		}
+		close(done)
+	})
+	<-done
+}

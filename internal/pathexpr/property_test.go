@@ -1,0 +1,197 @@
+package pathexpr
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/kernel"
+)
+
+// randomNode builds a random path-expression AST over a fixed operation
+// alphabet. Each operation name is used at most once (the compiler's
+// one-occurrence-per-path rule), so generation draws from a shrinking
+// pool.
+func randomNode(rng *rand.Rand, pool *[]string, depth int) Node {
+	if depth <= 0 || len(*pool) == 0 || rng.Intn(3) == 0 {
+		if len(*pool) == 0 {
+			return nil
+		}
+		i := rng.Intn(len(*pool))
+		name := (*pool)[i]
+		*pool = append((*pool)[:i], (*pool)[i+1:]...)
+		return &OpRef{Name: name}
+	}
+	switch rng.Intn(3) {
+	case 0:
+		var elems []Node
+		for i := 0; i < 2+rng.Intn(2); i++ {
+			if n := randomNode(rng, pool, depth-1); n != nil {
+				elems = append(elems, n)
+			}
+		}
+		if len(elems) == 0 {
+			return nil
+		}
+		if len(elems) == 1 {
+			return elems[0]
+		}
+		return &Seq{Elems: elems}
+	case 1:
+		var alts []Node
+		for i := 0; i < 2+rng.Intn(2); i++ {
+			if n := randomNode(rng, pool, depth-1); n != nil {
+				alts = append(alts, n)
+			}
+		}
+		if len(alts) == 0 {
+			return nil
+		}
+		if len(alts) == 1 {
+			return alts[0]
+		}
+		return &Sel{Alts: alts}
+	default:
+		inner := randomNode(rng, pool, depth-1)
+		if inner == nil {
+			return nil
+		}
+		return &Burst{Inner: inner}
+	}
+}
+
+func freshPool() []string {
+	var out []string
+	for i := 0; i < 8; i++ {
+		out = append(out, fmt.Sprintf("op%d", i))
+	}
+	return out
+}
+
+// Property: rendering a random AST and reparsing it yields the same
+// canonical rendering (parser and renderer are inverse up to canonical
+// form), and the result compiles.
+func TestPropertyRenderParseRoundTrip(t *testing.T) {
+	f := func(seed int64, bound uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pool := freshPool()
+		node := randomNode(rng, &pool, 3)
+		if node == nil {
+			return true
+		}
+		p := &Path{Bound: int64(bound%5) + 1, Expr: node}
+		src := p.String()
+		reparsed, err := Parse(src)
+		if err != nil {
+			t.Logf("source %q: %v", src, err)
+			return false
+		}
+		if reparsed.String() != src {
+			t.Logf("round trip changed %q -> %q", src, reparsed.String())
+			return false
+		}
+		if reparsed.Bound != p.Bound {
+			return false
+		}
+		if _, err := CompileList([]*Path{reparsed}); err != nil {
+			t.Logf("compile of %q: %v", src, err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: for a random path, the checker's greedy admissible histories
+// always execute to completion on the blocking runtime (the strong form
+// of the cross-validation ablation, now over random path shapes).
+func TestPropertyCheckerAdmitsImpliesRuntimeRuns(t *testing.T) {
+	f := func(seed int64, steps uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pool := freshPool()
+		node := randomNode(rng, &pool, 3)
+		if node == nil {
+			return true
+		}
+		p := &Path{Bound: int64(rng.Intn(3)) + 1, Expr: node}
+		set, err := CompileList([]*Path{p})
+		if err != nil {
+			return false
+		}
+		checker := NewChecker(set)
+		var history []string
+		for i := 0; i < int(steps%20); i++ {
+			startable := checker.Startable()
+			if len(startable) == 0 {
+				break
+			}
+			op := startable[rng.Intn(len(startable))]
+			if err := checker.Exec(op); err != nil {
+				return false
+			}
+			history = append(history, op)
+		}
+		// Replay on the blocking runtime (single process; must not block).
+		set.Reset()
+		return runtimeExecutes(set, history)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the ops listed by a path equal the ops the compiled set
+// constrains.
+func TestPropertyOpsConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pool := freshPool()
+		node := randomNode(rng, &pool, 3)
+		if node == nil {
+			return true
+		}
+		p := &Path{Bound: 1, Expr: node}
+		set, err := CompileList([]*Path{p})
+		if err != nil {
+			return false
+		}
+		want := p.Ops()
+		got := set.Ops()
+		if len(want) != len(got) {
+			return false
+		}
+		wantSet := map[string]bool{}
+		for _, op := range want {
+			wantSet[op] = true
+		}
+		for _, op := range got {
+			if !wantSet[op] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// runtimeExecutes replays a sequential history on the blocking runtime
+// under the simulated kernel and reports whether it ran to completion
+// (a blocked prologue shows up as a kernel deadlock).
+func runtimeExecutes(set *Set, history []string) bool {
+	k := kernel.NewSim()
+	completed := 0
+	k.Spawn("p", func(p *kernel.Proc) {
+		for _, op := range history {
+			set.Exec(p, op, func() { completed++ })
+		}
+	})
+	if err := k.Run(); err != nil {
+		return false
+	}
+	return completed == len(history)
+}

@@ -1,0 +1,151 @@
+package problems
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/trace"
+)
+
+// The alarm clock is Hoare's [13] second footnote-2 test case for *request
+// parameter* information: wakeme(n) blocks the caller for n ticks of a
+// logical clock driven by tick().
+
+// OpWakeMe and OpTick are the clock's operation names in traces. A
+// wakeme's argument is its absolute due time (tick count); a tick's
+// argument is the clock value after the tick.
+const (
+	OpWakeMe = "wakeme"
+	OpTick   = "tick"
+)
+
+// AlarmClockSpec is the alarm clock's scheme.
+func AlarmClockSpec() core.Scheme {
+	return core.Scheme{
+		Name: NameAlarmClock,
+		Constraints: []core.Constraint{
+			{
+				ID:   "wake-not-early",
+				Kind: core.Exclusion,
+				Uses: []core.InfoType{core.RequestParams, core.LocalState},
+				Desc: "if the clock has not reached a sleeper's due time then exclude its wakeup",
+			},
+		},
+	}
+}
+
+// AlarmClock is the clock interface. WakeMe's body runs when the sleeper
+// wakes; Tick advances the logical clock by one.
+type AlarmClock interface {
+	WakeMe(p *kernel.Proc, ticks int64, body func())
+	Tick(p *kernel.Proc)
+}
+
+// Sleeper is one workload arrival: after Delay yields, sleep for Ticks.
+type Sleeper struct {
+	Ticks int64
+	Delay int
+}
+
+// ClockConfig parameterizes the alarm-clock workload: one driver process
+// ticking the clock TotalTicks times (yielding between ticks) and one
+// process per sleeper.
+type ClockConfig struct {
+	Sleepers   []Sleeper
+	TotalTicks int
+}
+
+// DriveAlarmClock runs the workload against ac on k, recording into r.
+// The driver tracks the number of ticks issued so far to compute each
+// sleeper's absolute due time for the oracle. The clock runs for at least
+// TotalTicks and then keeps ticking until every sleeper has woken (bounded
+// by a generous safety margin), so liveness does not depend on the
+// scheduling policy interleaving sleepers ahead of the clock.
+func DriveAlarmClock(k kernel.Kernel, ac AlarmClock, r *trace.Recorder, cfg ClockConfig) error {
+	var issued atomic.Int64 // ticks issued; read by sleepers for due times
+	var woken atomic.Int64
+	total := int64(len(cfg.Sleepers))
+	for _, s := range cfg.Sleepers {
+		s := s
+		k.Spawn("sleeper", func(p *kernel.Proc) {
+			for y := 0; y < s.Delay; y++ {
+				p.Yield()
+			}
+			due := issued.Load() + s.Ticks
+			r.Request(p, OpWakeMe, due)
+			ac.WakeMe(p, s.Ticks, func() {
+				r.Enter(p, OpWakeMe, due)
+				r.Exit(p, OpWakeMe, due)
+			})
+			woken.Add(1)
+		})
+	}
+	k.Spawn("clock", func(p *kernel.Proc) {
+		limit := int64(cfg.TotalTicks) + 100*total + 100
+		for i := int64(0); i < limit; i++ {
+			if i >= int64(cfg.TotalTicks) && woken.Load() == total {
+				return
+			}
+			// issued advances only after Tick completes: a sleeper that
+			// registers while Tick is in flight must compute its due time
+			// from the clock value the solution has definitely reached
+			// (an overestimate would make correct wakeups look early).
+			n := issued.Load() + 1
+			r.Enter(p, OpTick, n)
+			ac.Tick(p)
+			issued.Store(n)
+			r.Exit(p, OpTick, n)
+			// Sleep rather than Yield: sleeping cedes the processor to
+			// runnable sleepers under every policy (a yielded clock can
+			// monopolize a LIFO schedule).
+			p.Sleep(1)
+		}
+	})
+	return k.Run()
+}
+
+// CheckAlarmClock judges a clock trace: no sleeper wakes before its due
+// tick has been issued, and every sleeper that requested eventually woke.
+//
+// "Issued" is measured at tick Enter events: under Hoare signalling a
+// sleeper due at tick n runs during tick n's processing, i.e. after the
+// tick's Enter but possibly before its Exit.
+func CheckAlarmClock(tr trace.Trace) []Violation {
+	var out []Violation
+	ticks := int64(0)
+	requested := 0
+	woken := 0
+	for _, e := range tr {
+		switch {
+		case e.Kind == trace.KindEnter && e.Op == OpTick:
+			ticks++
+			if e.Arg != ticks {
+				out = append(out, Violation{
+					Rule:   "instrumentation",
+					Detail: fmt.Sprintf("tick %d recorded with argument %d", ticks, e.Arg),
+					Seq:    e.Seq,
+				})
+			}
+		case e.Kind == trace.KindRequest && e.Op == OpWakeMe:
+			requested++
+		case e.Kind == trace.KindEnter && e.Op == OpWakeMe:
+			woken++
+			if ticks < e.Arg {
+				out = append(out, Violation{
+					Rule:   "wake-not-early",
+					Detail: fmt.Sprintf("%s woke at tick %d, due at %d", e.Proc, ticks, e.Arg),
+					Seq:    e.Seq,
+				})
+			}
+		}
+	}
+	if woken != requested {
+		out = append(out, Violation{
+			Rule:   "wake-eventually",
+			Detail: fmt.Sprintf("%d sleepers requested, %d woke", requested, woken),
+		})
+	}
+	return out
+}

@@ -1,0 +1,189 @@
+package problems
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/trace"
+)
+
+// The bounded buffer is the paper's test case for *local state*
+// information (footnote 2): whether the buffer is full or empty is
+// information the unsynchronized resource has anyway.
+
+// OpDeposit and OpRemove are the buffer's operation names in traces.
+const (
+	OpDeposit = "deposit"
+	OpRemove  = "remove"
+)
+
+// BoundedBufferSpec is the bounded buffer's synchronization scheme.
+func BoundedBufferSpec() core.Scheme {
+	return core.Scheme{
+		Name: NameBoundedBuffer,
+		Constraints: []core.Constraint{
+			{
+				ID:   "buffer-exclusion",
+				Kind: core.Exclusion,
+				Uses: []core.InfoType{core.SyncState},
+				Desc: "if an operation is in progress then exclude all operations",
+			},
+			{
+				ID:   "buffer-no-overflow",
+				Kind: core.Exclusion,
+				Uses: []core.InfoType{core.LocalState},
+				Desc: "if the buffer is full then exclude depositors",
+			},
+			{
+				ID:   "buffer-no-underflow",
+				Kind: core.Exclusion,
+				Uses: []core.InfoType{core.LocalState},
+				Desc: "if the buffer is empty then exclude removers",
+			},
+		},
+	}
+}
+
+// BoundedBuffer is the resource interface a solution implements. The
+// solution owns the buffer storage (its local state); body must be
+// invoked exactly once, at the point where the operation logically
+// executes on the buffer, with whatever exclusion the scheme requires in
+// force.
+type BoundedBuffer interface {
+	// Deposit stores item; body is called at the deposit point.
+	Deposit(p *kernel.Proc, item int64, body func())
+	// Remove takes the oldest item; body is called at the removal point
+	// with the removed item.
+	Remove(p *kernel.Proc, body func(item int64))
+	// Cap reports the buffer capacity the solution was built with.
+	Cap() int
+}
+
+// BBConfig parameterizes the bounded-buffer workload.
+type BBConfig struct {
+	Producers        int
+	Consumers        int
+	ItemsPerProducer int
+	// WorkYields stretches each operation body with yields, creating
+	// opportunities for interleaving (and for oracles to catch overlap).
+	WorkYields int
+}
+
+// TotalItems reports the number of items the workload transfers.
+func (c BBConfig) TotalItems() int { return c.Producers * c.ItemsPerProducer }
+
+// DriveBoundedBuffer runs the workload against bb on k, recording into r,
+// and returns the kernel's verdict. Total items must divide evenly among
+// consumers.
+func DriveBoundedBuffer(k kernel.Kernel, bb BoundedBuffer, r *trace.Recorder, cfg BBConfig) error {
+	total := cfg.TotalItems()
+	if cfg.Consumers <= 0 || total%cfg.Consumers != 0 {
+		return fmt.Errorf("problems: %d items do not divide among %d consumers", total, cfg.Consumers)
+	}
+	perConsumer := total / cfg.Consumers
+
+	for pi := 0; pi < cfg.Producers; pi++ {
+		base := int64(pi+1) * 1_000_000
+		k.Spawn("producer", func(p *kernel.Proc) {
+			for i := 0; i < cfg.ItemsPerProducer; i++ {
+				item := base + int64(i)
+				r.Request(p, OpDeposit, item)
+				bb.Deposit(p, item, func() {
+					r.Enter(p, OpDeposit, item)
+					for y := 0; y < cfg.WorkYields; y++ {
+						p.Yield()
+					}
+					r.Exit(p, OpDeposit, item)
+				})
+			}
+		})
+	}
+	for ci := 0; ci < cfg.Consumers; ci++ {
+		k.Spawn("consumer", func(p *kernel.Proc) {
+			for i := 0; i < perConsumer; i++ {
+				r.Request(p, OpRemove, 0)
+				bb.Remove(p, func(item int64) {
+					r.Enter(p, OpRemove, item)
+					for y := 0; y < cfg.WorkYields; y++ {
+						p.Yield()
+					}
+					r.Exit(p, OpRemove, item)
+				})
+			}
+		})
+	}
+	return k.Run()
+}
+
+// CheckBoundedBuffer judges a bounded-buffer trace against the scheme.
+// expectedItems is the total the workload should transfer (0 skips the
+// completeness check).
+func CheckBoundedBuffer(tr trace.Trace, capacity int, expectedItems int) []Violation {
+	ivs, vs := requireIntervals(tr)
+	if vs != nil {
+		return vs
+	}
+	var out []Violation
+
+	// buffer-exclusion: no two operation executions overlap.
+	out = append(out, overlapViolations("buffer-exclusion", ivs,
+		func(a, b string) bool { return false })...)
+
+	// Occupancy bounds: walk in sequence order.
+	occ := 0
+	for _, e := range tr {
+		switch {
+		case e.Kind == trace.KindEnter && e.Op == OpDeposit:
+			if occ >= capacity {
+				out = append(out, Violation{
+					Rule:   "buffer-no-overflow",
+					Detail: fmt.Sprintf("deposit enters with occupancy %d of %d", occ, capacity),
+					Seq:    e.Seq,
+				})
+			}
+		case e.Kind == trace.KindExit && e.Op == OpDeposit:
+			occ++
+		case e.Kind == trace.KindEnter && e.Op == OpRemove:
+			if occ <= 0 {
+				out = append(out, Violation{
+					Rule:   "buffer-no-underflow",
+					Detail: "remove enters with empty buffer",
+					Seq:    e.Seq,
+				})
+			}
+		case e.Kind == trace.KindExit && e.Op == OpRemove:
+			occ--
+		}
+	}
+
+	// Item integrity: every deposited item removed exactly once.
+	deposited := map[int64]int{}
+	removed := map[int64]int{}
+	nDep, nRem := 0, 0
+	for _, iv := range ivs {
+		switch iv.Op {
+		case OpDeposit:
+			deposited[iv.Arg]++
+			nDep++
+		case OpRemove:
+			removed[iv.Arg]++
+			nRem++
+		}
+	}
+	for item, n := range removed {
+		if deposited[item] != n {
+			out = append(out, Violation{
+				Rule:   "item-integrity",
+				Detail: fmt.Sprintf("item %d removed %d times but deposited %d times", item, n, deposited[item]),
+			})
+		}
+	}
+	if expectedItems > 0 && (nDep != expectedItems || nRem != expectedItems) {
+		out = append(out, Violation{
+			Rule:   "completeness",
+			Detail: fmt.Sprintf("deposits=%d removes=%d, want %d each", nDep, nRem, expectedItems),
+		})
+	}
+	return out
+}

@@ -1,0 +1,230 @@
+package problems
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/trace"
+)
+
+// The disk-head scheduler is a footnote-2 test case for *request
+// parameter* information: the order of service is determined by the track
+// number passed with each request. The reference policy is Hoare's [13]
+// elevator (SCAN): the head sweeps upward serving the nearest pending
+// track above it, reverses at the top, and sweeps down.
+
+// OpSeek is the scheduler's operation name in traces; the track is its
+// argument.
+const OpSeek = "seek"
+
+// DiskSpec is the disk-head scheduler's scheme.
+func DiskSpec() core.Scheme {
+	return core.Scheme{
+		Name: NameDisk,
+		Constraints: []core.Constraint{
+			{
+				ID:   "disk-exclusion",
+				Kind: core.Exclusion,
+				Uses: []core.InfoType{core.SyncState},
+				Desc: "if a transfer is in progress then exclude all requests",
+			},
+			{
+				ID:   "scan-order",
+				Kind: core.Priority,
+				Uses: []core.InfoType{core.RequestParams, core.SyncState},
+				Desc: "if A's track is next in the current sweep then A has priority (elevator rule)",
+			},
+		},
+	}
+}
+
+// Disk is the scheduler interface: body runs while the head is positioned
+// at track, exclusively.
+type Disk interface {
+	Seek(p *kernel.Proc, track int64, body func())
+}
+
+// DiskRequest is one workload arrival: after Delay yields (from workload
+// start, measured on the issuing process), request the given track.
+type DiskRequest struct {
+	Track int64
+	Delay int
+}
+
+// DiskConfig parameterizes the disk workload: one process per request,
+// staggered by Delay yields so the pending set builds up in a controlled
+// way on the simulated kernel.
+type DiskConfig struct {
+	Requests   []DiskRequest
+	WorkYields int // transfer length
+}
+
+// DriveDisk runs the workload against d on k, recording into r.
+func DriveDisk(k kernel.Kernel, d Disk, r *trace.Recorder, cfg DiskConfig) error {
+	for _, req := range cfg.Requests {
+		req := req
+		k.Spawn("io", func(p *kernel.Proc) {
+			for y := 0; y < req.Delay; y++ {
+				p.Yield()
+			}
+			r.Request(p, OpSeek, req.Track)
+			d.Seek(p, req.Track, func() {
+				r.Enter(p, OpSeek, req.Track)
+				for y := 0; y < cfg.WorkYields; y++ {
+					p.Yield()
+				}
+				r.Exit(p, OpSeek, req.Track)
+			})
+		})
+	}
+	return k.Run()
+}
+
+// ScanReference simulates the elevator policy over a request schedule:
+// given (requestSeq, track) pairs in arrival order and the service
+// durations implied by the trace, it is used by tests to produce expected
+// orders for fully pre-loaded pending sets.
+//
+// For a pending set all present before service begins, SCAN from
+// initialHead moving up serves: ascending tracks >= head, then descending
+// tracks < head.
+func ScanReference(initialHead int64, tracks []int64) []int64 {
+	up := make([]int64, 0, len(tracks))
+	down := make([]int64, 0, len(tracks))
+	for _, t := range tracks {
+		if t >= initialHead {
+			up = append(up, t)
+		} else {
+			down = append(down, t)
+		}
+	}
+	sort.Slice(up, func(i, j int) bool { return up[i] < up[j] })
+	sort.Slice(down, func(i, j int) bool { return down[i] > down[j] })
+	return append(up, down...)
+}
+
+// SeekDistance sums head movement over a service order starting at head.
+func SeekDistance(initialHead int64, order []int64) int64 {
+	head := initialHead
+	var total int64
+	for _, t := range order {
+		d := t - head
+		if d < 0 {
+			d = -d
+		}
+		total += d
+		head = t
+	}
+	return total
+}
+
+// CheckDisk judges a disk trace. Exclusion is always checked. When
+// checkScan is true (deterministic traces), the service order is checked
+// against the elevator rule: at each admission, the chosen track must be
+// the SCAN-correct next track among the requests pending at the decision
+// point. Requests that arrive between the previous operation's completion
+// and this admission are treated as optionally visible (either decision
+// is accepted), which makes the check robust to decision-point jitter.
+func CheckDisk(tr trace.Trace, initialHead int64, checkScan bool) []Violation {
+	ivs, vs := requireIntervals(tr)
+	if vs != nil {
+		return vs
+	}
+	var out []Violation
+	out = append(out, overlapViolations("disk-exclusion", ivs,
+		func(a, b string) bool { return false })...)
+	if !checkScan || len(ivs) == 0 {
+		return out
+	}
+
+	// Service order = interval order (already by EnterSeq).
+	head := initialHead
+	dirUp := true
+	prevExit := int64(0)
+	served := map[int]bool{} // index into ivs
+	for si, cur := range ivs {
+		// Pending sets at the two candidate decision points. The strict
+		// point is where the scheduler actually decided: the previous
+		// completion for a busy disk, or the served request's own arrival
+		// for an idle disk (an idle scheduler serves an arrival at once).
+		decision := prevExit
+		if cur.RequestSeq > decision {
+			decision = cur.RequestSeq
+		}
+		var strict, loose []int64 // tracks (excluding cur) pending
+		for i, iv := range ivs {
+			if served[i] || i == si {
+				continue
+			}
+			if iv.RequestSeq != 0 && iv.RequestSeq < decision {
+				strict = append(strict, iv.Arg)
+			}
+			if iv.RequestSeq != 0 && iv.RequestSeq < cur.EnterSeq {
+				loose = append(loose, iv.Arg)
+			}
+		}
+		okStrict := scanAccepts(head, dirUp, cur.Arg, strict)
+		okLoose := scanAccepts(head, dirUp, cur.Arg, loose)
+		if !okStrict && !okLoose {
+			out = append(out, Violation{
+				Rule: "scan-order",
+				Detail: fmt.Sprintf("served track %d from head %d (dir up=%v) with pending %v",
+					cur.Arg, head, dirUp, loose),
+				Seq: cur.EnterSeq,
+			})
+		}
+		// Advance oracle state by the actual choice.
+		if cur.Arg > head {
+			dirUp = true
+		} else if cur.Arg < head {
+			dirUp = false
+		}
+		head = cur.Arg
+		served[si] = true
+		prevExit = cur.ExitSeq
+	}
+	return out
+}
+
+// scanAccepts reports whether serving track next is consistent with the
+// elevator rule given head position, direction, and the other pending
+// tracks. With an empty pending set any choice is legal (the request
+// arrived while the head was idle).
+func scanAccepts(head int64, dirUp bool, track int64, pending []int64) bool {
+	if len(pending) == 0 {
+		return true
+	}
+	expected := scanNext(head, dirUp, append([]int64{track}, pending...))
+	return expected == track
+}
+
+// scanNext picks the elevator-correct next track: the nearest pending
+// track in the current direction (inclusive of the head position), else
+// the nearest in the reverse direction.
+func scanNext(head int64, dirUp bool, pending []int64) int64 {
+	var bestFwd, bestRev int64
+	haveFwd, haveRev := false, false
+	for _, t := range pending {
+		if dirUp {
+			if t >= head && (!haveFwd || t < bestFwd) {
+				bestFwd, haveFwd = t, true
+			}
+			if t < head && (!haveRev || t > bestRev) {
+				bestRev, haveRev = t, true
+			}
+		} else {
+			if t <= head && (!haveFwd || t > bestFwd) {
+				bestFwd, haveFwd = t, true
+			}
+			if t > head && (!haveRev || t < bestRev) {
+				bestRev, haveRev = t, true
+			}
+		}
+	}
+	if haveFwd {
+		return bestFwd
+	}
+	return bestRev
+}

@@ -1,0 +1,146 @@
+package problems
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/trace"
+)
+
+// The one-slot buffer is Campbell and Habermann's [7] example and the
+// footnote-2 test case for *history* information: whether a get may
+// proceed depends on whether a put has already been executed — a fact
+// about completed operations, not about processes currently inside the
+// resource.
+
+// OpPut and OpGet are the slot's operation names in traces.
+const (
+	OpPut = "put"
+	OpGet = "get"
+)
+
+// OneSlotSpec is the one-slot buffer's scheme.
+func OneSlotSpec() core.Scheme {
+	return core.Scheme{
+		Name: NameOneSlot,
+		Constraints: []core.Constraint{
+			{
+				ID:   "slot-alternation",
+				Kind: core.Exclusion,
+				Uses: []core.InfoType{core.History},
+				Desc: "if the last completed operation was not a put then exclude gets; if it was a put then exclude puts (operations alternate, beginning with put)",
+			},
+		},
+	}
+}
+
+// OneSlot is the buffer interface: Put stores into the single slot, Get
+// empties it. The solution owns the slot storage.
+type OneSlot interface {
+	Put(p *kernel.Proc, item int64, body func())
+	Get(p *kernel.Proc, body func(item int64))
+}
+
+// OneSlotConfig parameterizes the workload.
+type OneSlotConfig struct {
+	Producers        int
+	Consumers        int
+	ItemsPerProducer int
+}
+
+// TotalItems reports the number of items the workload transfers.
+func (c OneSlotConfig) TotalItems() int { return c.Producers * c.ItemsPerProducer }
+
+// DriveOneSlot runs the workload against s on k, recording into r.
+func DriveOneSlot(k kernel.Kernel, s OneSlot, r *trace.Recorder, cfg OneSlotConfig) error {
+	total := cfg.TotalItems()
+	if cfg.Consumers <= 0 || total%cfg.Consumers != 0 {
+		return fmt.Errorf("problems: %d items do not divide among %d consumers", total, cfg.Consumers)
+	}
+	perConsumer := total / cfg.Consumers
+	for pi := 0; pi < cfg.Producers; pi++ {
+		base := int64(pi+1) * 1_000_000
+		k.Spawn("producer", func(p *kernel.Proc) {
+			for i := 0; i < cfg.ItemsPerProducer; i++ {
+				item := base + int64(i)
+				r.Request(p, OpPut, item)
+				s.Put(p, item, func() {
+					r.Enter(p, OpPut, item)
+					r.Exit(p, OpPut, item)
+				})
+			}
+		})
+	}
+	for ci := 0; ci < cfg.Consumers; ci++ {
+		k.Spawn("consumer", func(p *kernel.Proc) {
+			for i := 0; i < perConsumer; i++ {
+				r.Request(p, OpGet, 0)
+				s.Get(p, func(item int64) {
+					r.Enter(p, OpGet, item)
+					r.Exit(p, OpGet, item)
+				})
+			}
+		})
+	}
+	return k.Run()
+}
+
+// CheckOneSlot judges a one-slot trace: puts and gets strictly alternate
+// beginning with a put, no executions overlap, and each get returns the
+// value of the immediately preceding put. expectedItems 0 skips the
+// completeness check.
+func CheckOneSlot(tr trace.Trace, expectedItems int) []Violation {
+	ivs, vs := requireIntervals(tr)
+	if vs != nil {
+		return vs
+	}
+	var out []Violation
+	out = append(out, overlapViolations("slot-alternation", ivs,
+		func(a, b string) bool { return false })...)
+
+	wantPut := true
+	var lastItem int64
+	puts, gets := 0, 0
+	for _, iv := range ivs {
+		switch iv.Op {
+		case OpPut:
+			puts++
+			if !wantPut {
+				out = append(out, Violation{
+					Rule:   "slot-alternation",
+					Detail: fmt.Sprintf("%s executed while the slot was full", iv),
+					Seq:    iv.EnterSeq,
+				})
+				continue
+			}
+			lastItem = iv.Arg
+			wantPut = false
+		case OpGet:
+			gets++
+			if wantPut {
+				out = append(out, Violation{
+					Rule:   "slot-alternation",
+					Detail: fmt.Sprintf("%s executed while the slot was empty", iv),
+					Seq:    iv.EnterSeq,
+				})
+				continue
+			}
+			if iv.Arg != lastItem {
+				out = append(out, Violation{
+					Rule:   "item-integrity",
+					Detail: fmt.Sprintf("%s returned %d, slot held %d", iv, iv.Arg, lastItem),
+					Seq:    iv.EnterSeq,
+				})
+			}
+			wantPut = true
+		}
+	}
+	if expectedItems > 0 && (puts != expectedItems || gets != expectedItems) {
+		out = append(out, Violation{
+			Rule:   "completeness",
+			Detail: fmt.Sprintf("puts=%d gets=%d, want %d each", puts, gets, expectedItems),
+		})
+	}
+	return out
+}

@@ -1,0 +1,284 @@
+package problems
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/trace"
+)
+
+// The readers–writers family is the paper's central example. The
+// readers-priority database [8] is the footnote-2 test case for *request
+// type* and *synchronization state*; the writers-priority and FCFS
+// variants exist for the §4.2 independence analysis: all three share the
+// "rw-exclusion" constraint and differ only in the priority constraint.
+
+// OpRead and OpWrite are the database's operation names in traces.
+const (
+	OpRead  = "read"
+	OpWrite = "write"
+)
+
+// rwExclusion is the constraint shared verbatim by all three variants.
+func rwExclusion() core.Constraint {
+	return core.Constraint{
+		ID:   "rw-exclusion",
+		Kind: core.Exclusion,
+		Uses: []core.InfoType{core.RequestType, core.SyncState},
+		Desc: "if a writer is active then exclude everyone; if a reader is active then exclude writers",
+	}
+}
+
+// ReadersPrioritySpec: readers are admitted in preference to waiting
+// writers (Courtois–Heymans–Parnas problem 1; writers may starve).
+func ReadersPrioritySpec() core.Scheme {
+	return core.Scheme{
+		Name: NameReadersPriority,
+		Constraints: []core.Constraint{
+			rwExclusion(),
+			{
+				ID:   "readers-priority",
+				Kind: core.Priority,
+				Uses: []core.InfoType{core.RequestType},
+				Desc: "if readers and writers are waiting then readers have priority over writers",
+			},
+		},
+	}
+}
+
+// WritersPrioritySpec: writers are admitted in preference to waiting
+// readers (CHP problem 2; readers may starve).
+func WritersPrioritySpec() core.Scheme {
+	return core.Scheme{
+		Name: NameWritersPriority,
+		Constraints: []core.Constraint{
+			rwExclusion(),
+			{
+				ID:   "writers-priority",
+				Kind: core.Priority,
+				Uses: []core.InfoType{core.RequestType},
+				Desc: "if readers and writers are waiting then writers have priority over readers",
+			},
+		},
+	}
+}
+
+// FCFSRWSpec: requests are admitted strictly in arrival order (reads
+// still share). Same exclusion constraint; the priority constraint uses
+// request time instead of request type.
+func FCFSRWSpec() core.Scheme {
+	return core.Scheme{
+		Name: NameFCFSRW,
+		Constraints: []core.Constraint{
+			rwExclusion(),
+			{
+				ID:   "rw-fcfs",
+				Kind: core.Priority,
+				Uses: []core.InfoType{core.RequestTime},
+				Desc: "if A requested before B then A is admitted before B",
+			},
+		},
+	}
+}
+
+// RWStore is the database interface a solution implements: body runs
+// while the operation is admitted.
+type RWStore interface {
+	Read(p *kernel.Proc, body func())
+	Write(p *kernel.Proc, body func())
+}
+
+// RWConfig parameterizes the readers–writers workload.
+type RWConfig struct {
+	Readers     int
+	Writers     int
+	Rounds      int // operations per process
+	ReadYields  int // body length of a read
+	WriteYields int // body length of a write
+	GapYields   int // pause between a process's operations
+}
+
+// DriveRW runs the workload against db on k, recording into r.
+func DriveRW(k kernel.Kernel, db RWStore, r *trace.Recorder, cfg RWConfig) error {
+	for i := 0; i < cfg.Readers; i++ {
+		k.Spawn("reader", func(p *kernel.Proc) {
+			for j := 0; j < cfg.Rounds; j++ {
+				r.Request(p, OpRead, 0)
+				db.Read(p, func() {
+					r.Enter(p, OpRead, 0)
+					for y := 0; y < cfg.ReadYields; y++ {
+						p.Yield()
+					}
+					r.Exit(p, OpRead, 0)
+				})
+				for y := 0; y < cfg.GapYields; y++ {
+					p.Yield()
+				}
+			}
+		})
+	}
+	for i := 0; i < cfg.Writers; i++ {
+		k.Spawn("writer", func(p *kernel.Proc) {
+			for j := 0; j < cfg.Rounds; j++ {
+				r.Request(p, OpWrite, 0)
+				db.Write(p, func() {
+					r.Enter(p, OpWrite, 0)
+					for y := 0; y < cfg.WriteYields; y++ {
+						p.Yield()
+					}
+					r.Exit(p, OpWrite, 0)
+				})
+				for y := 0; y < cfg.GapYields; y++ {
+					p.Yield()
+				}
+			}
+		})
+	}
+	return k.Run()
+}
+
+// CheckRWExclusion judges the shared exclusion constraint: writes overlap
+// nothing; reads may overlap reads.
+func CheckRWExclusion(tr trace.Trace) []Violation {
+	ivs, vs := requireIntervals(tr)
+	if vs != nil {
+		return vs
+	}
+	return overlapViolations("rw-exclusion", ivs,
+		func(a, b string) bool { return a == OpRead && b == OpRead })
+}
+
+// CheckReadersPriority judges the readers-priority constraint: once a
+// reader has requested, no writer may be admitted before that reader.
+// (A reader waits only for a writer that was *already admitted* when the
+// reader arrived — the CHP problem-1 statement. The Figure-1 anomaly of
+// the paper's footnote 3 is exactly a violation of this rule.)
+//
+// Exact on deterministic traces; see CheckFCFS for the real-kernel caveat.
+func CheckReadersPriority(tr trace.Trace) []Violation {
+	return checkNoOvertaking(tr, OpRead, OpWrite, "readers-priority")
+}
+
+// CheckWritersPriority is the symmetric judgement: once a writer has
+// requested, no reader may be admitted before it.
+func CheckWritersPriority(tr trace.Trace) []Violation {
+	return checkNoOvertaking(tr, OpWrite, OpRead, "writers-priority")
+}
+
+// checkNoOvertaking reports every case where an interval of op loser was
+// *granted* admission while a favored-op request was waiting.
+//
+// Grant moments are not directly observable in a trace: a mechanism hands
+// the resource over at a release point, and the admitted process records
+// its Enter only when it next runs. A loser Enter between the favored
+// request and its admission is therefore a violation only if some release
+// (an Exit of either operation) occurred after the favored process was
+// already waiting — otherwise the grant decision predates the favored
+// request and no priority rule was broken. The paper's footnote-3 anomaly
+// satisfies this rule (the first writer's completion is the release at
+// which the second writer is wrongly preferred).
+func checkNoOvertaking(tr trace.Trace, favored, loser, rule string) []Violation {
+	ivs, vs := requireIntervals(tr)
+	if vs != nil {
+		return vs
+	}
+	exits := releaseSeqs(tr, OpRead, OpWrite)
+	var out []Violation
+	for _, f := range ivs {
+		if f.Op != favored || f.RequestSeq == 0 {
+			continue
+		}
+		for _, l := range ivs {
+			if l.Op != loser {
+				continue
+			}
+			if l.EnterSeq > f.RequestSeq && l.EnterSeq < f.EnterSeq &&
+				anyInWindow(exits, f.RequestSeq, l.EnterSeq) {
+				out = append(out, Violation{
+					Rule: rule,
+					Detail: fmt.Sprintf("%s admitted while %s was waiting (requested @%d, admitted @%d)",
+						l, f, f.RequestSeq, f.EnterSeq),
+					Seq: l.EnterSeq,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// CheckFCFSRW judges the FCFS variant: admissions occur strictly in
+// request order, subject to the same release-window rule as
+// checkNoOvertaking (see there). Read–read pairs are exempt: two reads
+// are admitted into a shared phase, so their relative Enter order is a
+// recording artifact (a Hoare signal cascade grants a batch of readers
+// FIFO but they record their Enters in scheduler order), not an
+// admission decision.
+func CheckFCFSRW(tr trace.Trace) []Violation {
+	ivs, vs := requireIntervals(tr)
+	if vs != nil {
+		return vs
+	}
+	var out []Violation
+	for _, iv := range ivs {
+		if iv.RequestSeq == 0 {
+			out = append(out, Violation{Rule: "instrumentation",
+				Detail: fmt.Sprintf("%s has no request event", iv), Seq: iv.EnterSeq})
+		}
+	}
+	exits := releaseSeqs(tr, OpRead, OpWrite)
+	out = append(out, orderInversionsFiltered("rw-fcfs", ivs, exits,
+		func(a, b trace.Interval) bool { return a.Op == OpRead && b.Op == OpRead })...)
+	return out
+}
+
+// orderInversions reports pairs admitted out of request order where a
+// release fell inside the waiting window.
+func orderInversions(rule string, ivs []trace.Interval, exits []int64) []Violation {
+	return orderInversionsFiltered(rule, ivs, exits, nil)
+}
+
+// orderInversionsFiltered is orderInversions with an exemption predicate:
+// pairs for which exempt(waiting, jumped) is true are not reported.
+func orderInversionsFiltered(rule string, ivs []trace.Interval, exits []int64, exempt func(a, b trace.Interval) bool) []Violation {
+	var out []Violation
+	for _, waiting := range ivs { // the earlier-requested interval
+		if waiting.RequestSeq == 0 {
+			continue
+		}
+		for _, jumped := range ivs { // the one that entered first
+			if jumped.RequestSeq == 0 || jumped.RequestSeq <= waiting.RequestSeq {
+				continue
+			}
+			if exempt != nil && exempt(waiting, jumped) {
+				continue
+			}
+			if jumped.EnterSeq < waiting.EnterSeq &&
+				anyInWindow(exits, waiting.RequestSeq, jumped.EnterSeq) {
+				out = append(out, Violation{
+					Rule:   rule,
+					Detail: fmt.Sprintf("%s admitted before earlier request %s", jumped, waiting),
+					Seq:    jumped.EnterSeq,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// CheckRW composes the exclusion check with the variant's priority check.
+func CheckRW(problem string, tr trace.Trace, checkPriority bool) []Violation {
+	out := CheckRWExclusion(tr)
+	if !checkPriority {
+		return out
+	}
+	switch problem {
+	case NameReadersPriority:
+		out = append(out, CheckReadersPriority(tr)...)
+	case NameWritersPriority:
+		out = append(out, CheckWritersPriority(tr)...)
+	case NameFCFSRW:
+		out = append(out, CheckFCFSRW(tr)...)
+	}
+	return out
+}

@@ -1,0 +1,233 @@
+package serializer
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/kernel"
+)
+
+// Model-based testing: a reference automaton of serializer possession —
+// FIFO entry, guarded queues with head-only eligibility, longest-waiting
+// selection across queues, automatic re-evaluation at every release — is
+// checked against the implementation on random programs under the FIFO
+// SimKernel. Guards are thresholds over a shared counter mutated inside
+// possession; crowds are exercised by the unit and conformance suites.
+
+type serOp struct {
+	isEnq bool
+	queue int
+	thr   int // enqueue guard: counter >= thr
+	delta int // bump: counter += delta
+}
+
+type serSection []serOp
+
+type serProgram [][]serSection
+
+// runSerReference mirrors Serializer's release policy (no crowds: rejoin
+// is always empty, so eligible queue heads come first, then entrants).
+func runSerReference(progs serProgram, nqueues int) []string {
+	n := len(progs)
+	counter := 0
+	possessor := -1
+	var entry []int
+	type waiter struct {
+		proc  int
+		thr   int
+		stamp int
+	}
+	queues := make([][]waiter, nqueues)
+	stamp := 0
+
+	section := make([]int, n) // current section index
+	ip := make([]int, n)      // instruction pointer
+	pendingDeq := make([]string, n)
+	atEntry := make([]bool, n)
+	var ready []int
+	var history []string
+	for i := 0; i < n; i++ {
+		if len(progs[i]) > 0 {
+			ready = append(ready, i)
+			atEntry[i] = true
+		}
+	}
+
+	// release picks the next possessor: the longest-waiting eligible
+	// queue head (reporting which queue it came from), then the entry
+	// queue (fromQ = -1). The caller makes the choice ready and, for a
+	// queue waiter, sets its pending dequeue record.
+	release := func() (int, int) {
+		best := -1
+		bestStamp := 0
+		bestQ := -1
+		for qi := range queues {
+			if len(queues[qi]) == 0 {
+				continue
+			}
+			h := queues[qi][0]
+			if counter >= h.thr && (best < 0 || h.stamp < bestStamp) {
+				best, bestStamp, bestQ = h.proc, h.stamp, qi
+			}
+		}
+		if best >= 0 {
+			queues[bestQ] = queues[bestQ][1:]
+			possessor = best
+			return best, bestQ
+		}
+		if len(entry) > 0 {
+			next := entry[0]
+			entry = entry[1:]
+			possessor = next
+			return next, -1
+		}
+		possessor = -1
+		return -1, -1
+	}
+	handoff := func(self int) {
+		next, fromQ := release()
+		if next < 0 || next == self {
+			return
+		}
+		if fromQ >= 0 {
+			pendingDeq[next] = fmt.Sprintf("q%d.%d", next, fromQ)
+		}
+		ready = append(ready, next)
+	}
+
+	steps := 0
+	for len(ready) > 0 && steps < 100000 {
+		steps++
+		proc := ready[0]
+		ready = ready[1:]
+		if pendingDeq[proc] != "" {
+			history = append(history, pendingDeq[proc])
+			pendingDeq[proc] = ""
+		}
+	running:
+		for {
+			if atEntry[proc] {
+				if possessor == -1 {
+					possessor = proc
+					atEntry[proc] = false
+				} else if possessor == proc {
+					atEntry[proc] = false
+				} else {
+					entry = append(entry, proc)
+					break running
+				}
+			}
+			sec := progs[proc][section[proc]]
+			if ip[proc] >= len(sec) {
+				// Exit.
+				history = append(history, fmt.Sprintf("x%d", proc))
+				handoff(proc)
+				section[proc]++
+				ip[proc] = 0
+				if section[proc] >= len(progs[proc]) {
+					break running
+				}
+				atEntry[proc] = true
+				continue
+			}
+			op := sec[ip[proc]]
+			ip[proc]++
+			if !op.isEnq {
+				counter += op.delta
+				history = append(history, fmt.Sprintf("b%d:%d", proc, counter))
+				continue
+			}
+			// Enqueue: push self, release; if the release picks us, we
+			// continue at once (the implementation's Park consumes the
+			// self-granted permit without a scheduler switch).
+			stamp++
+			queues[op.queue] = append(queues[op.queue], waiter{proc, op.thr, stamp})
+			next, fromQ := release()
+			if next == proc {
+				history = append(history, fmt.Sprintf("q%d.%d", proc, op.queue))
+				continue
+			}
+			if next >= 0 {
+				if fromQ >= 0 {
+					pendingDeq[next] = fmt.Sprintf("q%d.%d", next, fromQ)
+				}
+				ready = append(ready, next)
+			}
+			break running // parked until admitted
+		}
+	}
+	return history
+}
+
+// runSerImplementation executes the same programs on a real Serializer.
+func runSerImplementation(progs serProgram, nqueues int) ([]string, error) {
+	k := kernel.NewSim()
+	s := New("model")
+	queues := make([]*Queue, nqueues)
+	for i := range queues {
+		queues[i] = s.NewQueue(fmt.Sprintf("q%d", i))
+	}
+	counter := 0
+	var history []string
+	for proc := range progs {
+		proc := proc
+		prog := progs[proc]
+		k.Spawn(fmt.Sprintf("p%d", proc), func(p *kernel.Proc) {
+			for _, sec := range prog {
+				s.Enter(p)
+				for _, op := range sec {
+					if op.isEnq {
+						op := op
+						queues[op.queue].Enqueue(p, func() bool { return counter >= op.thr })
+						history = append(history, fmt.Sprintf("q%d.%d", proc, op.queue))
+					} else {
+						counter += op.delta
+						history = append(history, fmt.Sprintf("b%d:%d", proc, counter))
+					}
+				}
+				history = append(history, fmt.Sprintf("x%d", proc))
+				s.Exit(p)
+			}
+		})
+	}
+	err := k.Run()
+	return history, err
+}
+
+// Property: reference and implementation produce identical histories.
+func TestPropertySerializerModelEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nProcs := 2 + rng.Intn(3)
+		nqueues := 1 + rng.Intn(2)
+		progs := make(serProgram, nProcs)
+		for i := range progs {
+			sections := 1 + rng.Intn(2)
+			for sIdx := 0; sIdx < sections; sIdx++ {
+				var sec serSection
+				for o := 0; o < 1+rng.Intn(3); o++ {
+					if rng.Intn(2) == 0 {
+						sec = append(sec, serOp{isEnq: true, queue: rng.Intn(nqueues), thr: rng.Intn(4)})
+					} else {
+						sec = append(sec, serOp{delta: rng.Intn(3)})
+					}
+				}
+				progs[i] = append(progs[i], sec)
+			}
+		}
+		ref := runSerReference(progs, nqueues)
+		impl, err := runSerImplementation(progs, nqueues)
+		if fmt.Sprint(ref) != fmt.Sprint(impl) {
+			t.Logf("progs: %+v", progs)
+			t.Logf("ref:  %v", ref)
+			t.Logf("impl: %v (err %v)", impl, err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,346 @@
+// Package ccrsol implements the full problem suite with Brinch Hansen's
+// conditional critical regions [6].
+//
+// The pattern the evaluation engine extracts from this source: guards
+// express local-state and parameter conditions directly, but request time
+// and synchronization state must be reified into hand-maintained counters
+// and tickets (wantR/wantW, next/serving) because a guard can see only the
+// protected variables, not the waiting processes.
+package ccrsol
+
+import (
+	"repro/internal/ccr"
+	"repro/internal/kernel"
+	"repro/internal/problems"
+)
+
+// BoundedBuffer is the canonical CCR example: `region buf when len <  cap`.
+type BoundedBuffer struct {
+	r        *ccr.Region
+	buf      []int64
+	capacity int
+}
+
+// NewBoundedBuffer creates a buffer with the given capacity.
+func NewBoundedBuffer(capacity int) *BoundedBuffer {
+	return &BoundedBuffer{r: ccr.New("bounded-buffer"), capacity: capacity}
+}
+
+// Cap implements problems.BoundedBuffer.
+func (b *BoundedBuffer) Cap() int { return b.capacity }
+
+// Deposit implements problems.BoundedBuffer.
+func (b *BoundedBuffer) Deposit(p *kernel.Proc, item int64, body func()) {
+	b.r.Execute(p, func() bool { return len(b.buf) < b.capacity }, func() {
+		body()
+		b.buf = append(b.buf, item)
+	})
+}
+
+// Remove implements problems.BoundedBuffer.
+func (b *BoundedBuffer) Remove(p *kernel.Proc, body func(int64)) {
+	b.r.Execute(p, func() bool { return len(b.buf) > 0 }, func() {
+		item := b.buf[0]
+		b.buf = b.buf[1:]
+		body(item)
+	})
+}
+
+// FCFS shows the CCR workaround for request-time information: guards
+// cannot see arrival order, so it is reified into ticket numbers — one
+// region entry to take a ticket, a guarded entry to await one's turn.
+type FCFS struct {
+	r       *ccr.Region
+	next    int64
+	serving int64
+}
+
+// NewFCFS creates the allocator.
+func NewFCFS() *FCFS {
+	return &FCFS{r: ccr.New("fcfs")}
+}
+
+// Use implements problems.Resource.
+func (f *FCFS) Use(p *kernel.Proc, body func()) {
+	var ticket int64
+	f.r.Execute(p, ccr.True, func() {
+		ticket = f.next
+		f.next++
+	})
+	f.r.Await(p, func() bool { return f.serving == ticket })
+	body()
+	f.r.Execute(p, ccr.True, func() { f.serving++ })
+}
+
+// rwVars is the protected variable bundle shared by the readers–writers
+// variants. wantR/wantW reify "a reader/writer is waiting" — the
+// synchronization-state information guards cannot otherwise see.
+type rwVars struct {
+	r       *ccr.Region
+	readers int
+	writing bool
+	wantR   int
+	wantW   int
+}
+
+// ReadersPriority: readers pass whenever no writer is active; writers
+// additionally wait for wantR == 0.
+type ReadersPriority struct{ v rwVars }
+
+// NewReadersPriority creates the database.
+func NewReadersPriority() *ReadersPriority {
+	return &ReadersPriority{rwVars{r: ccr.New("readers-priority")}}
+}
+
+// Read implements problems.RWStore.
+func (d *ReadersPriority) Read(p *kernel.Proc, body func()) {
+	v := &d.v
+	v.r.Execute(p, ccr.True, func() { v.wantR++ })
+	v.r.Execute(p, func() bool { return !v.writing }, func() {
+		v.wantR--
+		v.readers++
+	})
+	body()
+	v.r.Execute(p, ccr.True, func() { v.readers-- })
+}
+
+// Write implements problems.RWStore.
+func (d *ReadersPriority) Write(p *kernel.Proc, body func()) {
+	v := &d.v
+	v.r.Execute(p, func() bool {
+		return !v.writing && v.readers == 0 && v.wantR == 0
+	}, func() {
+		v.writing = true
+	})
+	body()
+	v.r.Execute(p, ccr.True, func() { v.writing = false })
+}
+
+// WritersPriority mirrors ReadersPriority with the wantW counter: the
+// changed constraint swaps which side maintains a want-count and which
+// guard consults it; the exclusion conditions (!writing, readers == 0)
+// are untouched.
+type WritersPriority struct{ v rwVars }
+
+// NewWritersPriority creates the database.
+func NewWritersPriority() *WritersPriority {
+	return &WritersPriority{rwVars{r: ccr.New("writers-priority")}}
+}
+
+// Read implements problems.RWStore.
+func (d *WritersPriority) Read(p *kernel.Proc, body func()) {
+	v := &d.v
+	v.r.Execute(p, func() bool {
+		return !v.writing && v.wantW == 0
+	}, func() {
+		v.readers++
+	})
+	body()
+	v.r.Execute(p, ccr.True, func() { v.readers-- })
+}
+
+// Write implements problems.RWStore.
+func (d *WritersPriority) Write(p *kernel.Proc, body func()) {
+	v := &d.v
+	v.r.Execute(p, ccr.True, func() { v.wantW++ })
+	v.r.Execute(p, func() bool { return !v.writing && v.readers == 0 }, func() {
+		v.wantW--
+		v.writing = true
+	})
+	body()
+	v.r.Execute(p, ccr.True, func() { v.writing = false })
+}
+
+// FCFSRW combines the ticket idiom with the exclusion guards: admission
+// strictly in ticket order, reads sharing once admitted.
+type FCFSRW struct {
+	r       *ccr.Region
+	next    int64
+	serving int64
+	readers int
+	writing bool
+}
+
+// NewFCFSRW creates the database.
+func NewFCFSRW() *FCFSRW {
+	return &FCFSRW{r: ccr.New("fcfs-rw")}
+}
+
+func (d *FCFSRW) ticket(p *kernel.Proc) int64 {
+	var t int64
+	d.r.Execute(p, ccr.True, func() {
+		t = d.next
+		d.next++
+	})
+	return t
+}
+
+// Read implements problems.RWStore.
+func (d *FCFSRW) Read(p *kernel.Proc, body func()) {
+	t := d.ticket(p)
+	d.r.Execute(p, func() bool { return d.serving == t && !d.writing }, func() {
+		d.serving++
+		d.readers++
+	})
+	body()
+	d.r.Execute(p, ccr.True, func() { d.readers-- })
+}
+
+// Write implements problems.RWStore.
+func (d *FCFSRW) Write(p *kernel.Proc, body func()) {
+	t := d.ticket(p)
+	d.r.Execute(p, func() bool {
+		return d.serving == t && !d.writing && d.readers == 0
+	}, func() {
+		d.serving++
+		d.writing = true
+	})
+	body()
+	d.r.Execute(p, ccr.True, func() { d.writing = false })
+}
+
+// Disk keeps the pending track set as protected data; each waiter's guard
+// asks "is the elevator's next choice my track?" — guards evaluate
+// parameters naturally, but the elevator state machine itself is ordinary
+// code, not mechanism.
+type Disk struct {
+	r       *ccr.Region
+	pending []int64
+	headpos int64
+	up      bool
+	busy    bool
+}
+
+// NewDisk creates the scheduler with the head parked at start. (The
+// maximum track is not needed: guards compare tracks directly.)
+func NewDisk(start, maxTrack int64) *Disk {
+	return &Disk{r: ccr.New("disk"), headpos: start, up: true}
+}
+
+// scanNext picks the elevator-correct next track from pending.
+func (d *Disk) scanNext() (int64, bool) {
+	if len(d.pending) == 0 {
+		return 0, false
+	}
+	var bestFwd, bestRev int64
+	haveFwd, haveRev := false, false
+	for _, t := range d.pending {
+		if d.up {
+			if t >= d.headpos && (!haveFwd || t < bestFwd) {
+				bestFwd, haveFwd = t, true
+			}
+			if t < d.headpos && (!haveRev || t > bestRev) {
+				bestRev, haveRev = t, true
+			}
+		} else {
+			if t <= d.headpos && (!haveFwd || t > bestFwd) {
+				bestFwd, haveFwd = t, true
+			}
+			if t > d.headpos && (!haveRev || t < bestRev) {
+				bestRev, haveRev = t, true
+			}
+		}
+	}
+	if haveFwd {
+		return bestFwd, true
+	}
+	return bestRev, true
+}
+
+func (d *Disk) remove(track int64) {
+	for i, t := range d.pending {
+		if t == track {
+			d.pending = append(d.pending[:i], d.pending[i+1:]...)
+			return
+		}
+	}
+}
+
+// Seek implements problems.Disk.
+func (d *Disk) Seek(p *kernel.Proc, track int64, body func()) {
+	d.r.Execute(p, ccr.True, func() { d.pending = append(d.pending, track) })
+	d.r.Execute(p, func() bool {
+		if d.busy {
+			return false
+		}
+		next, ok := d.scanNext()
+		return ok && next == track
+	}, func() {
+		d.busy = true
+		if track > d.headpos {
+			d.up = true
+		} else if track < d.headpos {
+			d.up = false
+		}
+		d.headpos = track
+		d.remove(track)
+	})
+	body()
+	d.r.Execute(p, ccr.True, func() { d.busy = false })
+}
+
+// AlarmClock: the due time is plain protected data; the guard compares it
+// with the clock — the CCR sweet spot for parameter information.
+type AlarmClock struct {
+	r   *ccr.Region
+	now int64
+}
+
+// NewAlarmClock creates the clock at time zero.
+func NewAlarmClock() *AlarmClock {
+	return &AlarmClock{r: ccr.New("alarm-clock")}
+}
+
+// WakeMe implements problems.AlarmClock.
+func (a *AlarmClock) WakeMe(p *kernel.Proc, ticks int64, body func()) {
+	var due int64
+	a.r.Execute(p, ccr.True, func() { due = a.now + ticks })
+	a.r.Await(p, func() bool { return a.now >= due })
+	body()
+}
+
+// Tick implements problems.AlarmClock.
+func (a *AlarmClock) Tick(p *kernel.Proc) {
+	a.r.Execute(p, ccr.True, func() { a.now++ })
+}
+
+// OneSlot: the history bit is a protected boolean.
+type OneSlot struct {
+	r    *ccr.Region
+	slot int64
+	full bool
+}
+
+// NewOneSlot creates an empty slot.
+func NewOneSlot() *OneSlot {
+	return &OneSlot{r: ccr.New("one-slot")}
+}
+
+// Put implements problems.OneSlot.
+func (s *OneSlot) Put(p *kernel.Proc, item int64, body func()) {
+	s.r.Execute(p, func() bool { return !s.full }, func() {
+		body()
+		s.slot = item
+		s.full = true
+	})
+}
+
+// Get implements problems.OneSlot.
+func (s *OneSlot) Get(p *kernel.Proc, body func(int64)) {
+	s.r.Execute(p, func() bool { return s.full }, func() {
+		body(s.slot)
+		s.full = false
+	})
+}
+
+// Compile-time checks that every solution satisfies its problem interface.
+var (
+	_ problems.BoundedBuffer = (*BoundedBuffer)(nil)
+	_ problems.Resource      = (*FCFS)(nil)
+	_ problems.RWStore       = (*ReadersPriority)(nil)
+	_ problems.RWStore       = (*WritersPriority)(nil)
+	_ problems.RWStore       = (*FCFSRW)(nil)
+	_ problems.Disk          = (*Disk)(nil)
+	_ problems.AlarmClock    = (*AlarmClock)(nil)
+	_ problems.OneSlot       = (*OneSlot)(nil)
+)

@@ -1,0 +1,571 @@
+// Package cspsol implements the full problem suite in the
+// message-passing style of Hoare's CSP [20] — executing the extension the
+// paper's §6 calls for ("we have not looked extensively at
+// message-passing models … it is important to be able to evaluate and
+// compare them").
+//
+// Every resource is a *server daemon* owning its state outright; clients
+// interact over synchronous channels. The recurring shapes:
+//
+//   - exclusion constraints become guards on the server's Select;
+//   - request-type information is which channel a request arrives on;
+//   - request-time information is channel FIFO order (single-channel
+//     protocols give exact FCFS, the serializer's trick in CSP clothing);
+//   - synchronization state is the server's own counters and explicit
+//     pending-request lists — the CSP analogue of the monitor's hand-kept
+//     state (Select guards cannot express "no reader is waiting": they
+//     are evaluated at alternation entry and go stale while parked);
+//   - history is simply the server's control flow: the one-slot server
+//     alternates receive(put); receive(get) and needs no state at all.
+//
+// Client bodies must run on the client's own process (the kernel yields
+// inside a body belong to that process), so operations that carry a body
+// use an admit/done protocol rather than having the server call the body.
+package cspsol
+
+import (
+	"repro/internal/csp"
+	"repro/internal/kernel"
+	"repro/internal/problems"
+)
+
+// seekReq is a disk request message.
+type seekReq struct {
+	track int64
+	grant *csp.Chan
+}
+
+// wakeReq is an alarm-clock request message.
+type wakeReq struct {
+	ticks int64
+	grant *csp.Chan
+}
+
+// BoundedBuffer: a server serializes all operations (the spec's
+// buffer-exclusion) and admits them under local-state guards.
+type BoundedBuffer struct {
+	net      *csp.Net
+	admitDep *csp.Chan
+	admitRem *csp.Chan
+	done     *csp.Chan
+	capacity int
+}
+
+// NewBoundedBuffer creates the buffer and starts its server daemon.
+func NewBoundedBuffer(k kernel.Kernel, capacity int) *BoundedBuffer {
+	n := csp.NewNet()
+	b := &BoundedBuffer{
+		net:      n,
+		admitDep: n.NewChan("deposit"),
+		admitRem: n.NewChan("remove"),
+		done:     n.NewChan("done"),
+		capacity: capacity,
+	}
+	k.SpawnDaemon("bb-server", func(p *kernel.Proc) {
+		var buf []int64
+		reserved := 0 // slots promised to admitted depositors
+		busy := false
+		for {
+			idx, v := csp.Select(p, []csp.Case{
+				{Chan: b.admitDep, Guard: func() bool { return !busy && reserved < b.capacity }},
+				{Chan: b.admitRem, Guard: func() bool { return !busy && len(buf) > 0 }},
+				{Chan: b.done, Guard: func() bool { return busy }},
+			})
+			switch idx {
+			case 0:
+				reserved++
+				busy = true
+				v.(csp.Call).Reply(p, nil)
+			case 1:
+				item := buf[0]
+				buf = buf[1:]
+				busy = true
+				v.(csp.Call).Reply(p, item)
+			case 2:
+				// v carries a deposit's item, or nil for a remove-done.
+				if item, ok := v.(int64); ok {
+					buf = append(buf, item)
+				} else {
+					reserved--
+				}
+				busy = false
+			}
+		}
+	})
+	return b
+}
+
+// Cap implements problems.BoundedBuffer.
+func (b *BoundedBuffer) Cap() int { return b.capacity }
+
+// Deposit implements problems.BoundedBuffer.
+func (b *BoundedBuffer) Deposit(p *kernel.Proc, item int64, body func()) {
+	b.net.DoCall(p, b.admitDep, nil)
+	body()
+	b.done.Send(p, item)
+}
+
+// Remove implements problems.BoundedBuffer.
+func (b *BoundedBuffer) Remove(p *kernel.Proc, body func(int64)) {
+	item := b.net.DoCall(p, b.admitRem, nil).(int64)
+	body(item)
+	b.done.Send(p, nil)
+}
+
+// FCFS: a single request channel is the FIFO; the server completes one
+// use before receiving the next.
+type FCFS struct {
+	net     *csp.Net
+	acquire *csp.Chan
+	release *csp.Chan
+}
+
+// NewFCFS creates the allocator and starts its server daemon.
+func NewFCFS(k kernel.Kernel) *FCFS {
+	n := csp.NewNet()
+	f := &FCFS{net: n, acquire: n.NewChan("acquire"), release: n.NewChan("release")}
+	k.SpawnDaemon("fcfs-server", func(p *kernel.Proc) {
+		for {
+			call := f.acquire.Recv(p).(csp.Call)
+			call.Reply(p, nil)
+			f.release.Recv(p)
+		}
+	})
+	return f
+}
+
+// Use implements problems.Resource.
+func (f *FCFS) Use(p *kernel.Proc, body func()) {
+	f.net.DoCall(p, f.acquire, nil)
+	body()
+	f.release.Send(p, nil)
+}
+
+// rwReqMsg is an admission request carrying the client's private grant
+// channel — the waiting sets live in the server as explicit lists, the
+// CSP analogue of the monitor's hand-kept synchronization state. (A
+// guard over Chan.Pending cannot serve here: guards are evaluated when
+// the server enters Select, and a request arriving while the server is
+// parked would be matched against the stale registration.)
+type rwReqMsg struct {
+	grant *csp.Chan
+}
+
+// rwServer is the common readers–writers client surface; the variants
+// differ only in the server's grant policy.
+type rwServer struct {
+	net        *csp.Net
+	admitRead  *csp.Chan
+	admitWrite *csp.Chan
+	readDone   *csp.Chan
+	writeDone  *csp.Chan
+}
+
+func newRWServer(n *csp.Net) rwServer {
+	return rwServer{
+		net:        n,
+		admitRead:  n.NewChan("read"),
+		admitWrite: n.NewChan("write"),
+		readDone:   n.NewChan("read-done"),
+		writeDone:  n.NewChan("write-done"),
+	}
+}
+
+// Read implements problems.RWStore.
+func (s *rwServer) Read(p *kernel.Proc, body func()) {
+	grant := s.net.NewChan("grant")
+	s.admitRead.Send(p, rwReqMsg{grant: grant})
+	grant.Recv(p)
+	body()
+	s.readDone.Send(p, nil)
+}
+
+// Write implements problems.RWStore.
+func (s *rwServer) Write(p *kernel.Proc, body func()) {
+	grant := s.net.NewChan("grant")
+	s.admitWrite.Send(p, rwReqMsg{grant: grant})
+	grant.Recv(p)
+	body()
+	s.writeDone.Send(p, nil)
+}
+
+// rwState is the server-side bookkeeping shared by the variants.
+type rwState struct {
+	readers       int
+	writing       bool
+	pendingReads  []rwReqMsg
+	pendingWrites []rwReqMsg
+}
+
+// serveRW runs the server loop: block for one event, then drain every
+// event already communicated (pending senders) so the grant policy always
+// decides on the complete announced state, then grant.
+func serveRW(p *kernel.Proc, s rwServer, grantPolicy func(p *kernel.Proc, st *rwState)) {
+	var st rwState
+	apply := func(idx int, v any) {
+		switch idx {
+		case 0:
+			st.pendingReads = append(st.pendingReads, v.(rwReqMsg))
+		case 1:
+			st.pendingWrites = append(st.pendingWrites, v.(rwReqMsg))
+		case 2:
+			st.readers--
+		case 3:
+			st.writing = false
+		}
+	}
+	cases := []csp.Case{
+		{Chan: s.admitRead},
+		{Chan: s.admitWrite},
+		{Chan: s.readDone},
+		{Chan: s.writeDone},
+	}
+	for {
+		idx, v := csp.Select(p, cases)
+		apply(idx, v)
+		for s.admitRead.Pending()+s.admitWrite.Pending()+
+			s.readDone.Pending()+s.writeDone.Pending() > 0 {
+			idx, v := csp.Select(p, cases) // immediate: a sender is waiting
+			apply(idx, v)
+		}
+		grantPolicy(p, &st)
+	}
+}
+
+// ReadersPriority: pending reads are granted whenever no write is active;
+// a write is granted only when nothing is reading and no reader waits.
+type ReadersPriority struct{ rwServer }
+
+// NewReadersPriority creates the database and starts its server daemon.
+func NewReadersPriority(k kernel.Kernel) *ReadersPriority {
+	d := &ReadersPriority{newRWServer(csp.NewNet())}
+	k.SpawnDaemon("rw-server", func(p *kernel.Proc) {
+		serveRW(p, d.rwServer, func(p *kernel.Proc, st *rwState) {
+			if !st.writing {
+				for _, r := range st.pendingReads {
+					st.readers++
+					r.grant.Send(p, nil)
+				}
+				st.pendingReads = st.pendingReads[:0]
+			}
+			if !st.writing && st.readers == 0 && len(st.pendingReads) == 0 && len(st.pendingWrites) > 0 {
+				w := st.pendingWrites[0]
+				st.pendingWrites = st.pendingWrites[1:]
+				st.writing = true
+				w.grant.Send(p, nil)
+			}
+		})
+	})
+	return d
+}
+
+// WritersPriority mirrors ReadersPriority: pending writes bar new reads.
+type WritersPriority struct{ rwServer }
+
+// NewWritersPriority creates the database and starts its server daemon.
+func NewWritersPriority(k kernel.Kernel) *WritersPriority {
+	d := &WritersPriority{newRWServer(csp.NewNet())}
+	k.SpawnDaemon("rw-server", func(p *kernel.Proc) {
+		serveRW(p, d.rwServer, func(p *kernel.Proc, st *rwState) {
+			if !st.writing && st.readers == 0 && len(st.pendingWrites) > 0 {
+				w := st.pendingWrites[0]
+				st.pendingWrites = st.pendingWrites[1:]
+				st.writing = true
+				w.grant.Send(p, nil)
+			}
+			if !st.writing && len(st.pendingWrites) == 0 {
+				for _, r := range st.pendingReads {
+					st.readers++
+					r.grant.Send(p, nil)
+				}
+				st.pendingReads = st.pendingReads[:0]
+			}
+		})
+	})
+	return d
+}
+
+// FCFSRW sends every request — reads and writes alike — down ONE channel,
+// so channel FIFO is the admission order; the server simply refuses to
+// receive the next request until the current one is admissible.
+type FCFSRW struct {
+	net     *csp.Net
+	request *csp.Chan
+	done    *csp.Chan
+}
+
+type rwReq struct {
+	isRead bool
+	grant  *csp.Chan
+}
+
+// NewFCFSRW creates the database and starts its server daemon.
+func NewFCFSRW(k kernel.Kernel) *FCFSRW {
+	n := csp.NewNet()
+	d := &FCFSRW{net: n, request: n.NewChan("request"), done: n.NewChan("done")}
+	k.SpawnDaemon("fcfs-rw-server", func(p *kernel.Proc) {
+		readers, writing := 0, false
+		var head *rwReq // the oldest request, not yet admitted
+		apply := func(v any) {
+			if v.(bool) { // true = a read finished
+				readers--
+			} else {
+				writing = false
+			}
+		}
+		for {
+			if head == nil {
+				// Nothing pending: serve completions and the next request
+				// as they come. Taking requests one at a time off a single
+				// FIFO channel is what makes the admission order exact.
+				idx, v := csp.Select(p, []csp.Case{{Chan: d.request}, {Chan: d.done}})
+				if idx == 1 {
+					apply(v)
+					continue
+				}
+				r := v.(rwReq)
+				head = &r
+			}
+			admissible := (head.isRead && !writing) ||
+				(!head.isRead && !writing && readers == 0)
+			if !admissible {
+				// Head-of-line blocking: accept only completions until the
+				// head can go.
+				apply(d.done.Recv(p))
+				continue
+			}
+			if head.isRead {
+				readers++
+			} else {
+				writing = true
+			}
+			head.grant.Send(p, nil)
+			head = nil
+		}
+	})
+	return d
+}
+
+// Read implements problems.RWStore.
+func (d *FCFSRW) Read(p *kernel.Proc, body func()) {
+	grant := d.net.NewChan("grant")
+	d.request.Send(p, rwReq{isRead: true, grant: grant})
+	grant.Recv(p)
+	body()
+	d.done.Send(p, true)
+}
+
+// Write implements problems.RWStore.
+func (d *FCFSRW) Write(p *kernel.Proc, body func()) {
+	grant := d.net.NewChan("grant")
+	d.request.Send(p, rwReq{isRead: false, grant: grant})
+	grant.Recv(p)
+	body()
+	d.done.Send(p, false)
+}
+
+// Disk: the server absorbs requests into an explicit pending list and
+// grants them in elevator order — request parameters travel in the
+// message, scheduling state lives in the server.
+type Disk struct {
+	net  *csp.Net
+	req  *csp.Chan
+	done *csp.Chan
+}
+
+// NewDisk creates the scheduler and starts its server daemon.
+func NewDisk(k kernel.Kernel, start, maxTrack int64) *Disk {
+	n := csp.NewNet()
+	d := &Disk{net: n, req: n.NewChan("seek"), done: n.NewChan("done")}
+	k.SpawnDaemon("disk-server", func(p *kernel.Proc) {
+		var pending []seekReq
+		headpos, up, busy := start, true, false
+		grant := func(r seekReq) {
+			busy = true
+			if r.track > headpos {
+				up = true
+			} else if r.track < headpos {
+				up = false
+			}
+			headpos = r.track
+			r.grant.Send(p, nil)
+		}
+		for {
+			idx, v := csp.Select(p, []csp.Case{
+				{Chan: d.req},
+				{Chan: d.done, Guard: func() bool { return busy }},
+			})
+			if idx == 0 {
+				r := v.(seekReq)
+				if !busy {
+					grant(r)
+				} else {
+					pending = append(pending, r)
+				}
+				continue
+			}
+			// A transfer finished: pick the elevator-next request.
+			busy = false
+			if len(pending) == 0 {
+				continue
+			}
+			bestFwd, bestRev := -1, -1
+			for i, r := range pending {
+				if up {
+					if r.track >= headpos && (bestFwd < 0 || r.track < pending[bestFwd].track) {
+						bestFwd = i
+					}
+					if r.track < headpos && (bestRev < 0 || r.track > pending[bestRev].track) {
+						bestRev = i
+					}
+				} else {
+					if r.track <= headpos && (bestFwd < 0 || r.track > pending[bestFwd].track) {
+						bestFwd = i
+					}
+					if r.track > headpos && (bestRev < 0 || r.track < pending[bestRev].track) {
+						bestRev = i
+					}
+				}
+			}
+			pick := bestFwd
+			if pick < 0 {
+				pick = bestRev
+			}
+			r := pending[pick]
+			pending = append(pending[:pick], pending[pick+1:]...)
+			grant(r)
+		}
+	})
+	return d
+}
+
+// Seek implements problems.Disk.
+func (d *Disk) Seek(p *kernel.Proc, track int64, body func()) {
+	grant := d.net.NewChan("grant")
+	d.req.Send(p, seekReq{track: track, grant: grant})
+	grant.Recv(p)
+	body()
+	d.done.Send(p, nil)
+}
+
+// AlarmClock: the server keeps (due, grant) pairs and answers them as
+// ticks arrive.
+type AlarmClock struct {
+	net  *csp.Net
+	req  *csp.Chan
+	tick *csp.Chan
+}
+
+// NewAlarmClock creates the clock and starts its server daemon.
+func NewAlarmClock(k kernel.Kernel) *AlarmClock {
+	n := csp.NewNet()
+	a := &AlarmClock{net: n, req: n.NewChan("wakeme"), tick: n.NewChan("tick")}
+	k.SpawnDaemon("clock-server", func(p *kernel.Proc) {
+		now := int64(0)
+		var pending []wakeReq
+		for {
+			idx, v := csp.Select(p, []csp.Case{
+				{Chan: a.req},
+				{Chan: a.tick},
+			})
+			switch idx {
+			case 0:
+				r := v.(wakeReq)
+				if now+r.ticks <= now {
+					r.grant.Send(p, nil)
+					continue
+				}
+				r.ticks += now // convert to absolute due time
+				pending = append(pending, r)
+			case 1:
+				now++
+				rest := pending[:0]
+				for _, r := range pending {
+					if r.ticks <= now {
+						r.grant.Send(p, nil)
+					} else {
+						rest = append(rest, r)
+					}
+				}
+				pending = rest
+				v.(csp.Call).Reply(p, nil) // tick is synchronous
+			}
+		}
+	})
+	return a
+}
+
+// WakeMe implements problems.AlarmClock.
+func (a *AlarmClock) WakeMe(p *kernel.Proc, ticks int64, body func()) {
+	grant := a.net.NewChan("grant")
+	a.req.Send(p, wakeReq{ticks: ticks, grant: grant})
+	grant.Recv(p)
+	body()
+}
+
+// Tick implements problems.AlarmClock.
+func (a *AlarmClock) Tick(p *kernel.Proc) {
+	a.net.DoCall(p, a.tick, nil)
+}
+
+// OneSlot is the purest CSP solution in the suite: the alternation
+// constraint (history information) is the server's program counter — no
+// state, no guards. The admit/done bracket keeps client bodies strictly
+// inside the alternation.
+type OneSlot struct {
+	net     *csp.Net
+	put     *csp.Chan
+	putDone *csp.Chan
+	get     *csp.Chan
+	getDone *csp.Chan
+}
+
+// NewOneSlot creates the slot and starts its server daemon.
+func NewOneSlot(k kernel.Kernel) *OneSlot {
+	n := csp.NewNet()
+	s := &OneSlot{
+		net:     n,
+		put:     n.NewChan("put"),
+		putDone: n.NewChan("put-done"),
+		get:     n.NewChan("get"),
+		getDone: n.NewChan("get-done"),
+	}
+	k.SpawnDaemon("slot-server", func(p *kernel.Proc) {
+		for {
+			putCall := s.put.Recv(p).(csp.Call) // history: a put must come first
+			putCall.Reply(p, nil)               // admit the put
+			item := s.putDone.Recv(p).(int64)   // the put's body has run
+
+			getCall := s.get.Recv(p).(csp.Call) // then exactly one get
+			getCall.Reply(p, item)              // admit it with the value
+			s.getDone.Recv(p)                   // the get's body has run
+		}
+	})
+	return s
+}
+
+// Put implements problems.OneSlot.
+func (s *OneSlot) Put(p *kernel.Proc, item int64, body func()) {
+	s.net.DoCall(p, s.put, nil)
+	body()
+	s.putDone.Send(p, item)
+}
+
+// Get implements problems.OneSlot.
+func (s *OneSlot) Get(p *kernel.Proc, body func(int64)) {
+	item := s.net.DoCall(p, s.get, nil).(int64)
+	body(item)
+	s.getDone.Send(p, nil)
+}
+
+// Compile-time checks that every solution satisfies its problem interface.
+var (
+	_ problems.BoundedBuffer = (*BoundedBuffer)(nil)
+	_ problems.Resource      = (*FCFS)(nil)
+	_ problems.RWStore       = (*ReadersPriority)(nil)
+	_ problems.RWStore       = (*WritersPriority)(nil)
+	_ problems.RWStore       = (*FCFSRW)(nil)
+	_ problems.Disk          = (*Disk)(nil)
+	_ problems.AlarmClock    = (*AlarmClock)(nil)
+	_ problems.OneSlot       = (*OneSlot)(nil)
+)

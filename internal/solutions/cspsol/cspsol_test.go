@@ -1,0 +1,238 @@
+package cspsol
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/kernel"
+)
+
+// These tests pin CSP-specific behaviors: channel-FIFO as request order,
+// Pending probes as waiting-set information, head-of-line blocking in the
+// single-channel FCFS server, and alternation as server control flow.
+
+func TestFCFSChannelOrder(t *testing.T) {
+	k := kernel.NewSim()
+	f := NewFCFS(k)
+	var order []int
+	for i := 0; i < 5; i++ {
+		k.Spawn("user", func(p *kernel.Proc) {
+			f.Use(p, func() {
+				order = append(order, p.ID())
+				p.Yield()
+			})
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// The server daemon is process 1; users are 2..6.
+	if fmt.Sprint(order) != "[2 3 4 5 6]" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+// Readers-priority via the PendingG probe: a reader arriving while a
+// writer waits is admitted first.
+func TestReadersPriorityPendingProbe(t *testing.T) {
+	k := kernel.NewSim()
+	db := NewReadersPriority(k)
+	var order []string
+	k.Spawn("r1", func(p *kernel.Proc) {
+		db.Read(p, func() {
+			order = append(order, "r1")
+			for i := 0; i < 6; i++ {
+				p.Yield()
+			}
+		})
+	})
+	k.Spawn("w", func(p *kernel.Proc) {
+		p.Yield()
+		db.Write(p, func() { order = append(order, "w") })
+	})
+	k.Spawn("r2", func(p *kernel.Proc) {
+		p.Yield()
+		p.Yield()
+		db.Read(p, func() { order = append(order, "r2") })
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(order) != "[r1 r2 w]" {
+		t.Fatalf("order = %v: the arriving reader must pass the waiting writer", order)
+	}
+}
+
+// Writers-priority is the mirror: the reader waits behind the writer.
+func TestWritersPriorityPendingProbe(t *testing.T) {
+	k := kernel.NewSim()
+	db := NewWritersPriority(k)
+	var order []string
+	k.Spawn("r1", func(p *kernel.Proc) {
+		db.Read(p, func() {
+			order = append(order, "r1")
+			for i := 0; i < 6; i++ {
+				p.Yield()
+			}
+		})
+	})
+	k.Spawn("w", func(p *kernel.Proc) {
+		p.Yield()
+		db.Write(p, func() { order = append(order, "w") })
+	})
+	k.Spawn("r2", func(p *kernel.Proc) {
+		p.Yield()
+		p.Yield()
+		db.Read(p, func() { order = append(order, "r2") })
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(order) != "[r1 w r2]" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+// FCFSRW head-of-line blocking: the writer at the head of the single
+// request channel holds back a later reader even during active reads.
+func TestFCFSRWHeadOfLine(t *testing.T) {
+	k := kernel.NewSim()
+	db := NewFCFSRW(k)
+	var order []string
+	k.Spawn("r1", func(p *kernel.Proc) {
+		db.Read(p, func() {
+			order = append(order, "r1")
+			for i := 0; i < 6; i++ {
+				p.Yield()
+			}
+		})
+	})
+	k.Spawn("w", func(p *kernel.Proc) {
+		db.Write(p, func() { order = append(order, "w") })
+	})
+	k.Spawn("r2", func(p *kernel.Proc) {
+		p.Yield()
+		db.Read(p, func() { order = append(order, "r2") })
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(order) != "[r1 w r2]" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+// The one-slot server's control flow IS the alternation: competing
+// producers and consumers cannot break it.
+func TestOneSlotServerControlFlow(t *testing.T) {
+	k := kernel.NewSim(kernel.WithPolicy(kernel.Random(5)))
+	s := NewOneSlot(k)
+	var order []string
+	for i := 0; i < 2; i++ {
+		k.Spawn("producer", func(p *kernel.Proc) {
+			for j := 0; j < 3; j++ {
+				s.Put(p, int64(j), func() { order = append(order, "p") })
+			}
+		})
+		k.Spawn("consumer", func(p *kernel.Proc) {
+			for j := 0; j < 3; j++ {
+				s.Get(p, func(int64) { order = append(order, "g") })
+			}
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 12 {
+		t.Fatalf("order = %v", order)
+	}
+	for i, tag := range order {
+		want := "p"
+		if i%2 == 1 {
+			want = "g"
+		}
+		if tag != want {
+			t.Fatalf("order = %v: alternation broken at %d", order, i)
+		}
+	}
+}
+
+// The bounded-buffer server's reserved count blocks depositors at
+// capacity even before their bodies complete.
+func TestBoundedBufferReservationDiscipline(t *testing.T) {
+	k := kernel.NewSim()
+	bb := NewBoundedBuffer(k, 1)
+	var order []string
+	k.Spawn("p1", func(p *kernel.Proc) {
+		bb.Deposit(p, 1, func() {
+			order = append(order, "d1")
+			p.Yield() // hold the admission while p2 tries
+			p.Yield()
+		})
+	})
+	k.Spawn("p2", func(p *kernel.Proc) {
+		p.Yield()
+		bb.Deposit(p, 2, func() { order = append(order, "d2") })
+	})
+	k.Spawn("consumer", func(p *kernel.Proc) {
+		p.Yield()
+		bb.Remove(p, func(int64) { order = append(order, "g1") })
+		bb.Remove(p, func(int64) { order = append(order, "g2") })
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(order) != "[d1 g1 d2 g2]" {
+		t.Fatalf("order = %v: second deposit must wait for the removal", order)
+	}
+}
+
+// The disk server grants a pre-loaded batch in elevator order.
+func TestDiskServerScanOrder(t *testing.T) {
+	k := kernel.NewSim()
+	d := NewDisk(k, 50, 200)
+	var order []int64
+	for _, track := range []int64{55, 10, 60, 90} {
+		track := track
+		k.Spawn("io", func(p *kernel.Proc) {
+			d.Seek(p, track, func() {
+				order = append(order, track)
+				p.Yield()
+				p.Yield()
+			})
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(order) != "[55 60 90 10]" {
+		t.Fatalf("service order = %v", order)
+	}
+}
+
+// The alarm-clock server answers all due sleepers within the tick call.
+func TestAlarmClockServerSynchronousTick(t *testing.T) {
+	k := kernel.NewSim()
+	ac := NewAlarmClock(k)
+	woke := 0
+	for i := 0; i < 2; i++ {
+		k.Spawn("sleeper", func(p *kernel.Proc) {
+			ac.WakeMe(p, 1, func() { woke++ })
+		})
+	}
+	k.Spawn("clock", func(p *kernel.Proc) {
+		p.Yield() // let sleepers register
+		p.Yield()
+		ac.Tick(p)
+		p.Yield() // let the grants land
+		if woke != 2 {
+			t.Errorf("woke = %d after the due tick", woke)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if woke != 2 {
+		t.Fatalf("woke = %d", woke)
+	}
+}

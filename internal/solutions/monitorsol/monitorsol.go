@@ -1,0 +1,453 @@
+// Package monitorsol implements the full problem suite with Hoare
+// monitors [13].
+//
+// These solutions are objects of study for the evaluation engine (package
+// eval) as well as working code: the §5.2 findings the engine reproduces —
+// condition queues carry request-time and request-type information
+// directly, priority waits carry parameters, synchronization state must be
+// kept by hand as monitor-local counts, and the request-type/request-time
+// conflict needs two-stage queueing — are all visible in this source.
+package monitorsol
+
+import (
+	"repro/internal/kernel"
+	"repro/internal/monitor"
+	"repro/internal/problems"
+)
+
+// BoundedBuffer is the classic Hoare bounded buffer: local state (the
+// slice) guards deposits and removals via two conditions.
+type BoundedBuffer struct {
+	m        *monitor.Monitor
+	notFull  *monitor.Condition
+	notEmpty *monitor.Condition
+	buf      []int64
+	capacity int
+}
+
+// NewBoundedBuffer creates a buffer with the given capacity.
+func NewBoundedBuffer(capacity int) *BoundedBuffer {
+	m := monitor.New("bounded-buffer")
+	return &BoundedBuffer{
+		m:        m,
+		notFull:  m.NewCondition("notfull"),
+		notEmpty: m.NewCondition("notempty"),
+		capacity: capacity,
+	}
+}
+
+// Cap implements problems.BoundedBuffer.
+func (b *BoundedBuffer) Cap() int { return b.capacity }
+
+// Deposit implements problems.BoundedBuffer.
+func (b *BoundedBuffer) Deposit(p *kernel.Proc, item int64, body func()) {
+	b.m.Enter(p)
+	if len(b.buf) == b.capacity {
+		b.notFull.Wait(p)
+		// Hoare semantics: the condition holds on resumption.
+	}
+	body()
+	b.buf = append(b.buf, item)
+	b.notEmpty.Signal(p)
+	b.m.Exit(p)
+}
+
+// Remove implements problems.BoundedBuffer.
+func (b *BoundedBuffer) Remove(p *kernel.Proc, body func(int64)) {
+	b.m.Enter(p)
+	if len(b.buf) == 0 {
+		b.notEmpty.Wait(p)
+	}
+	item := b.buf[0]
+	b.buf = b.buf[1:]
+	body(item)
+	b.notFull.Signal(p)
+	b.m.Exit(p)
+}
+
+// FCFS is the first-come-first-served allocator: a single FIFO condition
+// queue is exactly the request-time information the problem needs.
+type FCFS struct {
+	m    *monitor.Monitor
+	turn *monitor.Condition
+	busy bool
+}
+
+// NewFCFS creates the allocator.
+func NewFCFS() *FCFS {
+	m := monitor.New("fcfs")
+	return &FCFS{m: m, turn: m.NewCondition("turn")}
+}
+
+// Use implements problems.Resource.
+func (f *FCFS) Use(p *kernel.Proc, body func()) {
+	f.m.Enter(p)
+	if f.busy || f.turn.Queue() {
+		f.turn.Wait(p)
+	}
+	f.busy = true
+	f.m.Exit(p)
+
+	body()
+
+	f.m.Enter(p)
+	f.busy = false
+	f.turn.Signal(p)
+	f.m.Exit(p)
+}
+
+// rwState is the monitor-local bookkeeping shared by the readers–writers
+// variants: synchronization state the paper notes monitors force the user
+// to maintain by hand.
+type rwState struct {
+	m       *monitor.Monitor
+	okRead  *monitor.Condition
+	okWrite *monitor.Condition
+	readers int
+	writing bool
+}
+
+func newRWState(name string) *rwState {
+	m := monitor.New(name)
+	return &rwState{
+		m:       m,
+		okRead:  m.NewCondition("okread"),
+		okWrite: m.NewCondition("okwrite"),
+	}
+}
+
+// ReadersPriority is the Courtois–Heymans–Parnas problem 1 monitor: an
+// arriving reader waits only for an *active* writer, and at write
+// completion waiting readers are resumed in preference to waiting writers.
+type ReadersPriority struct{ *rwState }
+
+// NewReadersPriority creates the database.
+func NewReadersPriority() *ReadersPriority {
+	return &ReadersPriority{newRWState("readers-priority")}
+}
+
+// Read implements problems.RWStore.
+func (d *ReadersPriority) Read(p *kernel.Proc, body func()) {
+	d.m.Enter(p)
+	if d.writing {
+		d.okRead.Wait(p)
+	}
+	d.readers++
+	d.okRead.Signal(p) // cascade: admit every waiting reader
+	d.m.Exit(p)
+
+	body()
+
+	d.m.Enter(p)
+	d.readers--
+	if d.readers == 0 {
+		d.okWrite.Signal(p)
+	}
+	d.m.Exit(p)
+}
+
+// Write implements problems.RWStore.
+func (d *ReadersPriority) Write(p *kernel.Proc, body func()) {
+	d.m.Enter(p)
+	if d.writing || d.readers > 0 {
+		d.okWrite.Wait(p)
+	}
+	d.writing = true
+	d.m.Exit(p)
+
+	body()
+
+	d.m.Enter(p)
+	d.writing = false
+	if d.okRead.Queue() {
+		d.okRead.Signal(p) // waiting readers beat waiting writers
+	} else {
+		d.okWrite.Signal(p)
+	}
+	d.m.Exit(p)
+}
+
+// WritersPriority is CHP problem 2: an arriving reader also waits when any
+// writer is *waiting*, and writers are resumed in preference to readers.
+// Note against ReadersPriority how little changes: the priority constraint
+// is carried entirely by the two queue-preference sites, while the
+// exclusion constraint (conditions for proceeding, active counts) is
+// untouched — the constraint-independence finding of §5.2.
+type WritersPriority struct{ *rwState }
+
+// NewWritersPriority creates the database.
+func NewWritersPriority() *WritersPriority {
+	return &WritersPriority{newRWState("writers-priority")}
+}
+
+// Read implements problems.RWStore.
+func (d *WritersPriority) Read(p *kernel.Proc, body func()) {
+	d.m.Enter(p)
+	if d.writing || d.okWrite.Queue() {
+		d.okRead.Wait(p)
+	}
+	d.readers++
+	if !d.okWrite.Queue() {
+		d.okRead.Signal(p) // cascade only while no writer is waiting
+	}
+	d.m.Exit(p)
+
+	body()
+
+	d.m.Enter(p)
+	d.readers--
+	if d.readers == 0 {
+		d.okWrite.Signal(p)
+	}
+	d.m.Exit(p)
+}
+
+// Write implements problems.RWStore.
+func (d *WritersPriority) Write(p *kernel.Proc, body func()) {
+	d.m.Enter(p)
+	if d.writing || d.readers > 0 {
+		d.okWrite.Wait(p)
+	}
+	d.writing = true
+	d.m.Exit(p)
+
+	body()
+
+	d.m.Enter(p)
+	d.writing = false
+	if d.okWrite.Queue() {
+		d.okWrite.Signal(p) // waiting writers beat waiting readers
+	} else {
+		d.okRead.Signal(p)
+	}
+	d.m.Exit(p)
+}
+
+// FCFSRW is the FCFS readers–writers variant and the §5.2 two-stage
+// queueing demonstration: request order and request type conflict in
+// monitors because both are carried by queues, so processes first line up
+// on a single FIFO condition (order) and the monitor keeps a parallel
+// queue of their types (type) to decide cascades.
+type FCFSRW struct {
+	m       *monitor.Monitor
+	turn    *monitor.Condition
+	types   []bool // parallel to turn's queue: true = reader
+	readers int
+	writing bool
+}
+
+// NewFCFSRW creates the database.
+func NewFCFSRW() *FCFSRW {
+	m := monitor.New("fcfs-rw")
+	return &FCFSRW{m: m, turn: m.NewCondition("turn")}
+}
+
+// Read implements problems.RWStore.
+func (d *FCFSRW) Read(p *kernel.Proc, body func()) {
+	d.m.Enter(p)
+	if d.writing || d.turn.Queue() {
+		d.types = append(d.types, true)
+		d.turn.Wait(p)
+		d.types = d.types[1:] // we were the head
+	}
+	d.readers++
+	if len(d.types) > 0 && d.types[0] {
+		d.turn.Signal(p) // next in line is also a reader: cascade
+	}
+	d.m.Exit(p)
+
+	body()
+
+	d.m.Enter(p)
+	d.readers--
+	if d.readers == 0 && d.turn.Queue() {
+		d.turn.Signal(p)
+	}
+	d.m.Exit(p)
+}
+
+// Write implements problems.RWStore.
+func (d *FCFSRW) Write(p *kernel.Proc, body func()) {
+	d.m.Enter(p)
+	if d.writing || d.readers > 0 || d.turn.Queue() {
+		d.types = append(d.types, false)
+		d.turn.Wait(p)
+		d.types = d.types[1:]
+		// A writer may be signalled at read-completion while other reads
+		// are still active only if readers==0; the signalling sites
+		// guarantee it.
+	}
+	d.writing = true
+	d.m.Exit(p)
+
+	body()
+
+	d.m.Enter(p)
+	d.writing = false
+	if d.turn.Queue() {
+		d.turn.Signal(p)
+	}
+	d.m.Exit(p)
+}
+
+// Disk is Hoare's disk-head (elevator) scheduler: the priority wait
+// carries the request parameter (the track) directly.
+type Disk struct {
+	m         *monitor.Monitor
+	upsweep   *monitor.Condition
+	downsweep *monitor.Condition
+	headpos   int64
+	up        bool
+	busy      bool
+	maxTrack  int64
+}
+
+// NewDisk creates the scheduler with the head parked at start.
+func NewDisk(start, maxTrack int64) *Disk {
+	m := monitor.New("disk")
+	return &Disk{
+		m:         m,
+		upsweep:   m.NewCondition("upsweep"),
+		downsweep: m.NewCondition("downsweep"),
+		headpos:   start,
+		up:        true,
+		maxTrack:  maxTrack,
+	}
+}
+
+// Seek implements problems.Disk.
+func (d *Disk) Seek(p *kernel.Proc, track int64, body func()) {
+	d.m.Enter(p)
+	if d.busy {
+		if track > d.headpos || (track == d.headpos && d.up) {
+			d.upsweep.WaitRank(p, track)
+		} else {
+			d.downsweep.WaitRank(p, d.maxTrack-track)
+		}
+	}
+	d.busy = true
+	if track > d.headpos {
+		d.up = true
+	} else if track < d.headpos {
+		d.up = false
+	}
+	d.headpos = track
+	d.m.Exit(p)
+
+	body()
+
+	d.m.Enter(p)
+	d.busy = false
+	if d.up {
+		if d.upsweep.Queue() {
+			d.upsweep.Signal(p)
+		} else if d.downsweep.Queue() {
+			d.up = false
+			d.downsweep.Signal(p)
+		}
+	} else {
+		if d.downsweep.Queue() {
+			d.downsweep.Signal(p)
+		} else if d.upsweep.Queue() {
+			d.up = true
+			d.upsweep.Signal(p)
+		}
+	}
+	d.m.Exit(p)
+}
+
+// AlarmClock is Hoare's alarm clock: priority wait ranked by absolute due
+// time; each tick (and each wakeup) cascades to the next due sleeper.
+type AlarmClock struct {
+	m      *monitor.Monitor
+	wakeup *monitor.Condition
+	now    int64
+}
+
+// NewAlarmClock creates the clock at time zero.
+func NewAlarmClock() *AlarmClock {
+	m := monitor.New("alarm-clock")
+	return &AlarmClock{m: m, wakeup: m.NewCondition("wakeup")}
+}
+
+// WakeMe implements problems.AlarmClock.
+func (a *AlarmClock) WakeMe(p *kernel.Proc, ticks int64, body func()) {
+	a.m.Enter(p)
+	alarm := a.now + ticks
+	if alarm > a.now {
+		a.wakeup.WaitRank(p, alarm)
+		// Cascade: wake the next sleeper if it is also due.
+		if r, ok := a.wakeup.MinRank(); ok && r <= a.now {
+			a.wakeup.Signal(p)
+		}
+	}
+	body()
+	a.m.Exit(p)
+}
+
+// Tick implements problems.AlarmClock.
+func (a *AlarmClock) Tick(p *kernel.Proc) {
+	a.m.Enter(p)
+	a.now++
+	if r, ok := a.wakeup.MinRank(); ok && r <= a.now {
+		a.wakeup.Signal(p)
+	}
+	a.m.Exit(p)
+}
+
+// OneSlot is the one-slot buffer: the history fact "a put has completed"
+// is modeled as the full flag.
+type OneSlot struct {
+	m        *monitor.Monitor
+	nonFull  *monitor.Condition
+	nonEmpty *monitor.Condition
+	slot     int64
+	full     bool
+}
+
+// NewOneSlot creates an empty slot.
+func NewOneSlot() *OneSlot {
+	m := monitor.New("one-slot")
+	return &OneSlot{
+		m:        m,
+		nonFull:  m.NewCondition("nonfull"),
+		nonEmpty: m.NewCondition("nonempty"),
+	}
+}
+
+// Put implements problems.OneSlot.
+func (s *OneSlot) Put(p *kernel.Proc, item int64, body func()) {
+	s.m.Enter(p)
+	if s.full {
+		s.nonFull.Wait(p)
+	}
+	body()
+	s.slot = item
+	s.full = true
+	s.nonEmpty.Signal(p)
+	s.m.Exit(p)
+}
+
+// Get implements problems.OneSlot.
+func (s *OneSlot) Get(p *kernel.Proc, body func(int64)) {
+	s.m.Enter(p)
+	if !s.full {
+		s.nonEmpty.Wait(p)
+	}
+	body(s.slot)
+	s.full = false
+	s.nonFull.Signal(p)
+	s.m.Exit(p)
+}
+
+// Compile-time checks that every solution satisfies its problem interface.
+var (
+	_ problems.BoundedBuffer = (*BoundedBuffer)(nil)
+	_ problems.Resource      = (*FCFS)(nil)
+	_ problems.RWStore       = (*ReadersPriority)(nil)
+	_ problems.RWStore       = (*WritersPriority)(nil)
+	_ problems.RWStore       = (*FCFSRW)(nil)
+	_ problems.Disk          = (*Disk)(nil)
+	_ problems.AlarmClock    = (*AlarmClock)(nil)
+	_ problems.OneSlot       = (*OneSlot)(nil)
+)

@@ -1,0 +1,242 @@
+package monitorsol
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/kernel"
+	"repro/internal/problems"
+	"repro/internal/trace"
+)
+
+// These tests pin monitor-specific behaviors the conformance suite only
+// checks indirectly: cascade wakeups, queue-preference sites, priority
+// ranks, and the two-stage queue bookkeeping.
+
+// At EndWrite, ALL waiting readers are admitted (cascade) before any
+// writer — the readers-priority preference site.
+func TestReadersPriorityCascadeDrainsAllReaders(t *testing.T) {
+	k := kernel.NewSim()
+	db := NewReadersPriority()
+	var order []string
+	k.Spawn("writer1", func(p *kernel.Proc) {
+		db.Write(p, func() {
+			order = append(order, "w1")
+			for i := 0; i < 6; i++ {
+				p.Yield() // three readers and writer2 arrive meanwhile
+			}
+		})
+	})
+	for i := 0; i < 3; i++ {
+		k.Spawn("reader", func(p *kernel.Proc) {
+			db.Read(p, func() { order = append(order, fmt.Sprintf("r%d", p.ID())) })
+		})
+	}
+	k.Spawn("writer2", func(p *kernel.Proc) {
+		p.Yield()
+		db.Write(p, func() { order = append(order, "w2") })
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 5 {
+		t.Fatalf("order = %v", order)
+	}
+	if order[0] != "w1" || order[len(order)-1] != "w2" {
+		t.Fatalf("order = %v, want w1 first, all readers, then w2", order)
+	}
+}
+
+// In the writers-priority monitor, a reader arriving while a writer
+// merely WAITS (not writes) must block — the okWrite.Queue() test.
+func TestWritersPriorityReaderBlocksBehindWaitingWriter(t *testing.T) {
+	k := kernel.NewSim()
+	db := NewWritersPriority()
+	var order []string
+	k.Spawn("reader1", func(p *kernel.Proc) {
+		db.Read(p, func() {
+			order = append(order, "r1")
+			for i := 0; i < 4; i++ {
+				p.Yield()
+			}
+		})
+	})
+	k.Spawn("writer", func(p *kernel.Proc) {
+		p.Yield()
+		db.Write(p, func() { order = append(order, "w") })
+	})
+	k.Spawn("reader2", func(p *kernel.Proc) {
+		p.Yield()
+		p.Yield() // arrive after the writer queued
+		db.Read(p, func() { order = append(order, "r2") })
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(order) != "[r1 w r2]" {
+		t.Fatalf("order = %v: reader2 must wait behind the queued writer", order)
+	}
+}
+
+// The FCFSRW two-stage bookkeeping: the types list mirrors the condition
+// queue exactly through a mixed admission sequence.
+func TestFCFSRWStrictArrivalOrder(t *testing.T) {
+	k := kernel.NewSim()
+	db := NewFCFSRW()
+	var order []string
+	add := func(tag string) func() {
+		return func() { order = append(order, tag) }
+	}
+	k.Spawn("w1", func(p *kernel.Proc) {
+		db.Write(p, func() {
+			add("w1")()
+			for i := 0; i < 6; i++ {
+				p.Yield()
+			}
+		})
+	})
+	k.Spawn("r1", func(p *kernel.Proc) { db.Read(p, add("r1")) })
+	k.Spawn("w2", func(p *kernel.Proc) { p.Yield(); db.Write(p, add("w2")) })
+	k.Spawn("r2", func(p *kernel.Proc) { p.Yield(); p.Yield(); db.Read(p, add("r2")) })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Arrival: w1 active, then r1, w2, r2 queue. FCFS: r1, w2, r2.
+	if fmt.Sprint(order) != "[w1 r1 w2 r2]" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+// Hoare's disk monitor serves a pre-loaded batch in exact elevator order.
+func TestDiskServesPreloadedBatchInScanOrder(t *testing.T) {
+	k := kernel.NewSim()
+	d := NewDisk(50, 200)
+	r := trace.NewRecorder(k)
+	cfg := problems.DiskConfig{
+		Requests: []problems.DiskRequest{
+			{Track: 55}, {Track: 10}, {Track: 60}, {Track: 90}, {Track: 20},
+		},
+		WorkYields: 3,
+	}
+	if err := problems.DriveDisk(k, d, r, cfg); err != nil {
+		t.Fatal(err)
+	}
+	var order []int64
+	for _, iv := range r.Events().MustIntervals() {
+		order = append(order, iv.Arg)
+	}
+	if fmt.Sprint(order) != "[55 60 90 20 10]" {
+		t.Fatalf("service order = %v, want SCAN from 50", order)
+	}
+}
+
+// Two sleepers due at the same tick both wake on that tick — the
+// signal cascade in WakeMe.
+func TestAlarmClockCascadeSameDueTick(t *testing.T) {
+	k := kernel.NewSim()
+	ac := NewAlarmClock()
+	woke := 0
+	for i := 0; i < 3; i++ {
+		k.Spawn("sleeper", func(p *kernel.Proc) {
+			ac.WakeMe(p, 2, func() { woke++ })
+		})
+	}
+	k.Spawn("clock", func(p *kernel.Proc) {
+		for i := 0; i < 2; i++ {
+			p.Yield()
+			ac.Tick(p)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if woke != 3 {
+		t.Fatalf("woke = %d, want 3 (cascade must drain equal ranks)", woke)
+	}
+}
+
+func TestAlarmClockZeroTicksImmediate(t *testing.T) {
+	k := kernel.NewSim()
+	ac := NewAlarmClock()
+	done := false
+	k.Spawn("sleeper", func(p *kernel.Proc) {
+		ac.WakeMe(p, 0, func() { done = true })
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("WakeMe(0) blocked")
+	}
+}
+
+// The bounded buffer hands slots to waiting producers one-for-one with
+// removals (Hoare signal = direct handoff; no lost wakeups with many
+// waiters).
+func TestBoundedBufferManyWaitingProducers(t *testing.T) {
+	k := kernel.NewSim()
+	bb := NewBoundedBuffer(1)
+	deposited := 0
+	for i := 0; i < 4; i++ {
+		k.Spawn("producer", func(p *kernel.Proc) {
+			bb.Deposit(p, int64(p.ID()), func() { deposited++ })
+		})
+	}
+	k.Spawn("consumer", func(p *kernel.Proc) {
+		for i := 0; i < 4; i++ {
+			bb.Remove(p, func(int64) {})
+			p.Yield()
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if deposited != 4 {
+		t.Fatalf("deposited = %d", deposited)
+	}
+}
+
+// OneSlot alternation from competing producers.
+func TestOneSlotCompetingProducers(t *testing.T) {
+	k := kernel.NewSim()
+	s := NewOneSlot()
+	var got []int64
+	for i := 0; i < 2; i++ {
+		k.Spawn("producer", func(p *kernel.Proc) {
+			for j := 0; j < 3; j++ {
+				s.Put(p, int64(p.ID()*10+j), func() {})
+			}
+		})
+	}
+	k.Spawn("consumer", func(p *kernel.Proc) {
+		for i := 0; i < 6; i++ {
+			s.Get(p, func(v int64) { got = append(got, v) })
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 6 {
+		t.Fatalf("got %d items", len(got))
+	}
+}
+
+func TestFCFSSingleCondition(t *testing.T) {
+	k := kernel.NewSim()
+	f := NewFCFS()
+	var order []int
+	for i := 0; i < 5; i++ {
+		k.Spawn("user", func(p *kernel.Proc) {
+			f.Use(p, func() {
+				order = append(order, p.ID())
+				p.Yield()
+			})
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(order) != "[1 2 3 4 5]" {
+		t.Fatalf("order = %v", order)
+	}
+}

@@ -1,0 +1,474 @@
+// Package pathexprsol implements the problem suite with
+// Campbell–Habermann path expressions [7], including the paper's Figure 1
+// (readers-priority) and Figure 2 (writers-priority) solutions verbatim.
+//
+// The paper's §5.1 findings are all visible here:
+//
+//   - request type and exclusion: direct (the paths themselves);
+//   - history: direct (the one-slot buffer is a two-element path);
+//   - request time: accessible given longest-waiting selection, "although
+//     additional request operations may be needed" (see FCFSRW's request
+//     gate);
+//   - priority: only indirect, via the Figure-1/Figure-2 synchronization-
+//     procedure cascades — and the Figure-1 solution really does exhibit
+//     the footnote-3 anomaly, which package eval demonstrates;
+//   - parameters and local state: not expressible in paths at all; the
+//     disk scheduler, alarm clock, and bounded buffer fall back to
+//     synchronization procedures around explicit bookkeeping, with paths
+//     reduced to supplying mutual exclusion.
+package pathexprsol
+
+import (
+	"fmt"
+
+	"repro/internal/kernel"
+	"repro/internal/pathexpr"
+	"repro/internal/problems"
+	"repro/internal/semaphore"
+)
+
+// Figure1Paths is the paper's Figure 1, verbatim.
+const Figure1Paths = `
+	path writeattempt end
+	path { requestread } , requestwrite end
+	path { read } , (openwrite ; write) end
+`
+
+// Figure2Paths is the paper's Figure 2, verbatim.
+const Figure2Paths = `
+	path readattempt end
+	path requestread , { requestwrite } end
+	path { openread ; read } , write end
+`
+
+// ReadersPriority is the Figure 1 solution. The procedure bodies follow
+// the figure exactly:
+//
+//	requestwrite = begin openwrite end
+//	writeattempt = begin requestwrite end
+//	requestread  = begin read end
+//	READ  = begin requestread end
+//	WRITE = begin writeattempt ; write end
+//
+// Footnote 3 of the paper proves this solution wrong: a second writer can
+// overtake a waiting reader. We implement it anyway — reproducing that
+// anomaly is experiment F1.
+type ReadersPriority struct {
+	set *pathexpr.Set
+}
+
+// NewReadersPriority compiles Figure 1.
+func NewReadersPriority() *ReadersPriority {
+	return &ReadersPriority{set: pathexpr.MustCompile(Figure1Paths)}
+}
+
+// Read implements problems.RWStore: READ = begin requestread end, with
+// requestread = begin read end.
+func (d *ReadersPriority) Read(p *kernel.Proc, body func()) {
+	d.set.Exec(p, "requestread", func() {
+		d.set.Exec(p, "read", body)
+	})
+}
+
+// Write implements problems.RWStore: WRITE = begin writeattempt ; write
+// end, with writeattempt = begin requestwrite end and requestwrite =
+// begin openwrite end.
+func (d *ReadersPriority) Write(p *kernel.Proc, body func()) {
+	d.set.Exec(p, "writeattempt", func() {
+		d.set.Exec(p, "requestwrite", func() {
+			d.set.Exec(p, "openwrite", func() {})
+		})
+	})
+	d.set.Exec(p, "write", body)
+}
+
+// WritersPriority is the Figure 2 solution, verbatim:
+//
+//	readattempt  = begin requestread end
+//	requestread  = begin openread end
+//	requestwrite = begin write end
+//	READ  = begin readattempt ; read end
+//	WRITE = begin requestwrite end
+type WritersPriority struct {
+	set *pathexpr.Set
+}
+
+// NewWritersPriority compiles Figure 2.
+func NewWritersPriority() *WritersPriority {
+	return &WritersPriority{set: pathexpr.MustCompile(Figure2Paths)}
+}
+
+// Read implements problems.RWStore.
+func (d *WritersPriority) Read(p *kernel.Proc, body func()) {
+	d.set.Exec(p, "readattempt", func() {
+		d.set.Exec(p, "requestread", func() {
+			d.set.Exec(p, "openread", func() {})
+		})
+	})
+	d.set.Exec(p, "read", body)
+}
+
+// Write implements problems.RWStore.
+func (d *WritersPriority) Write(p *kernel.Proc, body func()) {
+	d.set.Exec(p, "requestwrite", func() {
+		d.set.Exec(p, "write", body)
+	})
+}
+
+// FCFSRW needs the "additional request operations" of §5.1 in earnest: a
+// pass gate (FIFO by the longest-waiting selection rule) must stay HELD
+// until the operation is admitted, or a late reader could join the read
+// burst past a writer already waiting. Admission is therefore split into
+// start/end halves so the start can be executed inside the pass bracket
+// while the body runs outside it:
+//
+//	path pass end
+//	path {startread ; endread} , (startwrite ; endwrite) end
+//
+// READ  = pass { startread } ; body ; endread
+//
+//	WRITE = pass { startwrite } ; body ; endwrite
+type FCFSRW struct {
+	set *pathexpr.Set
+}
+
+// NewFCFSRW compiles the two paths.
+func NewFCFSRW() *FCFSRW {
+	return &FCFSRW{set: pathexpr.MustCompile(
+		"path pass end",
+		"path {startread ; endread} , (startwrite ; endwrite) end",
+	)}
+}
+
+// Read implements problems.RWStore.
+func (d *FCFSRW) Read(p *kernel.Proc, body func()) {
+	d.set.Exec(p, "pass", func() {
+		d.set.Exec(p, "startread", func() {})
+	})
+	body()
+	d.set.Exec(p, "endread", func() {})
+}
+
+// Write implements problems.RWStore.
+func (d *FCFSRW) Write(p *kernel.Proc, body func()) {
+	d.set.Exec(p, "pass", func() {
+		d.set.Exec(p, "startwrite", func() {})
+	})
+	body()
+	d.set.Exec(p, "endwrite", func() {})
+}
+
+// FCFS: the single-operation path serializes executions, and FIFO
+// semaphore queues make the service order the arrival order.
+type FCFS struct {
+	set *pathexpr.Set
+}
+
+// NewFCFS compiles the path.
+func NewFCFS() *FCFS {
+	return &FCFS{set: pathexpr.MustCompile("path use end")}
+}
+
+// Use implements problems.Resource.
+func (f *FCFS) Use(p *kernel.Proc, body func()) {
+	f.set.Exec(p, "use", body)
+}
+
+// OneSlot is Campbell–Habermann's own example: the whole synchronization
+// scheme is one path. History information is the path's position.
+type OneSlot struct {
+	set  *pathexpr.Set
+	slot int64
+}
+
+// NewOneSlot compiles the path.
+func NewOneSlot() *OneSlot {
+	return &OneSlot{set: pathexpr.MustCompile("path put ; get end")}
+}
+
+// Put implements problems.OneSlot.
+func (s *OneSlot) Put(p *kernel.Proc, item int64, body func()) {
+	s.set.Exec(p, "put", func() {
+		body()
+		s.slot = item
+	})
+}
+
+// Get implements problems.OneSlot.
+func (s *OneSlot) Get(p *kernel.Proc, body func(int64)) {
+	s.set.Exec(p, "get", func() {
+		body(s.slot)
+	})
+}
+
+// BoundedBuffer: paths cannot express "the buffer is full" (local state),
+// so the counting is done by auxiliary semaphores acting as
+// synchronization procedures — the §5.1 finding — while a path supplies
+// the operations' mutual exclusion.
+type BoundedBuffer struct {
+	set      *pathexpr.Set
+	slots    *semaphore.Semaphore
+	items    *semaphore.Semaphore
+	buf      []int64
+	capacity int
+}
+
+// NewBoundedBuffer creates a buffer with the given capacity.
+func NewBoundedBuffer(capacity int) *BoundedBuffer {
+	return &BoundedBuffer{
+		set:      pathexpr.MustCompile("path deposit , remove end"),
+		slots:    semaphore.New(int64(capacity)),
+		items:    semaphore.New(0),
+		capacity: capacity,
+	}
+}
+
+// Cap implements problems.BoundedBuffer.
+func (b *BoundedBuffer) Cap() int { return b.capacity }
+
+// Deposit implements problems.BoundedBuffer.
+func (b *BoundedBuffer) Deposit(p *kernel.Proc, item int64, body func()) {
+	b.slots.P(p) // synchronization procedure: await a free slot
+	b.set.Exec(p, "deposit", func() {
+		body()
+		b.buf = append(b.buf, item)
+	})
+	b.items.V()
+}
+
+// Remove implements problems.BoundedBuffer.
+func (b *BoundedBuffer) Remove(p *kernel.Proc, body func(int64)) {
+	b.items.P(p) // synchronization procedure: await an item
+	b.set.Exec(p, "remove", func() {
+		item := b.buf[0]
+		b.buf = b.buf[1:]
+		body(item)
+	})
+	b.slots.V()
+}
+
+// Disk: request parameters are invisible to paths, so the elevator lives
+// entirely in synchronization procedures; the lock/unlock path plays the
+// role of a binary semaphore (its alternation is exactly mutual
+// exclusion). This is the paper's conclusion about parameter information
+// made concrete: the mechanism contributes nothing but the mutex.
+type Disk struct {
+	set     *pathexpr.Set
+	pending []*diskReq
+	headpos int64
+	up      bool
+	busy    bool
+}
+
+type diskReq struct {
+	track int64
+	gate  *semaphore.Semaphore
+}
+
+// NewDisk creates the scheduler with the head parked at start.
+func NewDisk(start, maxTrack int64) *Disk {
+	return &Disk{
+		set:     pathexpr.MustCompile("path lock ; unlock end"),
+		headpos: start,
+		up:      true,
+	}
+}
+
+func (d *Disk) lock(p *kernel.Proc)   { d.set.Exec(p, "lock", func() {}) }
+func (d *Disk) unlock(p *kernel.Proc) { d.set.Exec(p, "unlock", func() {}) }
+
+// Seek implements problems.Disk.
+func (d *Disk) Seek(p *kernel.Proc, track int64, body func()) {
+	d.lock(p)
+	if !d.busy {
+		d.busy = true
+		d.moveTo(track)
+		d.unlock(p)
+	} else {
+		req := &diskReq{track: track, gate: semaphore.New(0)}
+		d.pending = append(d.pending, req)
+		d.unlock(p)
+		req.gate.P(p)
+	}
+
+	body()
+
+	d.lock(p)
+	if next := d.pickNext(); next != nil {
+		d.moveTo(next.track)
+		d.unlock(p)
+		next.gate.V()
+	} else {
+		d.busy = false
+		d.unlock(p)
+	}
+}
+
+func (d *Disk) moveTo(track int64) {
+	if track > d.headpos {
+		d.up = true
+	} else if track < d.headpos {
+		d.up = false
+	}
+	d.headpos = track
+}
+
+func (d *Disk) pickNext() *diskReq {
+	if len(d.pending) == 0 {
+		return nil
+	}
+	bestFwd, bestRev := -1, -1
+	for i, r := range d.pending {
+		if d.up {
+			if r.track >= d.headpos && (bestFwd < 0 || r.track < d.pending[bestFwd].track) {
+				bestFwd = i
+			}
+			if r.track < d.headpos && (bestRev < 0 || r.track > d.pending[bestRev].track) {
+				bestRev = i
+			}
+		} else {
+			if r.track <= d.headpos && (bestFwd < 0 || r.track > d.pending[bestFwd].track) {
+				bestFwd = i
+			}
+			if r.track > d.headpos && (bestRev < 0 || r.track < d.pending[bestRev].track) {
+				bestRev = i
+			}
+		}
+	}
+	idx := bestFwd
+	if idx < 0 {
+		idx = bestRev
+	}
+	req := d.pending[idx]
+	d.pending = append(d.pending[:idx], d.pending[idx+1:]...)
+	return req
+}
+
+// AlarmClock: like the disk, all the scheduling is synchronization
+// procedures behind a path-built mutex — the alarmclock case the paper
+// attributes to [11].
+type AlarmClock struct {
+	set     *pathexpr.Set
+	now     int64
+	pending []*alarmReq
+}
+
+type alarmReq struct {
+	due  int64
+	gate *semaphore.Semaphore
+}
+
+// NewAlarmClock creates the clock at time zero.
+func NewAlarmClock() *AlarmClock {
+	return &AlarmClock{set: pathexpr.MustCompile("path lock ; unlock end")}
+}
+
+func (a *AlarmClock) lock(p *kernel.Proc)   { a.set.Exec(p, "lock", func() {}) }
+func (a *AlarmClock) unlock(p *kernel.Proc) { a.set.Exec(p, "unlock", func() {}) }
+
+// WakeMe implements problems.AlarmClock.
+func (a *AlarmClock) WakeMe(p *kernel.Proc, ticks int64, body func()) {
+	a.lock(p)
+	due := a.now + ticks
+	if due <= a.now {
+		a.unlock(p)
+		body()
+		return
+	}
+	req := &alarmReq{due: due, gate: semaphore.New(0)}
+	a.pending = append(a.pending, req)
+	a.unlock(p)
+	req.gate.P(p)
+	body()
+}
+
+// Tick implements problems.AlarmClock.
+func (a *AlarmClock) Tick(p *kernel.Proc) {
+	a.lock(p)
+	a.now++
+	var due []*alarmReq
+	rest := a.pending[:0]
+	for _, r := range a.pending {
+		if r.due <= a.now {
+			due = append(due, r)
+		} else {
+			rest = append(rest, r)
+		}
+	}
+	a.pending = rest
+	a.unlock(p)
+	for _, r := range due {
+		r.gate.V()
+	}
+}
+
+// Compile-time checks that every solution satisfies its problem interface.
+var (
+	_ problems.BoundedBuffer = (*BoundedBuffer)(nil)
+	_ problems.Resource      = (*FCFS)(nil)
+	_ problems.RWStore       = (*ReadersPriority)(nil)
+	_ problems.RWStore       = (*WritersPriority)(nil)
+	_ problems.RWStore       = (*FCFSRW)(nil)
+	_ problems.Disk          = (*Disk)(nil)
+	_ problems.AlarmClock    = (*AlarmClock)(nil)
+	_ problems.OneSlot       = (*OneSlot)(nil)
+)
+
+// BoundedBufferNumeric is the second-generation dialect version of the
+// bounded buffer: with the Flon–Habermann numeric operator the whole
+// synchronization scheme is ONE path and the auxiliary semaphores of
+// BoundedBuffer disappear — the paper's §5.1 observation that "the
+// weaknesses revealed by this method of analysis correspond … with those
+// that the mechanism designers have attempted to correct in later
+// versions", made executable (experiment E1).
+type BoundedBufferNumeric struct {
+	set      *pathexpr.Set
+	buf      []int64
+	capacity int
+}
+
+// NewBoundedBufferNumeric creates a buffer with the given capacity.
+// Two paths carry the whole scheme: the numeric path is the occupancy
+// discipline (deposits lead removes by at most capacity), and the
+// selection path serializes the operations — both pure path dialect.
+func NewBoundedBufferNumeric(capacity int) *BoundedBufferNumeric {
+	return &BoundedBufferNumeric{
+		set: pathexpr.MustCompile(
+			fmt.Sprintf("path %d : deposit ; remove end", capacity),
+			"path deposit , remove end",
+		),
+		capacity: capacity,
+	}
+}
+
+// Cap implements problems.BoundedBuffer.
+func (b *BoundedBufferNumeric) Cap() int { return b.capacity }
+
+// Deposit implements problems.BoundedBuffer.
+func (b *BoundedBufferNumeric) Deposit(p *kernel.Proc, item int64, body func()) {
+	b.set.Exec(p, "deposit", func() {
+		body()
+		b.buf = append(b.buf, item)
+	})
+}
+
+// Remove implements problems.BoundedBuffer.
+func (b *BoundedBufferNumeric) Remove(p *kernel.Proc, body func(int64)) {
+	b.set.Exec(p, "remove", func() {
+		item := b.buf[0]
+		b.buf = b.buf[1:]
+		body(item)
+	})
+}
+
+// Paths reports the solution's path declarations in canonical form, for
+// the E1 report.
+func (b *BoundedBufferNumeric) Paths() []string {
+	var out []string
+	for _, p := range b.set.Paths() {
+		out = append(out, p.String())
+	}
+	return out
+}
+
+var _ problems.BoundedBuffer = (*BoundedBufferNumeric)(nil)

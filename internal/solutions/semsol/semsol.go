@@ -1,0 +1,423 @@
+// Package semsol implements the full problem suite with bare Dijkstra
+// semaphores [9] — the baseline the paper's §1 says higher-level
+// mechanisms must improve on.
+//
+// The characteristic pattern the evaluation engine extracts from this
+// source: every kind of information is expressible, but none directly —
+// counts, tickets, pending lists, and per-process private semaphores are
+// all hand-built, and exclusion and priority logic interleave freely.
+package semsol
+
+import (
+	"repro/internal/kernel"
+	"repro/internal/problems"
+	"repro/internal/semaphore"
+)
+
+// BoundedBuffer is Dijkstra's producer–consumer: counting semaphores for
+// slots and items, a mutex for the buffer itself.
+type BoundedBuffer struct {
+	mutex    *semaphore.Mutex
+	slots    *semaphore.Semaphore
+	items    *semaphore.Semaphore
+	buf      []int64
+	capacity int
+}
+
+// NewBoundedBuffer creates a buffer with the given capacity.
+func NewBoundedBuffer(capacity int) *BoundedBuffer {
+	return &BoundedBuffer{
+		mutex:    semaphore.NewMutex(),
+		slots:    semaphore.New(int64(capacity)),
+		items:    semaphore.New(0),
+		capacity: capacity,
+	}
+}
+
+// Cap implements problems.BoundedBuffer.
+func (b *BoundedBuffer) Cap() int { return b.capacity }
+
+// Deposit implements problems.BoundedBuffer.
+func (b *BoundedBuffer) Deposit(p *kernel.Proc, item int64, body func()) {
+	b.slots.P(p)
+	b.mutex.Lock(p)
+	body()
+	b.buf = append(b.buf, item)
+	b.mutex.Unlock(p)
+	b.items.V()
+}
+
+// Remove implements problems.BoundedBuffer.
+func (b *BoundedBuffer) Remove(p *kernel.Proc, body func(int64)) {
+	b.items.P(p)
+	b.mutex.Lock(p)
+	item := b.buf[0]
+	b.buf = b.buf[1:]
+	body(item)
+	b.mutex.Unlock(p)
+	b.slots.V()
+}
+
+// FCFS: a single FIFO semaphore IS the first-come-first-served allocator
+// — request-time information is exactly what a FIFO queue encodes.
+type FCFS struct {
+	s *semaphore.Semaphore
+}
+
+// NewFCFS creates the allocator.
+func NewFCFS() *FCFS {
+	return &FCFS{s: semaphore.New(1)}
+}
+
+// Use implements problems.Resource.
+func (f *FCFS) Use(p *kernel.Proc, body func()) {
+	f.s.P(p)
+	body()
+	f.s.V()
+}
+
+// ReadersPriority is the Courtois–Heymans–Parnas semaphore solution 1,
+// hardened for FIFO semaphores: writers serialize through wq before
+// touching w, so at most one writer ever queues on w and a waiting reader
+// can never sit behind a second writer.
+type ReadersPriority struct {
+	mutex *semaphore.Mutex     // protects rc
+	w     *semaphore.Semaphore // held by the writer or the reader group
+	wq    *semaphore.Semaphore // writer staging: one writer at a time
+	rc    int
+}
+
+// NewReadersPriority creates the database.
+func NewReadersPriority() *ReadersPriority {
+	return &ReadersPriority{
+		mutex: semaphore.NewMutex(),
+		w:     semaphore.New(1),
+		wq:    semaphore.New(1),
+	}
+}
+
+// Read implements problems.RWStore.
+func (d *ReadersPriority) Read(p *kernel.Proc, body func()) {
+	d.mutex.Lock(p)
+	d.rc++
+	if d.rc == 1 {
+		d.w.P(p) // first reader locks out writers
+	}
+	d.mutex.Unlock(p)
+
+	body()
+
+	d.mutex.Lock(p)
+	d.rc--
+	if d.rc == 0 {
+		d.w.V() // last reader readmits writers
+	}
+	d.mutex.Unlock(p)
+}
+
+// Write implements problems.RWStore.
+func (d *ReadersPriority) Write(p *kernel.Proc, body func()) {
+	d.wq.P(p) // stage: only one writer contends on w
+	d.w.P(p)
+	body()
+	d.w.V()
+	d.wq.V()
+}
+
+// WritersPriority is CHP semaphore solution 2: the r gate holds readers
+// out while any writer is waiting or active.
+type WritersPriority struct {
+	mutex1 *semaphore.Mutex // protects rc
+	mutex2 *semaphore.Mutex // protects wc
+	mutex3 *semaphore.Mutex // at most one reader queued on r
+	r      *semaphore.Semaphore
+	w      *semaphore.Semaphore
+	rc, wc int
+}
+
+// NewWritersPriority creates the database.
+func NewWritersPriority() *WritersPriority {
+	return &WritersPriority{
+		mutex1: semaphore.NewMutex(),
+		mutex2: semaphore.NewMutex(),
+		mutex3: semaphore.NewMutex(),
+		r:      semaphore.New(1),
+		w:      semaphore.New(1),
+	}
+}
+
+// Read implements problems.RWStore.
+func (d *WritersPriority) Read(p *kernel.Proc, body func()) {
+	d.mutex3.Lock(p)
+	d.r.P(p)
+	d.mutex1.Lock(p)
+	d.rc++
+	if d.rc == 1 {
+		d.w.P(p)
+	}
+	d.mutex1.Unlock(p)
+	d.r.V()
+	d.mutex3.Unlock(p)
+
+	body()
+
+	d.mutex1.Lock(p)
+	d.rc--
+	if d.rc == 0 {
+		d.w.V()
+	}
+	d.mutex1.Unlock(p)
+}
+
+// Write implements problems.RWStore.
+func (d *WritersPriority) Write(p *kernel.Proc, body func()) {
+	d.mutex2.Lock(p)
+	d.wc++
+	if d.wc == 1 {
+		d.r.P(p) // first writer bars new readers
+	}
+	d.mutex2.Unlock(p)
+	d.w.P(p)
+
+	body()
+
+	d.w.V()
+	d.mutex2.Lock(p)
+	d.wc--
+	if d.wc == 0 {
+		d.r.V()
+	}
+	d.mutex2.Unlock(p)
+}
+
+// FCFSRW threads every request through a FIFO entry semaphore: readers
+// release it immediately after registering (so later readers overlap),
+// writers hold it for the whole write (so everyone behind waits).
+type FCFSRW struct {
+	entry *semaphore.Semaphore
+	mutex *semaphore.Mutex
+	w     *semaphore.Semaphore
+	rc    int
+}
+
+// NewFCFSRW creates the database.
+func NewFCFSRW() *FCFSRW {
+	return &FCFSRW{
+		entry: semaphore.New(1),
+		mutex: semaphore.NewMutex(),
+		w:     semaphore.New(1),
+	}
+}
+
+// Read implements problems.RWStore.
+func (d *FCFSRW) Read(p *kernel.Proc, body func()) {
+	d.entry.P(p)
+	d.mutex.Lock(p)
+	d.rc++
+	if d.rc == 1 {
+		d.w.P(p)
+	}
+	d.mutex.Unlock(p)
+	d.entry.V()
+
+	body()
+
+	d.mutex.Lock(p)
+	d.rc--
+	if d.rc == 0 {
+		d.w.V()
+	}
+	d.mutex.Unlock(p)
+}
+
+// Write implements problems.RWStore.
+func (d *FCFSRW) Write(p *kernel.Proc, body func()) {
+	d.entry.P(p)
+	d.w.P(p)
+	body()
+	d.w.V()
+	d.entry.V()
+}
+
+// Disk implements the elevator with explicit pending lists and a private
+// gate semaphore per waiting request — the "everything by hand" end of
+// the spectrum.
+type Disk struct {
+	mutex   *semaphore.Mutex
+	pending []*diskReq
+	headpos int64
+	up      bool
+	busy    bool
+}
+
+type diskReq struct {
+	track int64
+	gate  *semaphore.Semaphore
+}
+
+// NewDisk creates the scheduler with the head parked at start.
+func NewDisk(start, maxTrack int64) *Disk {
+	return &Disk{mutex: semaphore.NewMutex(), headpos: start, up: true}
+}
+
+// Seek implements problems.Disk.
+func (d *Disk) Seek(p *kernel.Proc, track int64, body func()) {
+	d.mutex.Lock(p)
+	if !d.busy {
+		d.busy = true
+		d.moveTo(track)
+		d.mutex.Unlock(p)
+	} else {
+		req := &diskReq{track: track, gate: semaphore.New(0)}
+		d.pending = append(d.pending, req)
+		d.mutex.Unlock(p)
+		req.gate.P(p) // admitted by a completing request
+	}
+
+	body()
+
+	d.mutex.Lock(p)
+	if next := d.pickNext(); next != nil {
+		d.moveTo(next.track)
+		d.mutex.Unlock(p)
+		next.gate.V()
+	} else {
+		d.busy = false
+		d.mutex.Unlock(p)
+	}
+}
+
+func (d *Disk) moveTo(track int64) {
+	if track > d.headpos {
+		d.up = true
+	} else if track < d.headpos {
+		d.up = false
+	}
+	d.headpos = track
+}
+
+// pickNext removes and returns the elevator-correct next request.
+func (d *Disk) pickNext() *diskReq {
+	if len(d.pending) == 0 {
+		return nil
+	}
+	bestFwd, bestRev := -1, -1
+	for i, r := range d.pending {
+		if d.up {
+			if r.track >= d.headpos && (bestFwd < 0 || r.track < d.pending[bestFwd].track) {
+				bestFwd = i
+			}
+			if r.track < d.headpos && (bestRev < 0 || r.track > d.pending[bestRev].track) {
+				bestRev = i
+			}
+		} else {
+			if r.track <= d.headpos && (bestFwd < 0 || r.track > d.pending[bestFwd].track) {
+				bestFwd = i
+			}
+			if r.track > d.headpos && (bestRev < 0 || r.track < d.pending[bestRev].track) {
+				bestRev = i
+			}
+		}
+	}
+	idx := bestFwd
+	if idx < 0 {
+		idx = bestRev
+	}
+	req := d.pending[idx]
+	d.pending = append(d.pending[:idx], d.pending[idx+1:]...)
+	return req
+}
+
+// AlarmClock keeps a pending list of (due, gate) pairs; each tick opens
+// the gates of every due sleeper.
+type AlarmClock struct {
+	mutex   *semaphore.Mutex
+	now     int64
+	pending []*alarmReq
+}
+
+type alarmReq struct {
+	due  int64
+	gate *semaphore.Semaphore
+}
+
+// NewAlarmClock creates the clock at time zero.
+func NewAlarmClock() *AlarmClock {
+	return &AlarmClock{mutex: semaphore.NewMutex()}
+}
+
+// WakeMe implements problems.AlarmClock.
+func (a *AlarmClock) WakeMe(p *kernel.Proc, ticks int64, body func()) {
+	a.mutex.Lock(p)
+	due := a.now + ticks
+	if due <= a.now {
+		a.mutex.Unlock(p)
+		body()
+		return
+	}
+	req := &alarmReq{due: due, gate: semaphore.New(0)}
+	a.pending = append(a.pending, req)
+	a.mutex.Unlock(p)
+	req.gate.P(p)
+	body()
+}
+
+// Tick implements problems.AlarmClock.
+func (a *AlarmClock) Tick(p *kernel.Proc) {
+	a.mutex.Lock(p)
+	a.now++
+	var due []*alarmReq
+	rest := a.pending[:0]
+	for _, r := range a.pending {
+		if r.due <= a.now {
+			due = append(due, r)
+		} else {
+			rest = append(rest, r)
+		}
+	}
+	a.pending = rest
+	a.mutex.Unlock(p)
+	for _, r := range due {
+		r.gate.V()
+	}
+}
+
+// OneSlot is the two-semaphore alternation: the history fact "a put has
+// completed" is the token in the full semaphore.
+type OneSlot struct {
+	empty *semaphore.Semaphore
+	full  *semaphore.Semaphore
+	slot  int64
+}
+
+// NewOneSlot creates an empty slot.
+func NewOneSlot() *OneSlot {
+	return &OneSlot{empty: semaphore.New(1), full: semaphore.New(0)}
+}
+
+// Put implements problems.OneSlot.
+func (s *OneSlot) Put(p *kernel.Proc, item int64, body func()) {
+	s.empty.P(p)
+	body()
+	s.slot = item
+	s.full.V()
+}
+
+// Get implements problems.OneSlot.
+func (s *OneSlot) Get(p *kernel.Proc, body func(int64)) {
+	s.full.P(p)
+	body(s.slot)
+	s.empty.V()
+}
+
+// Compile-time checks that every solution satisfies its problem interface.
+var (
+	_ problems.BoundedBuffer = (*BoundedBuffer)(nil)
+	_ problems.Resource      = (*FCFS)(nil)
+	_ problems.RWStore       = (*ReadersPriority)(nil)
+	_ problems.RWStore       = (*WritersPriority)(nil)
+	_ problems.RWStore       = (*FCFSRW)(nil)
+	_ problems.Disk          = (*Disk)(nil)
+	_ problems.AlarmClock    = (*AlarmClock)(nil)
+	_ problems.OneSlot       = (*OneSlot)(nil)
+)

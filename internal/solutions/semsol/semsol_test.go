@@ -1,0 +1,241 @@
+package semsol
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/kernel"
+)
+
+// These tests pin the semaphore baseline's hand-built machinery: the
+// writer staging semaphore that hardens CHP solution 1, the CHP solution
+// 2 gate structure, and the FIFO entry semaphore of the FCFS variant.
+
+// The wq staging semaphore: with a writer active and another waiting at
+// wq, an arriving reader queues on w AHEAD of the second writer and is
+// served first — the property plain CHP solution 1 lacks under FIFO
+// semaphores.
+func TestReadersPriorityStagingBeatsSecondWriter(t *testing.T) {
+	k := kernel.NewSim()
+	db := NewReadersPriority()
+	var order []string
+	k.Spawn("w1", func(p *kernel.Proc) {
+		db.Write(p, func() {
+			order = append(order, "w1")
+			for i := 0; i < 6; i++ {
+				p.Yield()
+			}
+		})
+	})
+	k.Spawn("w2", func(p *kernel.Proc) {
+		p.Yield()
+		db.Write(p, func() { order = append(order, "w2") })
+	})
+	k.Spawn("r", func(p *kernel.Proc) {
+		p.Yield()
+		p.Yield()
+		db.Read(p, func() { order = append(order, "r") })
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// w2 requested BEFORE r, but readers-priority admits r first.
+	if fmt.Sprint(order) != "[w1 r w2]" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+// CHP solution 2's r gate: once a writer is waiting, arriving readers
+// block at r until all writers drain.
+func TestWritersPriorityRGate(t *testing.T) {
+	k := kernel.NewSim()
+	db := NewWritersPriority()
+	var order []string
+	k.Spawn("r1", func(p *kernel.Proc) {
+		db.Read(p, func() {
+			order = append(order, "r1")
+			for i := 0; i < 8; i++ {
+				p.Yield()
+			}
+		})
+	})
+	k.Spawn("w1", func(p *kernel.Proc) {
+		p.Yield()
+		db.Write(p, func() { order = append(order, "w1") })
+	})
+	k.Spawn("w2", func(p *kernel.Proc) {
+		p.Yield()
+		p.Yield()
+		db.Write(p, func() { order = append(order, "w2") })
+	})
+	k.Spawn("r2", func(p *kernel.Proc) {
+		p.Yield()
+		p.Yield()
+		p.Yield()
+		db.Read(p, func() { order = append(order, "r2") })
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Both writers precede the second reader.
+	if fmt.Sprint(order) != "[r1 w1 w2 r2]" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+// The FCFSRW entry semaphore: the writer holds it through the write, so
+// later arrivals (of either kind) stay strictly behind.
+func TestFCFSRWEntryHeldThroughWrite(t *testing.T) {
+	k := kernel.NewSim()
+	db := NewFCFSRW()
+	var order []string
+	k.Spawn("w", func(p *kernel.Proc) {
+		db.Write(p, func() {
+			order = append(order, "w")
+			for i := 0; i < 4; i++ {
+				p.Yield()
+			}
+		})
+	})
+	k.Spawn("r1", func(p *kernel.Proc) {
+		p.Yield()
+		db.Read(p, func() { order = append(order, "r1") })
+	})
+	k.Spawn("r2", func(p *kernel.Proc) {
+		p.Yield()
+		p.Yield()
+		db.Read(p, func() { order = append(order, "r2") })
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if order[0] != "w" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+// Readers release the entry semaphore immediately, so consecutive reads
+// overlap.
+func TestFCFSRWConsecutiveReadsOverlap(t *testing.T) {
+	k := kernel.NewSim()
+	db := NewFCFSRW()
+	concurrent, maxConcurrent := 0, 0
+	for i := 0; i < 3; i++ {
+		k.Spawn("reader", func(p *kernel.Proc) {
+			db.Read(p, func() {
+				concurrent++
+				if concurrent > maxConcurrent {
+					maxConcurrent = concurrent
+				}
+				p.Yield()
+				p.Yield()
+				concurrent--
+			})
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if maxConcurrent < 2 {
+		t.Fatalf("maxConcurrent = %d", maxConcurrent)
+	}
+}
+
+// The disk's private gate semaphores hand the head directly to the
+// elevator-chosen request.
+func TestDiskPrivateGates(t *testing.T) {
+	k := kernel.NewSim()
+	d := NewDisk(50, 200)
+	var order []int64
+	for _, track := range []int64{55, 10, 60, 90, 20} {
+		track := track
+		k.Spawn("io", func(p *kernel.Proc) {
+			d.Seek(p, track, func() {
+				order = append(order, track)
+				p.Yield()
+				p.Yield()
+			})
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(order) != "[55 60 90 20 10]" {
+		t.Fatalf("service order = %v", order)
+	}
+}
+
+// The alarm clock opens every due gate on a tick, including several at
+// once.
+func TestAlarmClockOpensAllDueGates(t *testing.T) {
+	k := kernel.NewSim()
+	ac := NewAlarmClock()
+	woke := 0
+	for i := 0; i < 3; i++ {
+		k.Spawn("sleeper", func(p *kernel.Proc) {
+			ac.WakeMe(p, 2, func() { woke++ })
+		})
+	}
+	k.Spawn("clock", func(p *kernel.Proc) {
+		p.Yield()
+		ac.Tick(p)
+		ac.Tick(p)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if woke != 3 {
+		t.Fatalf("woke = %d", woke)
+	}
+}
+
+// The two-semaphore one-slot buffer under the real kernel and -race.
+func TestOneSlotReal(t *testing.T) {
+	k := kernel.NewReal(kernel.WithWatchdog(30 * time.Second))
+	s := NewOneSlot()
+	const items = 500
+	var got []int64
+	k.Spawn("producer", func(p *kernel.Proc) {
+		for i := int64(0); i < items; i++ {
+			s.Put(p, i, func() {})
+		}
+	})
+	k.Spawn("consumer", func(p *kernel.Proc) {
+		for i := 0; i < items; i++ {
+			s.Get(p, func(v int64) { got = append(got, v) })
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != int64(i) {
+			t.Fatalf("item %d = %d", i, v)
+		}
+	}
+}
+
+// Dijkstra's bounded buffer keeps FIFO item order with one producer and
+// one consumer.
+func TestBoundedBufferFIFO(t *testing.T) {
+	k := kernel.NewSim()
+	bb := NewBoundedBuffer(3)
+	var got []int64
+	k.Spawn("producer", func(p *kernel.Proc) {
+		for i := int64(0); i < 10; i++ {
+			bb.Deposit(p, i, func() {})
+		}
+	})
+	k.Spawn("consumer", func(p *kernel.Proc) {
+		for i := 0; i < 10; i++ {
+			bb.Remove(p, func(v int64) { got = append(got, v) })
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(got) != "[0 1 2 3 4 5 6 7 8 9]" {
+		t.Fatalf("got = %v", got)
+	}
+}

@@ -1,0 +1,329 @@
+// Package serializersol implements the full problem suite with
+// Atkinson–Hewitt serializers [3].
+//
+// The §5.2 findings are visible in this source: crowds carry
+// synchronization state without hand-kept counts, a single queue carries
+// FCFS order while guarantees distinguish request types (dissolving the
+// monitor queue conflict), and resource bodies run outside possession
+// (Join), giving the modular protected-resource structure automatically.
+package serializersol
+
+import (
+	"repro/internal/kernel"
+	"repro/internal/problems"
+	"repro/internal/serializer"
+)
+
+// BoundedBuffer guards deposits and removals with guarantees over the
+// solution's local state; operations execute inside possession (the
+// buffer spec serializes them).
+type BoundedBuffer struct {
+	s        *serializer.Serializer
+	qput     *serializer.Queue
+	qget     *serializer.Queue
+	buf      []int64
+	capacity int
+}
+
+// NewBoundedBuffer creates a buffer with the given capacity.
+func NewBoundedBuffer(capacity int) *BoundedBuffer {
+	s := serializer.New("bounded-buffer")
+	return &BoundedBuffer{
+		s:        s,
+		qput:     s.NewQueue("put"),
+		qget:     s.NewQueue("get"),
+		capacity: capacity,
+	}
+}
+
+// Cap implements problems.BoundedBuffer.
+func (b *BoundedBuffer) Cap() int { return b.capacity }
+
+// Deposit implements problems.BoundedBuffer.
+func (b *BoundedBuffer) Deposit(p *kernel.Proc, item int64, body func()) {
+	b.s.Enter(p)
+	b.qput.Enqueue(p, func() bool { return len(b.buf) < b.capacity })
+	body()
+	b.buf = append(b.buf, item)
+	b.s.Exit(p)
+}
+
+// Remove implements problems.BoundedBuffer.
+func (b *BoundedBuffer) Remove(p *kernel.Proc, body func(int64)) {
+	b.s.Enter(p)
+	b.qget.Enqueue(p, func() bool { return len(b.buf) > 0 })
+	item := b.buf[0]
+	b.buf = b.buf[1:]
+	body(item)
+	b.s.Exit(p)
+}
+
+// FCFS: one queue, one crowd — head-blocking FIFO is exact
+// first-come-first-served.
+type FCFS struct {
+	s     *serializer.Serializer
+	q     *serializer.Queue
+	users *serializer.Crowd
+}
+
+// NewFCFS creates the allocator.
+func NewFCFS() *FCFS {
+	s := serializer.New("fcfs")
+	return &FCFS{s: s, q: s.NewQueue("q"), users: s.NewCrowd("users")}
+}
+
+// Use implements problems.Resource.
+func (f *FCFS) Use(p *kernel.Proc, body func()) {
+	f.s.Enter(p)
+	f.q.Enqueue(p, f.users.EmptyG())
+	f.users.Join(p, body)
+	f.s.Exit(p)
+}
+
+// ReadersPriority: readers wait only for active writers (writers crowd
+// nonempty); a writer additionally waits while any reader is waiting —
+// the queue-length guarantee expresses the priority constraint directly.
+type ReadersPriority struct {
+	s       *serializer.Serializer
+	rq      *serializer.Queue
+	wq      *serializer.Queue
+	readers *serializer.Crowd
+	writers *serializer.Crowd
+}
+
+// NewReadersPriority creates the database.
+func NewReadersPriority() *ReadersPriority {
+	s := serializer.New("readers-priority")
+	return &ReadersPriority{
+		s:       s,
+		rq:      s.NewQueue("rq"),
+		wq:      s.NewQueue("wq"),
+		readers: s.NewCrowd("readers"),
+		writers: s.NewCrowd("writers"),
+	}
+}
+
+// Read implements problems.RWStore.
+func (d *ReadersPriority) Read(p *kernel.Proc, body func()) {
+	d.s.Enter(p)
+	d.rq.Enqueue(p, d.writers.EmptyG())
+	d.readers.Join(p, body)
+	d.s.Exit(p)
+}
+
+// Write implements problems.RWStore.
+func (d *ReadersPriority) Write(p *kernel.Proc, body func()) {
+	d.s.Enter(p)
+	rSize, wSize, rWaiting := d.readers.SizeG(), d.writers.SizeG(), d.rq.LenG()
+	d.wq.Enqueue(p, func() bool {
+		return rSize() == 0 && wSize() == 0 && rWaiting() == 0
+	})
+	d.writers.Join(p, body)
+	d.s.Exit(p)
+}
+
+// WritersPriority is the mirror image: the guards swap roles, nothing
+// else changes — the serializer's constraint-independence showcase.
+type WritersPriority struct {
+	s       *serializer.Serializer
+	rq      *serializer.Queue
+	wq      *serializer.Queue
+	readers *serializer.Crowd
+	writers *serializer.Crowd
+}
+
+// NewWritersPriority creates the database.
+func NewWritersPriority() *WritersPriority {
+	s := serializer.New("writers-priority")
+	return &WritersPriority{
+		s:       s,
+		rq:      s.NewQueue("rq"),
+		wq:      s.NewQueue("wq"),
+		readers: s.NewCrowd("readers"),
+		writers: s.NewCrowd("writers"),
+	}
+}
+
+// Read implements problems.RWStore.
+func (d *WritersPriority) Read(p *kernel.Proc, body func()) {
+	d.s.Enter(p)
+	wSize, wWaiting := d.writers.SizeG(), d.wq.LenG()
+	d.rq.Enqueue(p, func() bool {
+		return wSize() == 0 && wWaiting() == 0
+	})
+	d.readers.Join(p, body)
+	d.s.Exit(p)
+}
+
+// Write implements problems.RWStore.
+func (d *WritersPriority) Write(p *kernel.Proc, body func()) {
+	d.s.Enter(p)
+	rSize, wSize := d.readers.SizeG(), d.writers.SizeG()
+	d.wq.Enqueue(p, func() bool { return rSize() == 0 && wSize() == 0 })
+	d.writers.Join(p, body)
+	d.s.Exit(p)
+}
+
+// FCFSRW is the serializer's signature solution (§5.2): readers and
+// writers share ONE queue — arrival order is the queue order, request
+// type lives in each waiter's guarantee — and the head-blocking rule
+// makes the FCFS admission exact.
+type FCFSRW struct {
+	s       *serializer.Serializer
+	q       *serializer.Queue
+	readers *serializer.Crowd
+	writers *serializer.Crowd
+}
+
+// NewFCFSRW creates the database.
+func NewFCFSRW() *FCFSRW {
+	s := serializer.New("fcfs-rw")
+	return &FCFSRW{
+		s:       s,
+		q:       s.NewQueue("q"),
+		readers: s.NewCrowd("readers"),
+		writers: s.NewCrowd("writers"),
+	}
+}
+
+// Read implements problems.RWStore.
+func (d *FCFSRW) Read(p *kernel.Proc, body func()) {
+	d.s.Enter(p)
+	d.q.Enqueue(p, d.writers.EmptyG())
+	d.readers.Join(p, body)
+	d.s.Exit(p)
+}
+
+// Write implements problems.RWStore.
+func (d *FCFSRW) Write(p *kernel.Proc, body func()) {
+	d.s.Enter(p)
+	rSize, wSize := d.readers.SizeG(), d.writers.SizeG()
+	d.q.Enqueue(p, func() bool { return rSize() == 0 && wSize() == 0 })
+	d.writers.Join(p, body)
+	d.s.Exit(p)
+}
+
+// Disk implements the elevator with two priority queues (ranked by track
+// going up, by reflected track going down) and guard-carried direction
+// logic.
+type Disk struct {
+	s        *serializer.Serializer
+	upq      *serializer.Queue
+	downq    *serializer.Queue
+	transfer *serializer.Crowd
+	headpos  int64
+	up       bool
+	maxTrack int64
+}
+
+// NewDisk creates the scheduler with the head parked at start.
+func NewDisk(start, maxTrack int64) *Disk {
+	s := serializer.New("disk")
+	return &Disk{
+		s:        s,
+		upq:      s.NewQueue("upsweep"),
+		downq:    s.NewQueue("downsweep"),
+		transfer: s.NewCrowd("transfer"),
+		headpos:  start,
+		up:       true,
+		maxTrack: maxTrack,
+	}
+}
+
+// Seek implements problems.Disk.
+func (d *Disk) Seek(p *kernel.Proc, track int64, body func()) {
+	d.s.Enter(p)
+	idle := d.transfer.SizeG()
+	upLen, downLen := d.upq.LenG(), d.downq.LenG()
+	goingUp := track > d.headpos || (track == d.headpos && d.up)
+	if goingUp {
+		d.upq.EnqueueRank(p, track, func() bool {
+			return idle() == 0 && (d.up || downLen() == 0)
+		})
+		d.up = true
+	} else {
+		d.downq.EnqueueRank(p, d.maxTrack-track, func() bool {
+			return idle() == 0 && (!d.up || upLen() == 0)
+		})
+		d.up = false
+	}
+	d.headpos = track
+	d.transfer.Join(p, body)
+	d.s.Exit(p)
+}
+
+// AlarmClock: one priority queue ranked by due time; Tick's possession
+// release is the automatic signal.
+type AlarmClock struct {
+	s      *serializer.Serializer
+	wakeup *serializer.Queue
+	now    int64
+}
+
+// NewAlarmClock creates the clock at time zero.
+func NewAlarmClock() *AlarmClock {
+	s := serializer.New("alarm-clock")
+	return &AlarmClock{s: s, wakeup: s.NewQueue("wakeup")}
+}
+
+// WakeMe implements problems.AlarmClock.
+func (a *AlarmClock) WakeMe(p *kernel.Proc, ticks int64, body func()) {
+	a.s.Enter(p)
+	due := a.now + ticks
+	a.wakeup.EnqueueRank(p, due, func() bool { return a.now >= due })
+	body()
+	a.s.Exit(p)
+}
+
+// Tick implements problems.AlarmClock.
+func (a *AlarmClock) Tick(p *kernel.Proc) {
+	a.s.Enter(p)
+	a.now++
+	a.s.Exit(p)
+}
+
+// OneSlot: alternation via two guarded queues over the history flag.
+type OneSlot struct {
+	s    *serializer.Serializer
+	qput *serializer.Queue
+	qget *serializer.Queue
+	slot int64
+	full bool
+}
+
+// NewOneSlot creates an empty slot.
+func NewOneSlot() *OneSlot {
+	s := serializer.New("one-slot")
+	return &OneSlot{s: s, qput: s.NewQueue("put"), qget: s.NewQueue("get")}
+}
+
+// Put implements problems.OneSlot.
+func (s *OneSlot) Put(p *kernel.Proc, item int64, body func()) {
+	s.s.Enter(p)
+	s.qput.Enqueue(p, func() bool { return !s.full })
+	body()
+	s.slot = item
+	s.full = true
+	s.s.Exit(p)
+}
+
+// Get implements problems.OneSlot.
+func (s *OneSlot) Get(p *kernel.Proc, body func(int64)) {
+	s.s.Enter(p)
+	s.qget.Enqueue(p, func() bool { return s.full })
+	body(s.slot)
+	s.full = false
+	s.s.Exit(p)
+}
+
+// Compile-time checks that every solution satisfies its problem interface.
+var (
+	_ problems.BoundedBuffer = (*BoundedBuffer)(nil)
+	_ problems.Resource      = (*FCFS)(nil)
+	_ problems.RWStore       = (*ReadersPriority)(nil)
+	_ problems.RWStore       = (*WritersPriority)(nil)
+	_ problems.RWStore       = (*FCFSRW)(nil)
+	_ problems.Disk          = (*Disk)(nil)
+	_ problems.AlarmClock    = (*AlarmClock)(nil)
+	_ problems.OneSlot       = (*OneSlot)(nil)
+)

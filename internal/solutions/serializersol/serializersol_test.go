@@ -1,0 +1,222 @@
+package serializersol
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/kernel"
+	"repro/internal/problems"
+	"repro/internal/trace"
+)
+
+// These tests pin serializer-specific behaviors: head-of-line blocking,
+// single-queue FCFS exactness, crowd-based priority, and the priority
+// queues behind the elevator and the clock.
+
+// The single-queue FCFSRW: a writer at the head blocks later readers even
+// while reads are active (exact FCFS, §5.2).
+func TestFCFSRWHeadOfLineWriterBlocksLaterReaders(t *testing.T) {
+	k := kernel.NewSim()
+	db := NewFCFSRW()
+	var order []string
+	k.Spawn("r1", func(p *kernel.Proc) {
+		db.Read(p, func() {
+			order = append(order, "r1")
+			for i := 0; i < 5; i++ {
+				p.Yield() // the writer and r2 arrive while r1 reads
+			}
+		})
+	})
+	k.Spawn("w", func(p *kernel.Proc) {
+		db.Write(p, func() { order = append(order, "w") })
+	})
+	k.Spawn("r2", func(p *kernel.Proc) {
+		p.Yield()
+		db.Read(p, func() { order = append(order, "r2") })
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// r2 requested after w; even though r1 is reading (and r2 could
+	// share), exact FCFS holds r2 behind the writer.
+	if fmt.Sprint(order) != "[r1 w r2]" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+// Readers-priority: a reader arriving while a writer WAITS is admitted
+// ahead of it (readers only wait for active writers).
+func TestReadersPriorityReaderPassesWaitingWriter(t *testing.T) {
+	k := kernel.NewSim()
+	db := NewReadersPriority()
+	var order []string
+	k.Spawn("r1", func(p *kernel.Proc) {
+		db.Read(p, func() {
+			order = append(order, "r1")
+			for i := 0; i < 5; i++ {
+				p.Yield()
+			}
+		})
+	})
+	k.Spawn("w", func(p *kernel.Proc) {
+		db.Write(p, func() { order = append(order, "w") })
+	})
+	k.Spawn("r2", func(p *kernel.Proc) {
+		p.Yield()
+		db.Read(p, func() { order = append(order, "r2") })
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(order) != "[r1 r2 w]" {
+		t.Fatalf("order = %v: r2 must pass the waiting writer", order)
+	}
+}
+
+// WritersPriority is the mirror: r2 must NOT pass the waiting writer.
+func TestWritersPriorityReaderBlocksBehindWaitingWriter(t *testing.T) {
+	k := kernel.NewSim()
+	db := NewWritersPriority()
+	var order []string
+	k.Spawn("r1", func(p *kernel.Proc) {
+		db.Read(p, func() {
+			order = append(order, "r1")
+			for i := 0; i < 5; i++ {
+				p.Yield()
+			}
+		})
+	})
+	k.Spawn("w", func(p *kernel.Proc) {
+		db.Write(p, func() { order = append(order, "w") })
+	})
+	k.Spawn("r2", func(p *kernel.Proc) {
+		p.Yield()
+		db.Read(p, func() { order = append(order, "r2") })
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(order) != "[r1 w r2]" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+// The elevator's two priority queues: a pre-loaded batch is served in
+// SCAN order, including the direction flip.
+func TestDiskPriorityQueuesScanOrder(t *testing.T) {
+	k := kernel.NewSim()
+	d := NewDisk(100, 300)
+	r := trace.NewRecorder(k)
+	cfg := problems.DiskConfig{
+		Requests: []problems.DiskRequest{
+			{Track: 150}, {Track: 40}, {Track: 110}, {Track: 250}, {Track: 70},
+		},
+		WorkYields: 3,
+	}
+	if err := problems.DriveDisk(k, d, r, cfg); err != nil {
+		t.Fatal(err)
+	}
+	var order []int64
+	for _, iv := range r.Events().MustIntervals() {
+		order = append(order, iv.Arg)
+	}
+	// The idle disk serves the first arrival (150) at once; the rest
+	// queue while it transfers, and SCAN continues up from 150 (250),
+	// then sweeps down (110, 70, 40).
+	if fmt.Sprint(order) != "[150 250 110 70 40]" {
+		t.Fatalf("service order = %v", order)
+	}
+}
+
+// The alarm clock's rank queue: sleepers wake in due order regardless of
+// registration order, purely from possession releases at ticks.
+func TestAlarmClockRankQueueDueOrder(t *testing.T) {
+	k := kernel.NewSim()
+	ac := NewAlarmClock()
+	var woke []int64
+	for _, ticks := range []int64{9, 3, 6} {
+		k.Spawn("sleeper", func(p *kernel.Proc) {
+			ac.WakeMe(p, ticks, func() { woke = append(woke, ticks) })
+		})
+	}
+	k.Spawn("clock", func(p *kernel.Proc) {
+		for i := 0; i < 10; i++ {
+			p.Yield()
+			ac.Tick(p)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(woke) != "[3 6 9]" {
+		t.Fatalf("wake order = %v", woke)
+	}
+}
+
+// Bounded buffer: guarantees over solution-local state; a full buffer
+// blocks the producer until a removal.
+func TestBoundedBufferGuaranteeBlocksAtCapacity(t *testing.T) {
+	k := kernel.NewSim()
+	bb := NewBoundedBuffer(2)
+	var order []string
+	k.Spawn("producer", func(p *kernel.Proc) {
+		for i := 0; i < 3; i++ {
+			bb.Deposit(p, int64(i), func() { order = append(order, fmt.Sprintf("d%d", i)) })
+		}
+	})
+	k.Spawn("consumer", func(p *kernel.Proc) {
+		p.Yield()
+		bb.Remove(p, func(v int64) { order = append(order, fmt.Sprintf("g%d", v)) })
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// d0 d1 fill the buffer; d2 must wait for g0.
+	if fmt.Sprint(order) != "[d0 d1 g0 d2]" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+// FCFS: the crowd guarantee serializes users in queue order.
+func TestFCFSQueueOrder(t *testing.T) {
+	k := kernel.NewSim()
+	f := NewFCFS()
+	var order []int
+	for i := 0; i < 4; i++ {
+		k.Spawn("user", func(p *kernel.Proc) {
+			f.Use(p, func() {
+				order = append(order, p.ID())
+				p.Yield()
+			})
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(order) != "[1 2 3 4]" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+// OneSlot: put/get alternate via the two guarded queues.
+func TestOneSlotAlternation(t *testing.T) {
+	k := kernel.NewSim()
+	s := NewOneSlot()
+	var order []string
+	k.Spawn("producer", func(p *kernel.Proc) {
+		for i := 0; i < 3; i++ {
+			s.Put(p, int64(i), func() { order = append(order, "p") })
+		}
+	})
+	k.Spawn("consumer", func(p *kernel.Proc) {
+		for i := 0; i < 3; i++ {
+			s.Get(p, func(int64) { order = append(order, "g") })
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(order) != "[p g p g p g]" {
+		t.Fatalf("order = %v", order)
+	}
+}

@@ -1,0 +1,155 @@
+package solutions
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/kernel"
+	"repro/internal/problems"
+)
+
+// TestConformanceSim runs every (mechanism, problem) solution under the
+// deterministic kernel with several scheduling policies and judges the
+// traces with the problem oracles, including the strict priority checks.
+//
+// One pair is special: the paper's Figure-1 path-expression
+// readers-priority solution is *known wrong* (footnote 3) — priority
+// violations are permitted for it (and demonstrated deliberately in
+// package eval); its exclusion constraint must still hold.
+func TestConformanceSim(t *testing.T) {
+	policies := map[string]func() kernel.Policy{
+		"fifo":    kernel.FIFO,
+		"lifo":    kernel.LIFO,
+		"rand-1":  func() kernel.Policy { return kernel.Random(1) },
+		"rand-7":  func() kernel.Policy { return kernel.Random(7) },
+		"rand-42": func() kernel.Policy { return kernel.Random(42) },
+	}
+	for _, suite := range All() {
+		for _, problem := range problems.AllProblems() {
+			for polName, pol := range policies {
+				name := fmt.Sprintf("%s/%s/%s", suite.Mechanism, problem, polName)
+				// Strict (priority/ordering) oracles apply under the FIFO
+				// schedule. Under adversarial policies a request can sit in
+				// a mechanism's entry queue across a release — the
+				// mechanism cannot see it yet, so trace-level priority
+				// judgments are unsound there; adversarial schedules still
+				// check all safety constraints. Controlled priority
+				// scenarios live in package eval.
+				strict := polName == "fifo"
+				t.Run(name, func(t *testing.T) {
+					k := kernel.NewSim(kernel.WithPolicy(pol()))
+					tr, vs, err := RunStandard(k, suite, problem, strict)
+					if err != nil {
+						t.Fatalf("run failed: %v\ntrace:\n%s", err, tr)
+					}
+					figure1 := suite.Mechanism == "pathexpr" && problem == problems.NameReadersPriority
+					for _, v := range vs {
+						if figure1 && v.Rule == "readers-priority" {
+							// The paper's footnote-3 anomaly: allowed here,
+							// demonstrated in package eval.
+							continue
+						}
+						t.Errorf("violation: %v", v)
+					}
+					if t.Failed() {
+						t.Logf("trace:\n%s", tr)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestConformanceReal runs every pair under the real kernel with the race
+// detector active (via -race in CI), checking the safety constraints
+// (exclusion, integrity) that remain exact under nondeterminism.
+func TestConformanceReal(t *testing.T) {
+	for _, suite := range All() {
+		for _, problem := range problems.AllProblems() {
+			name := fmt.Sprintf("%s/%s", suite.Mechanism, problem)
+			t.Run(name, func(t *testing.T) {
+				k := kernel.NewReal(kernel.WithWatchdog(60 * time.Second))
+				tr, vs, err := RunStandard(k, suite, problem, false)
+				if err != nil {
+					t.Fatalf("run failed: %v", err)
+				}
+				for _, v := range vs {
+					t.Errorf("violation: %v", v)
+				}
+				if t.Failed() {
+					t.Logf("trace:\n%s", tr)
+				}
+			})
+		}
+	}
+}
+
+// TestRegistryComplete ensures every suite provides every factory.
+func TestRegistryComplete(t *testing.T) {
+	suites := All()
+	if len(suites) != 6 {
+		t.Fatalf("suites = %d, want 6", len(suites))
+	}
+	for _, s := range suites {
+		if s.Mechanism == "" {
+			t.Error("suite with empty mechanism name")
+		}
+		if s.NewBoundedBuffer == nil || s.NewFCFS == nil || s.NewReadersPriority == nil ||
+			s.NewWritersPriority == nil || s.NewFCFSRW == nil || s.NewDisk == nil ||
+			s.NewAlarmClock == nil || s.NewOneSlot == nil {
+			t.Errorf("suite %s has a nil factory", s.Mechanism)
+		}
+	}
+	if _, ok := ByMechanism("monitor"); !ok {
+		t.Error("ByMechanism(monitor) not found")
+	}
+	if _, ok := ByMechanism("nope"); ok {
+		t.Error("ByMechanism(nope) found")
+	}
+}
+
+// TestSourcesEmbedded verifies the structural-analysis inputs are present.
+func TestSourcesEmbedded(t *testing.T) {
+	for _, dir := range []string{"ccrsol", "cspsol", "monitorsol", "pathexprsol", "semsol", "serializersol"} {
+		entries, err := Sources.ReadDir(dir)
+		if err != nil {
+			t.Fatalf("embedded dir %s: %v", dir, err)
+		}
+		if len(entries) == 0 {
+			t.Fatalf("embedded dir %s is empty", dir)
+		}
+	}
+}
+
+// TestUnknownProblemRejected covers the runner's error path.
+func TestUnknownProblemRejected(t *testing.T) {
+	k := kernel.NewSim()
+	if _, _, err := RunStandard(k, All()[0], "no-such-problem", true); err == nil {
+		t.Fatal("unknown problem accepted")
+	}
+}
+
+// TestDeterministicReplay: the reproducibility contract behind every
+// experiment — running any (mechanism, problem) pair twice under the same
+// policy yields byte-identical traces.
+func TestDeterministicReplay(t *testing.T) {
+	for _, suite := range All() {
+		for _, problem := range problems.AllProblems() {
+			name := fmt.Sprintf("%s/%s", suite.Mechanism, problem)
+			t.Run(name, func(t *testing.T) {
+				run := func() string {
+					k := kernel.NewSim(kernel.WithPolicy(kernel.Random(99)))
+					tr, _, err := RunStandard(k, suite, problem, false)
+					if err != nil {
+						t.Fatal(err)
+					}
+					return tr.String()
+				}
+				if run() != run() {
+					t.Fatal("two identically-scheduled runs produced different traces")
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package trace
+
+import "fmt"
+
+// Interval is one completed (or still-open) operation execution,
+// reconstructed from a trace by matching each process's Request/Enter/Exit
+// events.
+type Interval struct {
+	ProcID     int
+	Proc       string
+	Op         string
+	Arg        int64
+	RequestSeq int64 // 0 if the solution did not record a request event
+	EnterSeq   int64
+	ExitSeq    int64 // 0 while the operation is still executing at trace end
+}
+
+// Open reports whether the operation had not exited by the end of the trace.
+func (iv Interval) Open() bool { return iv.ExitSeq == 0 }
+
+// OverlapsExecution reports whether the two executions' Enter..Exit spans
+// intersect. Open intervals extend to the end of the trace.
+func (iv Interval) OverlapsExecution(other Interval) bool {
+	aEnd, bEnd := iv.ExitSeq, other.ExitSeq
+	if iv.Open() {
+		aEnd = int64(^uint64(0) >> 1)
+	}
+	if other.Open() {
+		bEnd = int64(^uint64(0) >> 1)
+	}
+	return iv.EnterSeq < bEnd && other.EnterSeq < aEnd
+}
+
+func (iv Interval) String() string {
+	return fmt.Sprintf("%s %s(%d) req@%d enter@%d exit@%d", iv.Proc, iv.Op, iv.Arg, iv.RequestSeq, iv.EnterSeq, iv.ExitSeq)
+}
+
+// Intervals reconstructs operation executions from the trace. Matching is
+// per process: a Request is attached to the next Enter with the same
+// process and op; an Exit closes the most recent open Enter with the same
+// process and op (so properly nested executions are supported). The result
+// is ordered by EnterSeq. An error is reported for unmatched Exit events or
+// mismatched nesting, which indicate an instrumentation bug in a solution.
+func (t Trace) Intervals() ([]Interval, error) {
+	type key struct {
+		proc int
+		op   string
+	}
+	pendingReq := map[key][]Event{} // FIFO of requests awaiting their Enter
+	openStack := map[key][]int{}    // indices into out of open intervals
+	var out []Interval
+
+	for _, e := range t {
+		k := key{e.ProcID, e.Op}
+		switch e.Kind {
+		case KindRequest:
+			pendingReq[k] = append(pendingReq[k], e)
+		case KindEnter:
+			iv := Interval{
+				ProcID:   e.ProcID,
+				Proc:     e.Proc,
+				Op:       e.Op,
+				Arg:      e.Arg,
+				EnterSeq: e.Seq,
+			}
+			if reqs := pendingReq[k]; len(reqs) > 0 {
+				iv.RequestSeq = reqs[0].Seq
+				if iv.Arg == 0 {
+					iv.Arg = reqs[0].Arg
+				}
+				pendingReq[k] = reqs[1:]
+			}
+			out = append(out, iv)
+			openStack[k] = append(openStack[k], len(out)-1)
+		case KindExit:
+			st := openStack[k]
+			if len(st) == 0 {
+				return nil, fmt.Errorf("trace: exit without enter: %s", e)
+			}
+			idx := st[len(st)-1]
+			openStack[k] = st[:len(st)-1]
+			out[idx].ExitSeq = e.Seq
+		case KindMark:
+			// annotations do not affect intervals
+		}
+	}
+	return out, nil
+}
+
+// MustIntervals is Intervals panicking on malformed traces; for use in
+// tests and benchmarks where instrumentation is known good.
+func (t Trace) MustIntervals() []Interval {
+	ivs, err := t.Intervals()
+	if err != nil {
+		panic(err)
+	}
+	return ivs
+}
+
+// OverlappingPairs returns every pair of executions whose Enter..Exit spans
+// intersect, excluding pairs executed by the same process (a process cannot
+// overlap itself; nested instrumentation would be reported spuriously).
+func OverlappingPairs(ivs []Interval) [][2]Interval {
+	var out [][2]Interval
+	for i := 0; i < len(ivs); i++ {
+		for j := i + 1; j < len(ivs); j++ {
+			if ivs[i].ProcID == ivs[j].ProcID {
+				continue
+			}
+			if ivs[i].OverlapsExecution(ivs[j]) {
+				out = append(out, [2]Interval{ivs[i], ivs[j]})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,94 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// OpStats summarizes the executions of one operation in a trace.
+type OpStats struct {
+	Op         string
+	Executions int
+	// MaxConcurrent is the largest number of simultaneously executing
+	// instances of this operation.
+	MaxConcurrent int
+	// AvgQueue and MaxQueue measure waiting as the number of trace events
+	// between an execution's request and its admission — a unitless
+	// queueing-delay proxy that is exact and reproducible on
+	// deterministic traces (wall-clock waits are meaningless there).
+	AvgQueue float64
+	MaxQueue int64
+}
+
+// Stats computes per-operation statistics for the trace. Operations with
+// no completed executions still appear if they entered.
+func (t Trace) Stats() ([]OpStats, error) {
+	ivs, err := t.Intervals()
+	if err != nil {
+		return nil, err
+	}
+	byOp := map[string][]Interval{}
+	for _, iv := range ivs {
+		byOp[iv.Op] = append(byOp[iv.Op], iv)
+	}
+	var out []OpStats
+	for op, list := range byOp {
+		s := OpStats{Op: op, Executions: len(list)}
+		var queued int64
+		waits := 0
+		for _, iv := range list {
+			if iv.RequestSeq > 0 {
+				q := iv.EnterSeq - iv.RequestSeq - 1
+				queued += q
+				waits++
+				if q > s.MaxQueue {
+					s.MaxQueue = q
+				}
+			}
+		}
+		if waits > 0 {
+			s.AvgQueue = float64(queued) / float64(waits)
+		}
+		// Max concurrency by sweep over enter/exit boundaries.
+		type boundary struct {
+			seq   int64
+			delta int
+		}
+		var bs []boundary
+		for _, iv := range list {
+			bs = append(bs, boundary{iv.EnterSeq, +1})
+			end := iv.ExitSeq
+			if iv.Open() {
+				end = int64(^uint64(0) >> 1)
+			}
+			bs = append(bs, boundary{end, -1})
+		}
+		sort.Slice(bs, func(i, j int) bool {
+			if bs[i].seq != bs[j].seq {
+				return bs[i].seq < bs[j].seq
+			}
+			return bs[i].delta < bs[j].delta // exits before enters at a tie
+		})
+		cur := 0
+		for _, b := range bs {
+			cur += b.delta
+			if cur > s.MaxConcurrent {
+				s.MaxConcurrent = cur
+			}
+		}
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Op < out[j].Op })
+	return out, nil
+}
+
+// RenderStats formats per-op statistics as an aligned table.
+func RenderStats(stats []OpStats) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %6s %8s %10s %9s\n", "op", "execs", "maxconc", "avgqueue", "maxqueue")
+	for _, s := range stats {
+		fmt.Fprintf(&b, "%-12s %6d %8d %10.1f %9d\n", s.Op, s.Executions, s.MaxConcurrent, s.AvgQueue, s.MaxQueue)
+	}
+	return b.String()
+}

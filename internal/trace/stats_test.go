@@ -1,0 +1,103 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/kernel"
+)
+
+// buildStatsTrace constructs a trace with known concurrency and queueing.
+func buildStatsTrace(t *testing.T) Trace {
+	t.Helper()
+	k := kernel.NewSim()
+	r := NewRecorder(k)
+	// Two overlapping reads and one queued write.
+	for i := 0; i < 2; i++ {
+		k.Spawn("reader", func(p *kernel.Proc) {
+			r.Request(p, "read", 0)
+			r.Enter(p, "read", 0)
+			p.Yield()
+			p.Yield()
+			r.Exit(p, "read", 0)
+		})
+	}
+	k.Spawn("writer", func(p *kernel.Proc) {
+		r.Request(p, "write", 0)
+		for i := 0; i < 3; i++ {
+			p.Yield() // simulate queueing between request and admission
+		}
+		r.Enter(p, "write", 0)
+		r.Exit(p, "write", 0)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return r.Events()
+}
+
+func TestStatsConcurrencyAndQueueing(t *testing.T) {
+	tr := buildStatsTrace(t)
+	stats, err := tr.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byOp := map[string]OpStats{}
+	for _, s := range stats {
+		byOp[s.Op] = s
+	}
+	read := byOp["read"]
+	if read.Executions != 2 {
+		t.Fatalf("read execs = %d", read.Executions)
+	}
+	if read.MaxConcurrent != 2 {
+		t.Fatalf("read maxconc = %d, want 2 (the reads overlap)", read.MaxConcurrent)
+	}
+	write := byOp["write"]
+	if write.Executions != 1 || write.MaxConcurrent != 1 {
+		t.Fatalf("write stats = %+v", write)
+	}
+	if write.MaxQueue <= 0 {
+		t.Fatalf("write queueing = %d, want > 0 (events occurred between request and enter)", write.MaxQueue)
+	}
+	if write.AvgQueue != float64(write.MaxQueue) {
+		t.Fatalf("avg %v != max %v for a single execution", write.AvgQueue, write.MaxQueue)
+	}
+}
+
+func TestStatsMalformedTrace(t *testing.T) {
+	tr := Trace{{Seq: 1, ProcID: 1, Kind: KindExit, Op: "x"}}
+	if _, err := tr.Stats(); err == nil {
+		t.Fatal("Stats accepted exit-without-enter")
+	}
+}
+
+func TestStatsOpenInterval(t *testing.T) {
+	k := kernel.NewSim()
+	r := NewRecorder(k)
+	k.Spawn("p", func(p *kernel.Proc) {
+		r.Enter(p, "forever", 0)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := r.Events().Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats[0].MaxConcurrent != 1 || stats[0].Executions != 1 {
+		t.Fatalf("stats = %+v", stats[0])
+	}
+}
+
+func TestRenderStats(t *testing.T) {
+	tr := buildStatsTrace(t)
+	stats, err := tr.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderStats(stats)
+	if !strings.Contains(out, "read") || !strings.Contains(out, "maxconc") {
+		t.Fatalf("rendering:\n%s", out)
+	}
+}

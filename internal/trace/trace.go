@@ -1,0 +1,195 @@
+// Package trace records and analyzes execution histories of synchronized
+// resources.
+//
+// The paper's correctness criteria are statements about *histories*: which
+// operation executions overlapped (exclusion constraints) and in what order
+// waiting requests were admitted (priority constraints). Solutions therefore
+// do not self-certify; they record Request/Enter/Exit events into a
+// Recorder, and the problem oracles (package problems) judge the resulting
+// trace. This keeps the mechanisms honest: a solution is correct exactly
+// when every trace it can produce is admissible.
+//
+// Event ordering is by sequence number, assigned under a single lock, so a
+// trace is a linearization of the instrumented points even under the real
+// kernel.
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/kernel"
+)
+
+// Kind classifies an event.
+type Kind int
+
+const (
+	// KindRequest marks a process asking to perform an operation; it is
+	// recorded before the synchronization mechanism is consulted. Request
+	// order defines "time of request" for FCFS-style priority constraints.
+	KindRequest Kind = iota
+	// KindEnter marks the operation actually beginning to execute on the
+	// resource (the mechanism has admitted the process).
+	KindEnter
+	// KindExit marks the operation completing.
+	KindExit
+	// KindMark is a free-form annotation used by examples and tests.
+	KindMark
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindRequest:
+		return "request"
+	case KindEnter:
+		return "enter"
+	case KindExit:
+		return "exit"
+	case KindMark:
+		return "mark"
+	}
+	return "invalid"
+}
+
+// Event is one record in a trace.
+type Event struct {
+	Seq    int64       // global sequence number, from 1
+	Time   kernel.Time // kernel clock at recording
+	ProcID int
+	Proc   string // process name#id
+	Kind   Kind
+	Op     string // operation name ("read", "write", "deposit", …)
+	Arg    int64  // request parameter (track, wake time, item …); 0 if unused
+	Note   string // free-form (KindMark) or extra detail
+}
+
+// String formats the event as a fixed-width trace line.
+func (e Event) String() string {
+	s := fmt.Sprintf("%5d %8d  %-14s %-8s %s", e.Seq, e.Time, e.Proc, e.Kind, e.Op)
+	if e.Arg != 0 {
+		s += fmt.Sprintf("(%d)", e.Arg)
+	}
+	if e.Note != "" {
+		s += "  # " + e.Note
+	}
+	return s
+}
+
+// Recorder collects events. It is safe for concurrent use.
+type Recorder struct {
+	k kernel.Kernel
+
+	mu     sync.Mutex
+	seq    int64
+	events []Event
+}
+
+// NewRecorder creates a Recorder stamping events with k's clock. A nil
+// kernel is allowed; events then carry time 0.
+func NewRecorder(k kernel.Kernel) *Recorder {
+	return &Recorder{k: k}
+}
+
+func (r *Recorder) record(p *kernel.Proc, kind Kind, op string, arg int64, note string) Event {
+	var t kernel.Time
+	if r.k != nil {
+		t = r.k.Now()
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seq++
+	e := Event{
+		Seq:    r.seq,
+		Time:   t,
+		ProcID: p.ID(),
+		Proc:   p.String(),
+		Kind:   kind,
+		Op:     op,
+		Arg:    arg,
+		Note:   note,
+	}
+	r.events = append(r.events, e)
+	return e
+}
+
+// Request records that p asked to perform op with the given argument.
+func (r *Recorder) Request(p *kernel.Proc, op string, arg int64) Event {
+	return r.record(p, KindRequest, op, arg, "")
+}
+
+// Enter records that p began executing op on the resource.
+func (r *Recorder) Enter(p *kernel.Proc, op string, arg int64) Event {
+	return r.record(p, KindEnter, op, arg, "")
+}
+
+// Exit records that p finished executing op.
+func (r *Recorder) Exit(p *kernel.Proc, op string, arg int64) Event {
+	return r.record(p, KindExit, op, arg, "")
+}
+
+// Mark records a free-form annotation.
+func (r *Recorder) Mark(p *kernel.Proc, note string) Event {
+	return r.record(p, KindMark, "", 0, note)
+}
+
+// Len reports the number of recorded events.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// Events returns a copy of the recorded events in sequence order.
+func (r *Recorder) Events() Trace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(Trace, len(r.events))
+	copy(out, r.events)
+	return out
+}
+
+// Trace is an ordered event history.
+type Trace []Event
+
+// String renders the trace, one event per line.
+func (t Trace) String() string {
+	var b strings.Builder
+	for _, e := range t {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Filter returns the events matching every non-zero criterion: kind (use
+// kind < 0 to match all kinds), op ("" matches all ops).
+func (t Trace) Filter(kind Kind, op string) Trace {
+	var out Trace
+	for _, e := range t {
+		if kind >= 0 && e.Kind != kind {
+			continue
+		}
+		if op != "" && e.Op != op {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// Ops returns the distinct operation names appearing in the trace, in
+// first-appearance order.
+func (t Trace) Ops() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, e := range t {
+		if e.Op == "" || seen[e.Op] {
+			continue
+		}
+		seen[e.Op] = true
+		out = append(out, e.Op)
+	}
+	return out
+}
