@@ -65,6 +65,49 @@ func BenchmarkF2PathExprWritersPriority(b *testing.B) {
 	}
 }
 
+// ---- E1: exploration throughput (ours; what makes deep searches affordable) ----
+
+// benchExploreThroughput measures schedules/sec through explore.Run on a
+// clean workload (the monitor readers-priority solution), so every run
+// exhausts its budget and executes a known number of schedules.
+func benchExploreThroughput(b *testing.B, opts explore.Options) {
+	suite, _ := solutions.ByMechanism("monitor")
+	prog := explore.Program(func(k kernel.Kernel, r *trace.Recorder) {
+		eval.FigureScenario(suite.NewReadersPriority(k))(k, r)
+	})
+	b.ResetTimer()
+	total := 0
+	for i := 0; i < b.N; i++ {
+		res := explore.Run(prog, problems.CheckReadersPriority, opts)
+		if res.Found {
+			b.Fatal("unexpected finding")
+		}
+		total += res.Runs
+	}
+	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "schedules/sec")
+}
+
+// BenchmarkE1ExploreThroughput tracks the exploration engine's speed for
+// the random and DFS phases separately, with the parallel engine (Workers
+// follows GOMAXPROCS, so `-cpu 1,2,4` sweeps the scaling curve) and with
+// the engine pinned sequential (the speedup baseline). Results are
+// identical across worker counts by construction; only throughput moves.
+func BenchmarkE1ExploreThroughput(b *testing.B) {
+	const budget = 64
+	b.Run("random", func(b *testing.B) {
+		benchExploreThroughput(b, explore.Options{RandomRuns: budget, DFSRuns: 0})
+	})
+	b.Run("random-seq", func(b *testing.B) {
+		benchExploreThroughput(b, explore.Options{RandomRuns: budget, DFSRuns: 0, Workers: 1})
+	})
+	b.Run("dfs", func(b *testing.B) {
+		benchExploreThroughput(b, explore.Options{RandomRuns: -1, DFSRuns: budget})
+	})
+	b.Run("dfs-seq", func(b *testing.B) {
+		benchExploreThroughput(b, explore.Options{RandomRuns: -1, DFSRuns: budget, Workers: 1})
+	})
+}
+
 // ---- T1: expressive-power matrix ----
 
 // BenchmarkT1PowerVerification measures the full matrix verification

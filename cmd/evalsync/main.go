@@ -39,7 +39,9 @@ import (
 func main() {
 	experiment := flag.String("experiment", "all", "experiment id (F1 F2 T1 T2 T3 T4 T5 T6 E1 E2 B2) or all")
 	detail := flag.Bool("detail", false, "include per-declaration similarity detail in T2")
+	workers := flag.Int("workers", 0, "goroutines per schedule exploration (0 = all cores; results are identical for any value)")
 	flag.Parse()
+	eval.ExploreWorkers = *workers
 
 	run := func(id string) bool {
 		want := strings.ToUpper(*experiment)

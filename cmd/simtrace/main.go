@@ -30,6 +30,7 @@ func main() {
 	policy := flag.String("policy", "fifo", "schedule policy: fifo, lifo, random")
 	seed := flag.Int64("seed", 1, "seed for -policy random")
 	exploreFlag := flag.Bool("explore", false, "hunt schedules for a violation (readers/writers-priority problems)")
+	workers := flag.Int("workers", 0, "goroutines for -explore (0 = all cores; results are identical for any value)")
 	list := flag.Bool("list", false, "list mechanisms and problems")
 	quiet := flag.Bool("quiet", false, "suppress the trace, print only the verdict")
 	flag.Parse()
@@ -50,7 +51,7 @@ func main() {
 	}
 
 	if *exploreFlag {
-		runExplore(suite, *problem, *quiet)
+		runExplore(suite, *problem, *quiet, *workers)
 		return
 	}
 
@@ -91,7 +92,7 @@ func main() {
 }
 
 // runExplore hunts for priority violations on the figure scenario.
-func runExplore(suite solutions.Suite, problem string, quiet bool) {
+func runExplore(suite solutions.Suite, problem string, quiet bool, workers int) {
 	var oracle explore.Oracle
 	switch problem {
 	case problems.NameReadersPriority:
@@ -111,7 +112,7 @@ func runExplore(suite solutions.Suite, problem string, quiet bool) {
 		}
 		eval.FigureScenario(store)(k, r)
 	})
-	res := explore.Run(prog, oracle, explore.Options{RandomRuns: 300, DFSRuns: 600})
+	res := explore.Run(prog, oracle, explore.Options{RandomRuns: 300, DFSRuns: 600, Workers: workers})
 	fmt.Printf("explored %d schedules\n", res.Runs)
 	if !res.Found {
 		fmt.Println("no violation found")

@@ -21,6 +21,13 @@ import (
 // the same arrival pattern must admit the second writer before the reader
 // — the behavior that is *wrong* for F1 is *required* for F2.
 
+// ExploreWorkers is the worker count handed to every anomaly search in
+// this package (explore.Options.Workers): 0 uses all cores. Exploration
+// results are identical for every value — parallelism only speculates
+// ahead of the canonical search order — so this is purely a throughput
+// knob, settable from the evalsync -workers flag.
+var ExploreWorkers int
+
 // FigureScenario spawns the footnote-3 arrival pattern against db: a
 // first writer holds the resource while one reader and then a second
 // writer arrive.
@@ -79,7 +86,7 @@ func RunFigure1() Figure1Result {
 		FigureScenario(pathexprsol.NewReadersPriority())(k, r)
 	})
 	res := explore.Run(prog, problems.CheckReadersPriority,
-		explore.Options{RandomRuns: 300, DFSRuns: 600})
+		explore.Options{RandomRuns: 300, DFSRuns: 600, Workers: ExploreWorkers})
 	return Figure1Result{
 		AnomalyFound: res.Found && res.Err == nil,
 		Schedule:     res.Schedule,
@@ -108,9 +115,9 @@ func RunFigure2() Figure2Result {
 		FigureScenario(pathexprsol.NewWritersPriority())(k, r)
 	})
 	hold := explore.Run(prog, problems.CheckWritersPriority,
-		explore.Options{RandomRuns: 200, DFSRuns: 400})
+		explore.Options{RandomRuns: 200, DFSRuns: 400, Workers: ExploreWorkers})
 	inverse := explore.Run(prog, problems.CheckReadersPriority,
-		explore.Options{RandomRuns: 200, DFSRuns: 400})
+		explore.Options{RandomRuns: 200, DFSRuns: 400, Workers: ExploreWorkers})
 	return Figure2Result{
 		WritersPriorityHolds:    !hold.Found,
 		ReadersPriorityViolated: inverse.Found && inverse.Err == nil,
@@ -126,6 +133,6 @@ func MechanismFigureCheck(db func() problems.RWStore) (anomaly bool, runs int) {
 		FigureScenario(db())(k, r)
 	})
 	res := explore.Run(prog, problems.CheckReadersPriority,
-		explore.Options{RandomRuns: 200, DFSRuns: 400})
+		explore.Options{RandomRuns: 200, DFSRuns: 400, Workers: ExploreWorkers})
 	return res.Found, res.Runs
 }

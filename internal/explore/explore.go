@@ -13,10 +13,24 @@
 // Exploration is stateless-model-checking shaped but deliberately simple:
 // programs under test are small scenario constructors, so bounded DFS
 // over scheduling choices (without partial-order reduction) is enough.
+//
+// # Parallelism and determinism
+//
+// Run executes schedules on Options.Workers goroutines (default: all
+// cores) while keeping its result independent of the worker count. The
+// trick is speculation rather than racing: a single driver consumes run
+// outcomes in the canonical sequential order (seed order for the random
+// phase, LIFO frontier order for DFS), and helper goroutines merely
+// execute upcoming schedules ahead of time. Whatever finding the
+// sequential engine would have reported, the parallel engine reports —
+// same Schedule, same Runs count — because every run is deterministic
+// given its policy, and the driver's walk over outcomes is unchanged.
+// Workers: 1 spawns no helpers at all and is literally the sequential
+// engine.
 package explore
 
 import (
-	"fmt"
+	"runtime"
 
 	"repro/internal/kernel"
 	"repro/internal/problems"
@@ -26,7 +40,10 @@ import (
 // Program builds one run of the system under test on a fresh kernel and
 // recorder. It must spawn all processes (it is called before Run) and be
 // deterministic apart from scheduling: exploration assumes two runs with
-// the same schedule produce the same trace.
+// the same schedule produce the same trace. Programs must also be safe to
+// run on several kernels concurrently (each invocation gets its own kernel
+// and recorder; sharing mutable state between invocations would break
+// determinism anyway).
 type Program func(k kernel.Kernel, r *trace.Recorder)
 
 // Oracle judges a completed run's trace.
@@ -42,7 +59,9 @@ type Result struct {
 	Trace trace.Trace
 	// Violations are the oracle findings for that run.
 	Violations []problems.Violation
-	// Runs is the number of schedules executed.
+	// Runs is the number of schedules judged, counting the violating one.
+	// Speculative runs executed by helper workers past the finding are not
+	// counted, so Runs is identical for every Workers setting.
 	Runs int
 	// Err is set when the finding is a kernel error (deadlock, livelock)
 	// rather than an oracle violation.
@@ -66,6 +85,10 @@ type Options struct {
 	// instead of counting them as findings. By default a kernel error is
 	// a finding (with Violations nil and Err set).
 	IgnoreKernelErrors bool
+	// Workers is the number of goroutines executing schedules. 0 means
+	// runtime.GOMAXPROCS(0). The Result is the same for every value (see
+	// the package comment); Workers: 1 pins the sequential engine.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -81,94 +104,51 @@ func (o Options) withDefaults() Options {
 	if o.MaxSteps == 0 {
 		o.MaxSteps = 100000
 	}
+	if o.Workers == 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Workers < 1 {
+		o.Workers = 1
+	}
 	return o
 }
 
-// runOnce executes the program under the given policy and returns the
-// kernel (for its recorded choices), the trace, and the kernel error.
-func runOnce(prog Program, policy kernel.Policy, maxSteps int64) (*kernel.SimKernel, trace.Trace, error) {
-	k := kernel.NewSim(kernel.WithPolicy(policy), kernel.WithMaxSteps(maxSteps))
-	r := trace.NewRecorder(k)
-	prog(k, r)
-	err := k.Run()
-	return k, r.Events(), err
-}
-
 // judge converts one run into a Result if it is a finding.
-func judge(k *kernel.SimKernel, tr trace.Trace, err error, oracle Oracle, opts Options, runs int) (Result, bool) {
-	if err != nil {
+func judge(out runOut, oracle Oracle, opts Options, runs int) (Result, bool) {
+	if out.err != nil {
 		if opts.IgnoreKernelErrors {
 			return Result{}, false
 		}
-		return Result{Found: true, Schedule: k.Choices(), Trace: tr, Err: err, Runs: runs}, true
+		return Result{Found: true, Schedule: out.schedule, Trace: out.tr, Err: out.err, Runs: runs}, true
 	}
-	if vs := oracle(tr); len(vs) > 0 {
-		return Result{Found: true, Schedule: k.Choices(), Trace: tr, Violations: vs, Runs: runs}, true
+	if vs := oracle(out.tr); len(vs) > 0 {
+		return Result{Found: true, Schedule: out.schedule, Trace: out.tr, Violations: vs, Runs: runs}, true
 	}
 	return Result{}, false
 }
 
 // Run explores schedules of prog until the oracle rejects one or the
-// budget is exhausted.
+// budget is exhausted. The result does not depend on Options.Workers.
 func Run(prog Program, oracle Oracle, opts Options) Result {
 	opts = opts.withDefaults()
 	runs := 0
 
 	// Phase 0: the deterministic FIFO baseline.
-	k, tr, err := runOnce(prog, kernel.FIFO(), opts.MaxSteps)
+	out := executeOnce(prog, kernel.FIFO(), opts.MaxSteps)
 	runs++
-	if res, found := judge(k, tr, err, oracle, opts, runs); found {
+	if res, found := judge(out, oracle, opts, runs); found {
 		return res
 	}
 
 	// Phase 1: seeded random sampling.
-	for seed := int64(1); seed <= int64(opts.RandomRuns); seed++ {
-		k, tr, err := runOnce(prog, kernel.Random(seed), opts.MaxSteps)
-		runs++
-		if res, found := judge(k, tr, err, oracle, opts, runs); found {
-			return res
-		}
+	if res, found := randomPhase(prog, oracle, opts, &runs); found {
+		return res
 	}
 
-	// Phase 2: bounded DFS over choice prefixes. The frontier holds
-	// prefixes to try; running Replay(prefix) extends it FIFO beyond the
-	// prefix, and the recorded choices tell us where alternatives exist.
-	frontier := [][]kernel.Choice{nil}
-	seen := map[string]bool{}
-	for len(frontier) > 0 && runs-1-opts.RandomRuns < opts.DFSRuns {
-		prefix := frontier[len(frontier)-1]
-		frontier = frontier[:len(frontier)-1]
-		key := fmt.Sprint(prefix)
-		if seen[key] {
-			continue
-		}
-		seen[key] = true
-
-		k, tr, err := runOnce(prog, kernel.Replay(prefix), opts.MaxSteps)
-		runs++
-		if res, found := judge(k, tr, err, oracle, opts, runs); found {
-			return res
-		}
-		// Branch: for each decision point within depth (at or beyond the
-		// prefix), schedule the alternatives not taken.
-		choices := k.Choices()
-		limit := len(choices)
-		if limit > opts.DFSDepth {
-			limit = opts.DFSDepth
-		}
-		for i := len(prefix); i < limit; i++ {
-			for alt := 0; alt < choices[i].Ready; alt++ {
-				if alt == choices[i].Picked {
-					continue
-				}
-				branch := make([]kernel.Choice, i+1)
-				copy(branch, choices[:i])
-				branch[i] = kernel.Choice{Ready: choices[i].Ready, Picked: alt}
-				frontier = append(frontier, branch)
-			}
-		}
-	}
-	return Result{Runs: runs}
+	// Phase 2: bounded DFS over choice prefixes. Running Replay(prefix)
+	// extends the prefix FIFO, and the recorded choices tell us where
+	// alternatives exist.
+	return dfsPhase(prog, oracle, opts, runs)
 }
 
 // Replay re-executes prog under the given schedule and returns its trace
@@ -177,6 +157,6 @@ func Replay(prog Program, schedule []kernel.Choice, maxSteps int64) (trace.Trace
 	if maxSteps == 0 {
 		maxSteps = 100000
 	}
-	_, tr, err := runOnce(prog, kernel.Replay(schedule), maxSteps)
-	return tr, err
+	out := executeOnce(prog, kernel.Replay(schedule), maxSteps)
+	return out.tr, out.err
 }

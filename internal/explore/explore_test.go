@@ -2,7 +2,10 @@ package explore
 
 import (
 	"errors"
+	"reflect"
+	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/kernel"
 	"repro/internal/problems"
@@ -158,5 +161,138 @@ func TestFigure1AnomalyFoundByDFSAlone(t *testing.T) {
 		Options{RandomRuns: -1, DFSRuns: 2000, DFSDepth: 24})
 	if !res.Found {
 		t.Fatalf("anomaly not found by DFS in %d runs", res.Runs)
+	}
+}
+
+// Regression for the DFS budget: the DFS phase must execute exactly
+// DFSRuns schedules (not fewer) when the frontier is rich enough, with the
+// run counter accounting FIFO + random + DFS exactly. The old budget
+// expression derived the DFS count from the total run counter and the
+// random budget, which miscounts if the phases ever execute a different
+// number of runs than their nominal budgets.
+func TestDFSBudgetExact(t *testing.T) {
+	perRun := Program(func(k kernel.Kernel, r *trace.Recorder) {
+		rwScenario(monitorsol.NewReadersPriority())(k, r)
+	})
+	opts := Options{RandomRuns: 10, DFSRuns: 50}
+	res := Run(perRun, func(trace.Trace) []problems.Violation { return nil }, opts)
+	if res.Found {
+		t.Fatalf("unexpected finding: %+v", res)
+	}
+	if want := 1 + opts.RandomRuns + opts.DFSRuns; res.Runs != want {
+		t.Fatalf("runs = %d, want exactly %d (1 FIFO + %d random + %d DFS)",
+			res.Runs, want, opts.RandomRuns, opts.DFSRuns)
+	}
+}
+
+// The determinism contract: Run returns the same Result regardless of
+// Workers. Five oracle/option combinations over the Figure-1 program,
+// exercising findings in the random phase, findings deep in the DFS
+// phase, budget exhaustion without findings, and a clean solution.
+func TestParallelMatchesSequential(t *testing.T) {
+	figure1 := Program(func(k kernel.Kernel, r *trace.Recorder) {
+		rwScenario(pathexprsol.NewReadersPriority())(k, r)
+	})
+	monitor := Program(func(k kernel.Kernel, r *trace.Recorder) {
+		rwScenario(monitorsol.NewReadersPriority())(k, r)
+	})
+	never := func(trace.Trace) []problems.Violation { return nil }
+	cases := []struct {
+		name   string
+		prog   Program
+		oracle Oracle
+		opts   Options
+	}{
+		{"random-phase-finding", figure1, problems.CheckReadersPriority,
+			Options{RandomRuns: 300, DFSRuns: 600}},
+		{"dfs-only-finding", figure1, problems.CheckReadersPriority,
+			Options{RandomRuns: -1, DFSRuns: 2000, DFSDepth: 24}},
+		{"writers-oracle", figure1, problems.CheckWritersPriority,
+			Options{RandomRuns: 50, DFSRuns: 100}},
+		{"budget-exhausted", figure1, never,
+			Options{RandomRuns: 20, DFSRuns: 60}},
+		{"clean-solution", monitor, problems.CheckReadersPriority,
+			Options{RandomRuns: 30, DFSRuns: 60}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			seqOpts := tc.opts
+			seqOpts.Workers = 1
+			parOpts := tc.opts
+			parOpts.Workers = 8
+			seq := Run(tc.prog, tc.oracle, seqOpts)
+			par := Run(tc.prog, tc.oracle, parOpts)
+			if seq.Found != par.Found {
+				t.Fatalf("Found: workers=1 %v, workers=8 %v", seq.Found, par.Found)
+			}
+			if !reflect.DeepEqual(seq.Schedule, par.Schedule) {
+				t.Fatalf("Schedule diverged:\n  workers=1: %v\n  workers=8: %v",
+					seq.Schedule, par.Schedule)
+			}
+			if seq.Runs != par.Runs {
+				t.Fatalf("Runs: workers=1 %d, workers=8 %d", seq.Runs, par.Runs)
+			}
+			if (seq.Err == nil) != (par.Err == nil) {
+				t.Fatalf("Err: workers=1 %v, workers=8 %v", seq.Err, par.Err)
+			}
+			if len(seq.Violations) != len(par.Violations) {
+				t.Fatalf("Violations: workers=1 %d, workers=8 %d",
+					len(seq.Violations), len(par.Violations))
+			}
+		})
+	}
+}
+
+// A thousand deadlocking explorations must not strand goroutines: the
+// kernel's shutdown path unwinds processes abandoned on deadlock, and the
+// exploration engine waits for its helpers before returning.
+func TestExplorationNoGoroutineLeak(t *testing.T) {
+	perRun := Program(func(k kernel.Kernel, r *trace.Recorder) {
+		k.Spawn("stuck1", func(p *kernel.Proc) { p.Park() })
+		k.Spawn("stuck2", func(p *kernel.Proc) { p.Yield(); p.Park() })
+	})
+	base := runtime.NumGoroutine()
+	for i := 0; i < 1000; i++ {
+		res := Run(perRun, func(trace.Trace) []problems.Violation { return nil },
+			Options{RandomRuns: 2, DFSRuns: 2, Workers: 4})
+		if !res.Found || !errors.Is(res.Err, kernel.ErrDeadlock) {
+			t.Fatalf("run %d: res = %+v", i, res)
+		}
+	}
+	// Unwinding is asynchronous: give stragglers a moment to exit.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= base+8 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines: started with %d, still %d after 1000 deadlocking runs",
+				base, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// The binary dedup key must be injective: distinct choice sequences map to
+// distinct keys (uvarint pairs are self-delimiting).
+func TestScheduleKeyInjective(t *testing.T) {
+	seqs := [][]kernel.Choice{
+		nil,
+		{{Ready: 1, Picked: 0}},
+		{{Ready: 2, Picked: 0}},
+		{{Ready: 2, Picked: 1}},
+		{{Ready: 2, Picked: 1}, {Ready: 3, Picked: 2}},
+		{{Ready: 2, Picked: 1}, {Ready: 3, Picked: 0}},
+		{{Ready: 300, Picked: 299}},
+		{{Ready: 300, Picked: 2}, {Ready: 1, Picked: 0}},
+	}
+	keys := map[string]int{}
+	for i, s := range seqs {
+		k := string(appendScheduleKey(nil, s))
+		if j, dup := keys[k]; dup {
+			t.Fatalf("sequences %d and %d share key %q", i, j, k)
+		}
+		keys[k] = i
 	}
 }

@@ -1,0 +1,285 @@
+// The parallel exploration engine: a sequential driver plus speculative
+// helper workers.
+//
+// Both exploration phases share one structure. The canonical order in
+// which the sequential engine would execute schedules is known in advance
+// (random: ascending seed) or discoverable as the search unfolds (DFS:
+// LIFO frontier order). Helper goroutines claim upcoming schedules and
+// execute them on private kernels; the driver walks the canonical order,
+// adopting a helper's cached outcome when one exists and executing
+// inline otherwise. Because every schedule is deterministic, the driver
+// observes exactly the outcomes the sequential engine would have, so the
+// reported Result — Schedule, Runs, Violations — is independent of the
+// worker count. Speculation past a finding or past the budget is wasted
+// work, never wrong answers.
+package explore
+
+import (
+	"encoding/binary"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/kernel"
+	"repro/internal/trace"
+)
+
+// runOut is the outcome of executing one schedule.
+type runOut struct {
+	schedule []kernel.Choice
+	tr       trace.Trace
+	err      error
+}
+
+// executeOnce runs the program under the given policy on a fresh kernel.
+// It is safe to call from multiple goroutines concurrently: each call gets
+// its own kernel and recorder.
+func executeOnce(prog Program, policy kernel.Policy, maxSteps int64) runOut {
+	k := kernel.NewSim(kernel.WithPolicy(policy), kernel.WithMaxSteps(maxSteps))
+	r := trace.NewRecorder(k)
+	prog(k, r)
+	err := k.Run()
+	return runOut{schedule: k.Choices(), tr: r.Events(), err: err}
+}
+
+// randSlot holds the speculative outcome for one random seed.
+type randSlot struct {
+	claimed atomic.Bool
+	done    chan struct{}
+	out     runOut
+}
+
+// randomPhase samples seeds 1..RandomRuns in seed order. Helpers claim
+// seeds through an atomic cursor and publish outcomes through per-slot
+// channels; the driver consumes slots in seed order, so the first finding
+// is always the lowest-seed finding — what the sequential scan reports.
+func randomPhase(prog Program, oracle Oracle, opts Options, runs *int) (Result, bool) {
+	n := opts.RandomRuns
+	if n == 0 {
+		return Result{}, false
+	}
+	helpers := opts.Workers - 1
+	if helpers > n-1 {
+		helpers = n - 1
+	}
+	var (
+		slots  []randSlot
+		cancel atomic.Bool
+		cursor atomic.Int64
+		wg     sync.WaitGroup
+	)
+	if helpers > 0 {
+		slots = make([]randSlot, n)
+		for i := range slots {
+			slots[i].done = make(chan struct{})
+		}
+		wg.Add(helpers)
+		for w := 0; w < helpers; w++ {
+			go func() {
+				defer wg.Done()
+				for !cancel.Load() {
+					i := int(cursor.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					s := &slots[i]
+					if !s.claimed.CompareAndSwap(false, true) {
+						continue // driver ran this seed inline
+					}
+					s.out = executeOnce(prog, kernel.Random(int64(i+1)), opts.MaxSteps)
+					close(s.done)
+				}
+			}()
+		}
+		// Stop helpers before returning so goroutines never outlive the
+		// phase; in-flight runs are bounded by MaxSteps.
+		defer func() {
+			cancel.Store(true)
+			wg.Wait()
+		}()
+	}
+	for i := 0; i < n; i++ {
+		var out runOut
+		if helpers > 0 && !slots[i].claimed.CompareAndSwap(false, true) {
+			<-slots[i].done // claimed by a helper; adopt its outcome
+			out = slots[i].out
+		} else {
+			out = executeOnce(prog, kernel.Random(int64(i+1)), opts.MaxSteps)
+		}
+		*runs++
+		if res, found := judge(out, oracle, opts, *runs); found {
+			return res, true
+		}
+	}
+	return Result{}, false
+}
+
+// dfsNode is one frontier entry: a choice prefix to replay, plus the
+// claim/publish machinery for speculative execution.
+type dfsNode struct {
+	prefix  []kernel.Choice
+	claimed atomic.Bool
+	done    chan struct{} // nil when running without helpers
+	out     runOut
+}
+
+// dfsShared is the frontier shared between the DFS driver and helpers.
+type dfsShared struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	stack []*dfsNode
+	over  bool
+}
+
+// dfsPhase enumerates choice prefixes in LIFO frontier order with an
+// explicit DFS-run budget. Helpers speculatively execute frontier entries
+// nearest the top of the stack — the entries the driver will pop soonest —
+// while the driver pops, dedups, judges, and expands strictly in the
+// sequential order.
+func dfsPhase(prog Program, oracle Oracle, opts Options, runs int) Result {
+	if opts.DFSRuns <= 0 {
+		return Result{Runs: runs}
+	}
+	helpers := opts.Workers - 1
+	st := &dfsShared{}
+	st.cond = sync.NewCond(&st.mu)
+	st.stack = []*dfsNode{newDFSNode(nil, helpers > 0)}
+	if helpers > 0 {
+		var wg sync.WaitGroup
+		wg.Add(helpers)
+		for w := 0; w < helpers; w++ {
+			go func() {
+				defer wg.Done()
+				dfsHelper(prog, opts, st)
+			}()
+		}
+		defer func() {
+			st.mu.Lock()
+			st.over = true
+			st.mu.Unlock()
+			st.cond.Broadcast()
+			wg.Wait()
+		}()
+	}
+
+	// seen dedups frontier prefixes by compact binary key; dedup happens
+	// at pop time (not push time) to preserve the sequential engine's
+	// exploration order exactly.
+	seen := map[string]bool{}
+	var keyBuf []byte
+	dfsRuns := 0 // explicit budget counter: exactly DFSRuns schedules execute
+	for dfsRuns < opts.DFSRuns {
+		st.mu.Lock()
+		if len(st.stack) == 0 {
+			st.mu.Unlock()
+			break
+		}
+		node := st.stack[len(st.stack)-1]
+		st.stack = st.stack[:len(st.stack)-1]
+		st.mu.Unlock()
+
+		keyBuf = appendScheduleKey(keyBuf[:0], node.prefix)
+		if seen[string(keyBuf)] {
+			continue
+		}
+		seen[string(keyBuf)] = true
+
+		var out runOut
+		if node.claimed.CompareAndSwap(false, true) {
+			out = executeOnce(prog, kernel.Replay(node.prefix), opts.MaxSteps)
+		} else {
+			<-node.done // claimed by a helper; adopt its outcome
+			out = node.out
+		}
+		dfsRuns++
+		runs++
+		if res, found := judge(out, oracle, opts, runs); found {
+			return res
+		}
+
+		// Branch: for each decision point within depth (at or beyond the
+		// prefix), schedule the alternatives not taken. Push order matches
+		// the sequential engine, so LIFO pops explore the same tree.
+		children := expandDFS(node.prefix, out.schedule, opts.DFSDepth, helpers > 0)
+		if len(children) > 0 {
+			st.mu.Lock()
+			st.stack = append(st.stack, children...)
+			st.mu.Unlock()
+			st.cond.Broadcast()
+		}
+	}
+	return Result{Runs: runs}
+}
+
+func newDFSNode(prefix []kernel.Choice, parallel bool) *dfsNode {
+	n := &dfsNode{prefix: prefix}
+	if parallel {
+		n.done = make(chan struct{})
+	}
+	return n
+}
+
+// expandDFS builds the branch nodes of a completed run: every alternative
+// choice not taken at each decision point from the end of the prefix up to
+// the depth bound.
+func expandDFS(prefix, schedule []kernel.Choice, depth int, parallel bool) []*dfsNode {
+	limit := len(schedule)
+	if limit > depth {
+		limit = depth
+	}
+	var children []*dfsNode
+	for i := len(prefix); i < limit; i++ {
+		for alt := 0; alt < schedule[i].Ready; alt++ {
+			if alt == schedule[i].Picked {
+				continue
+			}
+			branch := make([]kernel.Choice, i+1)
+			copy(branch, schedule[:i])
+			branch[i] = kernel.Choice{Ready: schedule[i].Ready, Picked: alt}
+			children = append(children, newDFSNode(branch, parallel))
+		}
+	}
+	return children
+}
+
+// dfsHelper speculatively executes unclaimed frontier entries, scanning
+// from the top of the stack (the driver's next pops). It parks on the
+// condition variable when everything visible is claimed and exits when the
+// phase is over.
+func dfsHelper(prog Program, opts Options, st *dfsShared) {
+	for {
+		st.mu.Lock()
+		var node *dfsNode
+		for {
+			if st.over {
+				st.mu.Unlock()
+				return
+			}
+			for i := len(st.stack) - 1; i >= 0; i-- {
+				if st.stack[i].claimed.CompareAndSwap(false, true) {
+					node = st.stack[i]
+					break
+				}
+			}
+			if node != nil {
+				break
+			}
+			st.cond.Wait()
+		}
+		st.mu.Unlock()
+		node.out = executeOnce(prog, kernel.Replay(node.prefix), opts.MaxSteps)
+		close(node.done)
+	}
+}
+
+// appendScheduleKey appends a compact binary encoding of the choice
+// sequence: two uvarints per choice. The encoding is injective (uvarints
+// are self-delimiting), so key equality is exactly prefix equality — the
+// property the old fmt.Sprint key bought with O(prefix) reflection-based
+// formatting per DFS node.
+func appendScheduleKey(b []byte, cs []kernel.Choice) []byte {
+	for _, c := range cs {
+		b = binary.AppendUvarint(b, uint64(c.Ready))
+		b = binary.AppendUvarint(b, uint64(c.Picked))
+	}
+	return b
+}

@@ -1,9 +1,9 @@
 package kernel
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
-	"sort"
 	"strings"
 	"sync"
 )
@@ -93,10 +93,21 @@ func Replay(choices []Choice) Policy {
 	})
 }
 
+// errShutdown is the panic value used to unwind process goroutines when
+// the kernel shuts down (deadlock, step limit, or normal termination with
+// daemons still live). It never escapes the kernel: the spawn wrapper
+// recovers it.
+var errShutdown = errors.New("kernel: simulation shut down")
+
 // SimKernel is a deterministic cooperative scheduler. Exactly one process
 // executes at a time; control returns to the scheduler at every kernel
 // operation (Park, Yield, Sleep, process exit). Virtual time advances only
 // when no process is runnable and some process is sleeping.
+//
+// When Run returns — normal completion, deadlock, or step limit — every
+// goroutine the kernel spawned is released: processes still blocked in a
+// kernel operation are unwound (their resume channels are closed) and
+// exit, so repeated simulation runs do not accumulate goroutines.
 type SimKernel struct {
 	policy   Policy
 	maxSteps int64
@@ -106,10 +117,14 @@ type SimKernel struct {
 	nextID   int
 	readySeq int64 // monotonically increasing readiness stamp
 	procs    []*simProc
-	ready    []*simProc
+	ready    []*simProc // invariant: sorted ascending by readyAt
 	running  *simProc
 	steps    int64
 	choices  []Choice
+
+	// readyScratch is reused across scheduling steps to present the ready
+	// set to the Policy without a per-step allocation.
+	readyScratch []*Proc
 
 	stopCh   chan *simProc
 	started  bool
@@ -137,6 +152,7 @@ func NewSim(opts ...SimOption) *SimKernel {
 		policy:   FIFO(),
 		maxSteps: 10_000_000,
 		stopCh:   make(chan *simProc),
+		choices:  make([]Choice, 0, 64),
 	}
 	for _, o := range opts {
 		o(k)
@@ -163,8 +179,8 @@ func (k *SimKernel) Spawn(name string, fn func(p *Proc)) *Proc {
 
 // SpawnDaemon implements Kernel: the process is scheduled normally but is
 // invisible to termination and deadlock detection. When the last
-// non-daemon process finishes, Run returns and remaining daemons are
-// abandoned (their goroutines stay parked; harmless for test-scale use).
+// non-daemon process finishes, Run returns and remaining daemons are shut
+// down: their goroutines are unwound and exit rather than staying parked.
 func (k *SimKernel) SpawnDaemon(name string, fn func(p *Proc)) *Proc {
 	return k.spawn(name, fn, true)
 }
@@ -181,12 +197,27 @@ func (k *SimKernel) spawn(name string, fn func(p *Proc), daemon bool) *Proc {
 		resume: make(chan struct{}),
 	}
 	p.impl = sp
+	if k.finished {
+		// Spawn after Run returned: never schedule; release the goroutine
+		// immediately so it cannot leak.
+		sp.state = stateDead
+		close(sp.resume)
+		k.mu.Unlock()
+		return p
+	}
 	k.procs = append(k.procs, sp)
 	k.markReadyLocked(sp)
 	k.mu.Unlock()
 
 	go func() {
-		<-sp.resume // wait to be scheduled for the first time
+		defer func() {
+			if r := recover(); r != nil && r != errShutdown {
+				panic(r)
+			}
+		}()
+		if _, ok := <-sp.resume; !ok {
+			return // kernel shut down before the first schedule
+		}
 		fn(p)
 		sp.exited()
 	}()
@@ -194,6 +225,8 @@ func (k *SimKernel) spawn(name string, fn func(p *Proc), daemon bool) *Proc {
 }
 
 // markReadyLocked appends sp to the ready set with a fresh readiness stamp.
+// Stamps increase monotonically and removal preserves order, so k.ready is
+// always sorted by readyAt without any per-step sorting.
 func (k *SimKernel) markReadyLocked(sp *simProc) {
 	sp.state = stateRunnable
 	k.readySeq++
@@ -225,6 +258,18 @@ func (k *SimKernel) Choices() []Choice {
 	return out
 }
 
+// finishLocked marks the kernel finished and releases every goroutine
+// still blocked in a kernel operation: closing a process's resume channel
+// wakes it with ok=false, which unwinds its stack (see simProc.await).
+func (k *SimKernel) finishLocked() {
+	k.finished = true
+	for _, sp := range k.procs {
+		if sp.state != stateDead {
+			close(sp.resume)
+		}
+	}
+}
+
 // Run implements Kernel: it drives the scheduler until every process is
 // dead, a deadlock is detected, or the step limit is hit. Run must be
 // called exactly once, from the goroutine that created the kernel.
@@ -240,13 +285,13 @@ func (k *SimKernel) Run() error {
 	for {
 		k.mu.Lock()
 		if k.steps >= k.maxSteps {
-			k.finished = true
+			k.finishLocked()
 			k.mu.Unlock()
 			return fmt.Errorf("kernel: step limit (%d) exceeded; possible livelock", k.maxSteps)
 		}
 		if !k.anyNonDaemonLiveLocked() {
-			// Every real process finished; abandon remaining daemons.
-			k.finished = true
+			// Every real process finished; shut down remaining daemons.
+			k.finishLocked()
 			k.mu.Unlock()
 			return nil
 		}
@@ -254,20 +299,23 @@ func (k *SimKernel) Run() error {
 			// Try to advance virtual time to the earliest sleeper.
 			if !k.wakeSleepersLocked() {
 				live := k.parkedNamesLocked()
-				k.finished = true
+				k.finishLocked()
 				k.mu.Unlock()
 				return fmt.Errorf("%w: %s", ErrDeadlock, strings.Join(live, ", "))
 			}
 		}
-		// Deterministic ready order: by readiness stamp.
-		sort.Slice(k.ready, func(i, j int) bool { return k.ready[i].readyAt < k.ready[j].readyAt })
-		readyProcs := make([]*Proc, len(k.ready))
+		// k.ready is already in deterministic order (ascending readiness
+		// stamp); expose it to the policy through the reusable scratch.
+		if cap(k.readyScratch) < len(k.ready) {
+			k.readyScratch = make([]*Proc, len(k.ready))
+		}
+		readyProcs := k.readyScratch[:len(k.ready)]
 		for i, sp := range k.ready {
 			readyProcs[i] = sp.proc
 		}
 		idx := k.policy.Pick(readyProcs)
 		if idx < 0 || idx >= len(k.ready) {
-			k.finished = true
+			k.finishLocked()
 			k.mu.Unlock()
 			return fmt.Errorf("kernel: policy picked %d of %d ready processes", idx, len(readyProcs))
 		}
@@ -333,16 +381,36 @@ func (k *SimKernel) parkedNamesLocked() []string {
 	return names
 }
 
+// await blocks until the scheduler hands the processor back. If the kernel
+// shut down instead (resume closed), it unwinds the process stack; the
+// spawn wrapper recovers the sentinel and the goroutine exits.
+func (sp *simProc) await() {
+	if _, ok := <-sp.resume; !ok {
+		panic(errShutdown)
+	}
+}
+
 // stop hands control back to the scheduler and blocks until rescheduled.
 // The caller must have already recorded its new state under k.mu.
 func (sp *simProc) stop() {
 	sp.kernel.stopCh <- sp
-	<-sp.resume
+	sp.await()
+}
+
+// checkLiveLocked unwinds the calling process if the kernel has already
+// finished — this catches kernel operations issued while a process stack
+// is being unwound (e.g. from a deferred cleanup).
+func (k *SimKernel) checkLiveLocked() {
+	if k.finished {
+		k.mu.Unlock()
+		panic(errShutdown)
+	}
 }
 
 func (sp *simProc) park() {
 	k := sp.kernel
 	k.mu.Lock()
+	k.checkLiveLocked()
 	if sp.permit {
 		sp.permit = false
 		k.mu.Unlock()
@@ -357,6 +425,9 @@ func (sp *simProc) unpark() {
 	k := sp.kernel
 	k.mu.Lock()
 	defer k.mu.Unlock()
+	if k.finished {
+		return
+	}
 	switch sp.state {
 	case stateParked:
 		k.markReadyLocked(sp)
@@ -370,6 +441,7 @@ func (sp *simProc) unpark() {
 func (sp *simProc) yield() {
 	k := sp.kernel
 	k.mu.Lock()
+	k.checkLiveLocked()
 	k.markReadyLocked(sp)
 	k.mu.Unlock()
 	sp.stop()
@@ -378,6 +450,7 @@ func (sp *simProc) yield() {
 func (sp *simProc) sleep(ticks int64) {
 	k := sp.kernel
 	k.mu.Lock()
+	k.checkLiveLocked()
 	sp.state = stateSleeping
 	sp.wakeAt = k.now + ticks
 	k.mu.Unlock()

