@@ -21,11 +21,16 @@
 //	    weakness T1 predicts (Flon–Habermann, discussed in §5.1)
 //	E2  starvation: the admissible-starvation profile of each variant
 //	B2  queueing delays under the standard readers-writers workload
+//
+// Every experiment is checked against the paper's expectation as it runs;
+// evalsync exits non-zero when any outcome contradicts the paper, so a CI
+// invocation is itself a reproduction check.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -43,104 +48,235 @@ func main() {
 	flag.Parse()
 	eval.ExploreWorkers = *workers
 
+	contradictions, err := writeReport(os.Stdout, strings.ToUpper(*experiment), *detail)
+	if err != nil {
+		fatal(err)
+	}
+	if len(contradictions) > 0 {
+		fmt.Fprintf(os.Stderr, "\nevalsync: %d outcome(s) contradict the paper's expectations:\n", len(contradictions))
+		for _, c := range contradictions {
+			fmt.Fprintln(os.Stderr, "  - "+c)
+		}
+		os.Exit(1)
+	}
+}
+
+// writeReport renders the selected experiments to w and returns a line
+// for every outcome that contradicts the paper's expectation. experiment
+// is an upper-case id or "ALL".
+func writeReport(w io.Writer, experiment string, detail bool) ([]string, error) {
 	run := func(id string) bool {
-		want := strings.ToUpper(*experiment)
-		return want == "ALL" || want == id
+		return experiment == "ALL" || experiment == id
+	}
+	var contradictions []string
+	contradict := func(format string, args ...any) {
+		contradictions = append(contradictions, fmt.Sprintf(format, args...))
 	}
 
-	fmt.Println("Evaluating Synchronization Mechanisms — Bloom, SOSP 1979 (reproduction)")
-	fmt.Println(strings.Repeat("=", 78))
+	fmt.Fprintln(w, "Evaluating Synchronization Mechanisms — Bloom, SOSP 1979 (reproduction)")
+	fmt.Fprintln(w, strings.Repeat("=", 78))
 	ran := false
 
 	if run("T4") {
 		ran = true
-		fmt.Println()
-		fmt.Print(eval.RenderCoverage())
+		fmt.Fprintln(w)
+		out := eval.RenderCoverage()
+		fmt.Fprint(w, out)
+		// The footnote-2 problem set must exercise every information type.
+		n := len(core.AllInfoTypes())
+		if !strings.Contains(out, fmt.Sprintf("%d of %d information types covered", n, n)) {
+			contradict("T4: the test set no longer covers all %d information types", n)
+		}
 	}
 	if run("T1") {
 		ran = true
-		fmt.Println()
-		fmt.Print(eval.RenderPowerMatrix())
-		fmt.Println()
-		fmt.Print(eval.RenderPowerRationales())
-		fmt.Print(eval.RenderVerification(eval.VerifyPower()))
+		fmt.Fprintln(w)
+		fmt.Fprint(w, eval.RenderPowerMatrix())
+		fmt.Fprintln(w)
+		fmt.Fprint(w, eval.RenderPowerRationales())
+		vs := eval.VerifyPower()
+		fmt.Fprint(w, eval.RenderVerification(vs))
+		for _, v := range vs {
+			if !v.OK() {
+				contradict("T1: %s/%s cell inconsistent with the run evidence (err=%v)", v.Mechanism, v.InfoType, v.Err)
+			}
+		}
 	}
 	if run("T2") {
 		ran = true
-		fmt.Println()
+		fmt.Fprintln(w)
 		rows, err := eval.IndependenceTable()
 		if err != nil {
-			fatal(err)
+			return nil, err
 		}
-		fmt.Print(eval.RenderIndependence(rows))
-		fmt.Println()
+		fmt.Fprint(w, eval.RenderIndependence(rows))
+		if len(rows) != len(solutions.All()) {
+			contradict("T2: expected one similarity row per mechanism, got %d", len(rows))
+		}
+		for _, r := range rows {
+			if r.RPvsWP <= 0 || r.RPvsWP > 1 || r.RPvsFCFS <= 0 || r.RPvsFCFS > 1 {
+				contradict("T2: %s similarity out of range (%v, %v)", r.Mechanism, r.RPvsWP, r.RPvsFCFS)
+			}
+		}
+		fmt.Fprintln(w)
 		sizes, err := eval.SizeTable()
 		if err != nil {
-			fatal(err)
+			return nil, err
 		}
-		fmt.Print(eval.RenderSizes(sizes))
-		if *detail {
-			fmt.Println()
+		fmt.Fprint(w, eval.RenderSizes(sizes))
+		if detail {
+			fmt.Fprintln(w)
 			for _, s := range solutions.All() {
 				rep, err := eval.ComparePair(s.Mechanism, problems.NameReadersPriority, problems.NameWritersPriority)
 				if err != nil {
-					fatal(err)
+					return nil, err
 				}
-				fmt.Print(eval.RenderPairDetail(rep))
-				fmt.Println()
+				fmt.Fprint(w, eval.RenderPairDetail(rep))
+				fmt.Fprintln(w)
 			}
 		}
 	}
 	if run("T3") {
 		ran = true
-		fmt.Println()
-		fmt.Print(eval.RenderModularity(eval.RunNestedMonitorExperiment(), eval.RunCrowdConcurrencyExperiment()))
+		fmt.Fprintln(w)
+		nested := eval.RunNestedMonitorExperiment()
+		crowd := eval.RunCrowdConcurrencyExperiment()
+		fmt.Fprint(w, eval.RenderModularity(nested, crowd))
+		if !nested.NaiveDeadlocks {
+			contradict("T3: naive nested monitor call did not deadlock")
+		}
+		if !nested.StructuredCompletes {
+			contradict("T3: structured nested call did not complete (%v)", nested.StructuredErr)
+		}
+		if !crowd.OverlapObserved {
+			contradict("T3: serializer crowd never overlapped resource access with possession")
+		}
+		table := eval.ModularityTable()
+		for i, sm := range eval.StaticModularityTable() {
+			if sm.Err != nil {
+				contradict("T3: static analysis of %s failed: %v", sm.Mechanism, sm.Err)
+				continue
+			}
+			if sm.Encapsulated() != table[i].Encapsulation {
+				contradict("T3: static encapsulation verdict for %s (%d/%d types bound) contradicts the table",
+					sm.Mechanism, sm.Summary.BoundCount(), len(sm.Summary.Types))
+			}
+		}
 	}
 	if run("T5") {
 		ran = true
-		fmt.Println()
-		fmt.Print(renderT5())
+		fmt.Fprintln(w)
+		out, t5 := renderT5()
+		fmt.Fprint(w, out)
+		if t5.err != nil {
+			contradict("T5: monitor FCFSRW run failed: %v", t5.err)
+		} else {
+			if t5.overlappingReads == 0 {
+				contradict("T5: no overlapping read pairs — type information was lost")
+			}
+			if t5.violations != 0 {
+				contradict("T5: %d FCFS violations — time information was lost", t5.violations)
+			}
+		}
 	}
 	if run("T6") {
 		ran = true
-		fmt.Println()
-		fmt.Print(renderT6())
+		fmt.Fprintln(w)
+		out, failures := renderT6()
+		fmt.Fprint(w, out)
+		for _, f := range failures {
+			contradict("T6: csp %s", f)
+		}
 	}
 	if run("E1") {
 		ran = true
-		fmt.Println()
-		fmt.Print(eval.RenderEvolution(eval.RunEvolution()))
+		fmt.Fprintln(w)
+		res := eval.RunEvolution()
+		fmt.Fprint(w, eval.RenderEvolution(res))
+		if !res.OK() {
+			contradict("E1: the numeric path operator did not remove the escape (err=%v)", res.Err)
+		}
 	}
 	if run("B2") {
 		ran = true
-		fmt.Println()
-		fmt.Print(eval.RenderFairness(eval.RunFairness()))
+		fmt.Fprintln(w)
+		rows := eval.RunFairness()
+		fmt.Fprint(w, eval.RenderFairness(rows))
+		for _, r := range rows {
+			if r.Err != nil {
+				contradict("B2: %s/%s run failed: %v", r.Mechanism, r.Variant, r.Err)
+				continue
+			}
+			switch r.Variant {
+			case problems.NameReadersPriority:
+				if r.ReadAvgQ > r.WriteAvgQ {
+					contradict("B2: %s readers-priority delays readers more than writers (%.1f > %.1f)",
+						r.Mechanism, r.ReadAvgQ, r.WriteAvgQ)
+				}
+			case problems.NameWritersPriority:
+				if r.WriteAvgQ > r.ReadAvgQ {
+					contradict("B2: %s writers-priority delays writers more than readers (%.1f > %.1f)",
+						r.Mechanism, r.WriteAvgQ, r.ReadAvgQ)
+				}
+			}
+		}
 	}
 	if run("E2") {
 		ran = true
-		fmt.Println()
-		fmt.Print(eval.RenderStarvation(eval.RunStarvation()))
+		fmt.Fprintln(w)
+		rows := eval.RunStarvation()
+		fmt.Fprint(w, eval.RenderStarvation(rows))
+		for _, r := range rows {
+			if r.Err != nil {
+				contradict("E2: %s/%s/%s run failed: %v", r.Mechanism, r.Variant, r.Storm, r.Err)
+				continue
+			}
+			if want := eval.ExpectedStarved(r.Variant, r.Storm); r.Starved != want {
+				contradict("E2: %s/%s under a %s storm: starved=%v, specification admits %v",
+					r.Mechanism, r.Variant, r.Storm, r.Starved, want)
+			}
+		}
 	}
 	if run("F1") {
 		ran = true
-		fmt.Println()
-		fmt.Print(eval.RenderFigure1(eval.RunFigure1()))
+		fmt.Fprintln(w)
+		res := eval.RunFigure1()
+		fmt.Fprint(w, eval.RenderFigure1(res))
+		if !res.AnomalyFound {
+			contradict("F1: the footnote-3 anomaly was not found in %d runs", res.Runs)
+		}
 	}
 	if run("F2") {
 		ran = true
-		fmt.Println()
-		fmt.Print(eval.RenderFigure2(eval.RunFigure2()))
+		fmt.Fprintln(w)
+		res := eval.RunFigure2()
+		fmt.Fprint(w, eval.RenderFigure2(res))
+		if !res.WritersPriorityHolds {
+			contradict("F2: a writers-priority violation was found in the Figure-2 solution")
+		}
+		if !res.ReadersPriorityViolated {
+			contradict("F2: the Figure-2 solution unexpectedly satisfies readers-priority")
+		}
 	}
 	if !ran {
-		fatal(fmt.Errorf("unknown experiment %q", *experiment))
+		return nil, fmt.Errorf("unknown experiment %q", experiment)
 	}
+	return contradictions, nil
+}
+
+// t5Outcome carries the measured facts out of renderT5 for the
+// contradiction check.
+type t5Outcome struct {
+	overlappingReads int
+	violations       int
+	err              error
 }
 
 // renderT5 demonstrates the §5.2 monitor queue conflict: the FCFS
 // readers–writers problem needs request type AND request time, which both
 // live in queues; the monitor solution's two-stage queueing resolves it,
 // and the run shows the FCFS admission order holding while reads share.
-func renderT5() string {
+func renderT5() (string, t5Outcome) {
 	var b strings.Builder
 	b.WriteString("T5. The monitor request-type/request-time conflict (§5.2)\n\n")
 	b.WriteString("  Both information types are carried by queues: order needs one queue, types need\n")
@@ -152,7 +288,7 @@ func renderT5() string {
 	tr, vs, err := solutions.RunStandard(k, suite, problems.NameFCFSRW, true)
 	if err != nil {
 		fmt.Fprintf(&b, "  run failed: %v\n", err)
-		return b.String()
+		return b.String(), t5Outcome{err: err}
 	}
 	ivs := tr.MustIntervals()
 	overlappingReads := 0
@@ -168,12 +304,14 @@ func renderT5() string {
 	fmt.Fprintf(&b, "  FCFS violations:            %d (time information preserved)\n", len(vs))
 	b.WriteString("\n  Serializers dissolve the conflict (one queue, guarantees carry the type); the\n")
 	b.WriteString("  T2 table shows their FCFS variant staying structurally close to readers-priority.\n")
-	return b.String()
+	return b.String(), t5Outcome{overlappingReads: overlappingReads, violations: len(vs)}
 }
 
-// renderT6 is the §6 extension: CSP evaluated with the same method.
-func renderT6() string {
+// renderT6 is the §6 extension: CSP evaluated with the same method. The
+// second result lists problems whose run failed or violated its oracle.
+func renderT6() (string, []string) {
 	var b strings.Builder
+	var failures []string
 	b.WriteString("T6. Message passing evaluated with the same methodology (§6: CSP [20])\n\n")
 	suite, _ := solutions.ByMechanism("csp")
 	for _, problem := range problems.AllProblems() {
@@ -185,6 +323,9 @@ func renderT6() string {
 		} else if len(vs) > 0 {
 			status = fmt.Sprintf("%d violations", len(vs))
 		}
+		if status != "ok" {
+			failures = append(failures, fmt.Sprintf("%s: %s", problem, status))
+		}
 		fmt.Fprintf(&b, "  %-18s %s\n", problem, status)
 	}
 	b.WriteString("\n  ratings (T1 row): ")
@@ -195,7 +336,7 @@ func renderT6() string {
 	}
 	b.WriteString(strings.Join(cells, " "))
 	b.WriteString("\n")
-	return b.String()
+	return b.String(), failures
 }
 
 func fatal(err error) {

@@ -1,0 +1,166 @@
+// Command synclint checks the repository's synchronization discipline
+// statically (see internal/synclint): balanced exclusion brackets,
+// nested-monitor hazards, resource state escaping its mechanism, hollow
+// signals, and kernel API misuse.
+//
+// Usage:
+//
+//	synclint ./...                 # every package under the tree
+//	synclint ./internal/eval       # one package
+//	synclint -json ./...           # machine-readable findings
+//	synclint -analyzers bracket,escape ./...
+//
+// Exit status is 0 when no findings remain, 1 when findings are
+// reported, and 2 when a package fails to load.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/synclint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "print findings as JSON")
+	names := flag.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: synclint [-json] [-analyzers list] packages...\n\nanalyzers:\n")
+		for _, a := range synclint.Analyzers() {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+
+	analyzers, err := selectAnalyzers(*names)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "synclint:", err)
+		os.Exit(2)
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	dirs, err := expandPatterns(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "synclint:", err)
+		os.Exit(2)
+	}
+
+	var all []synclint.Finding
+	for _, dir := range dirs {
+		pkg, err := synclint.LoadDir(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "synclint:", err)
+			os.Exit(2)
+		}
+		findings, _ := synclint.Run(pkg, analyzers)
+		all = append(all, findings...)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if all == nil {
+			all = []synclint.Finding{}
+		}
+		if err := enc.Encode(all); err != nil {
+			fmt.Fprintln(os.Stderr, "synclint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range all {
+			fmt.Println(f)
+		}
+	}
+	if len(all) > 0 {
+		os.Exit(1)
+	}
+}
+
+func selectAnalyzers(names string) ([]*synclint.Analyzer, error) {
+	if names == "" {
+		return synclint.Analyzers(), nil
+	}
+	byName := map[string]*synclint.Analyzer{}
+	for _, a := range synclint.Analyzers() {
+		byName[a.Name] = a
+	}
+	var out []*synclint.Analyzer
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		a := byName[n]
+		if a == nil {
+			return nil, fmt.Errorf("unknown analyzer %q (have %s)", n, strings.Join(synclint.AnalyzerNames(), ", "))
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// expandPatterns resolves package patterns to directories holding
+// non-test Go files. "dir/..." walks recursively, skipping hidden
+// directories and testdata.
+func expandPatterns(patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var dirs []string
+	add := func(dir string) {
+		if !seen[dir] && hasGoFiles(dir) {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		if root, ok := strings.CutSuffix(pat, "..."); ok {
+			root = filepath.Clean(strings.TrimSuffix(root, "/"))
+			if root == "" {
+				root = "."
+			}
+			err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() {
+					return nil
+				}
+				name := d.Name()
+				if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+					return filepath.SkipDir
+				}
+				add(path)
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
+		add(filepath.Clean(pat))
+	}
+	sort.Strings(dirs)
+	if len(dirs) == 0 {
+		return nil, fmt.Errorf("no Go packages match %s", strings.Join(patterns, " "))
+	}
+	return dirs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			return true
+		}
+	}
+	return false
+}

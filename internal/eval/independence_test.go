@@ -1,0 +1,76 @@
+package eval
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestTokenize(t *testing.T) {
+	if got := tokenize(""); len(got) != 0 {
+		t.Errorf("empty source should yield no tokens, got %v", got)
+	}
+	if got := tokenize("x"); !reflect.DeepEqual(got, []string{"x"}) {
+		t.Errorf("single-token source: got %v", got)
+	}
+	// Comments and the scanner's inserted semicolons are dropped;
+	// identifiers, keywords, literals, and operators survive.
+	got := tokenize("x := 1 // count\n")
+	want := []string{"x", ":=", "1"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("tokenize: got %v, want %v", got, want)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	got := normalize([]string{"ReadersPriority", "NewReadersPriority", "rc"}, "ReadersPriority")
+	want := []string{"θ", "θ", "rc"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("normalize: got %v, want %v", got, want)
+	}
+	if got := normalize(nil, "X"); len(got) != 0 {
+		t.Errorf("normalize of no tokens: got %v", got)
+	}
+}
+
+func TestLCSLen(t *testing.T) {
+	cases := []struct {
+		a, b []string
+		want int
+	}{
+		{nil, nil, 0},
+		{[]string{"x"}, nil, 0},
+		{[]string{"a", "b", "c"}, []string{"a", "b", "c"}, 3},
+		{[]string{"a", "b", "c", "d"}, []string{"b", "d"}, 2},
+		{[]string{"a"}, []string{"b"}, 0},
+	}
+	for _, c := range cases {
+		if got := lcsLen(c.a, c.b); got != c.want {
+			t.Errorf("lcsLen(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestSimilarity(t *testing.T) {
+	// Two empty declarations are vacuously identical.
+	if got := Similarity("", ""); got != 1 {
+		t.Errorf("Similarity of empty decls = %v, want 1", got)
+	}
+	// Identical only after type-name normalization.
+	a := "func (d *ReadersPriority) Read() { d.rc++ }"
+	b := "func (d *WritersPriority) Read() { d.rc++ }"
+	if got := Similarity(a, b, "ReadersPriority", "WritersPriority"); got != 1 {
+		t.Errorf("Similarity with renamed types = %v, want 1", got)
+	}
+	// Without normalization the rename costs a token.
+	if got := Similarity(a, b); got >= 1 {
+		t.Errorf("Similarity without normalization = %v, want < 1", got)
+	}
+	// Nothing in common.
+	if got := Similarity("x", "y"); got != 0 {
+		t.Errorf("Similarity of disjoint decls = %v, want 0", got)
+	}
+	// One side empty: not identical, not NaN.
+	if got := Similarity("x := 1", ""); got != 0 {
+		t.Errorf("Similarity against empty decl = %v, want 0", got)
+	}
+}

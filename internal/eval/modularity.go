@@ -73,6 +73,8 @@ type NestedMonitorOutcome struct {
 // consumer woke only via the inner condition, which the producer signals
 // fine... the deadlock is on the OUTER monitor: the producer's delivery
 // path also goes through the outer monitor).
+//
+//synclint:allow holdwait -- the nested-monitor hazard is the experiment
 func nestedScenario(holdOuterAcrossInner bool) error {
 	k := kernel.NewSim()
 

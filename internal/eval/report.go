@@ -98,15 +98,22 @@ func RenderPairDetail(rep PairReport) string {
 	return b.String()
 }
 
-// RenderModularity renders experiment T3.
+// RenderModularity renders experiment T3. The static column is the
+// synclint escape analyzer's verdict over the embedded solution sources,
+// printed next to each hand-assessed Encapsulation rating.
 func RenderModularity(nested NestedMonitorOutcome, crowd CrowdConcurrencyOutcome) string {
 	var b strings.Builder
 	b.WriteString("T3. Modularity (§2, §5.2)\n\n")
-	fmt.Fprintf(&b, "  %-12s %-14s %-12s %s\n", "", "encapsulation", "separation", "notes")
+	static := map[string]StaticModularity{}
+	for _, sm := range StaticModularityTable() {
+		static[sm.Mechanism] = sm
+	}
+	fmt.Fprintf(&b, "  %-12s %-14s %-22s %-12s %s\n", "", "encapsulation", "static evidence", "separation", "notes")
 	rows := ModularityTable()
 	sort.SliceStable(rows, func(i, j int) bool { return modularityScore(rows[i]) > modularityScore(rows[j]) })
 	for _, r := range rows {
-		fmt.Fprintf(&b, "  %-12s %-14v %-12v %s\n", r.Mechanism, r.Encapsulation, r.Separation, r.Notes)
+		fmt.Fprintf(&b, "  %-12s %-14v %-22s %-12v %s\n",
+			r.Mechanism, r.Encapsulation, staticEvidence(static[r.Mechanism], r), r.Separation, r.Notes)
 	}
 	b.WriteString("\n  Nested monitor calls [18]:\n")
 	fmt.Fprintf(&b, "    naive (resource ops are monitor ops):      deadlocks = %v (%v)\n",
@@ -116,6 +123,19 @@ func RenderModularity(nested NestedMonitorOutcome, crowd CrowdConcurrencyOutcome
 	b.WriteString("  Serializer crowds:\n")
 	fmt.Fprintf(&b, "    resource access overlapped possession:     %v\n", crowd.OverlapObserved)
 	return b.String()
+}
+
+// staticEvidence formats one mechanism's synclint escape verdict and
+// whether it agrees with the hand-assessed rating.
+func staticEvidence(sm StaticModularity, r ModularityRating) string {
+	if sm.Err != nil {
+		return "load error"
+	}
+	verdict := "agrees"
+	if sm.Encapsulated() != r.Encapsulation {
+		verdict = "DISAGREES"
+	}
+	return fmt.Sprintf("%d/%d bound (%s)", sm.Summary.BoundCount(), len(sm.Summary.Types), verdict)
 }
 
 // RenderCoverage renders experiment T4: the footnote-2 problem set covers

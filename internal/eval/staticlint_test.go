@@ -1,0 +1,48 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestModularityStaticAgreement pins the hand-assessed T3 Encapsulation
+// column to the synclint escape analyzer's mechanical verdict over the
+// embedded solution sources: the claim in the paper-reproduction table is
+// derivable from the code it describes.
+func TestModularityStaticAgreement(t *testing.T) {
+	static := map[string]StaticModularity{}
+	for _, sm := range StaticModularityTable() {
+		static[sm.Mechanism] = sm
+	}
+	for _, r := range ModularityTable() {
+		sm, ok := static[r.Mechanism]
+		if !ok {
+			t.Errorf("%s: no static analysis result", r.Mechanism)
+			continue
+		}
+		if sm.Err != nil {
+			t.Errorf("%s: %v", r.Mechanism, sm.Err)
+			continue
+		}
+		if len(sm.Summary.Types) == 0 {
+			t.Errorf("%s: escape analysis saw no solution types", r.Mechanism)
+		}
+		if got := sm.Encapsulated(); got != r.Encapsulation {
+			t.Errorf("%s: static encapsulation verdict %v (%d/%d types bound), table says %v",
+				r.Mechanism, got, sm.Summary.BoundCount(), len(sm.Summary.Types), r.Encapsulation)
+		}
+		for _, f := range sm.Escapes {
+			t.Errorf("%s: unbracketed state access: %s", r.Mechanism, f)
+		}
+	}
+}
+
+func TestRenderModularityStaticColumn(t *testing.T) {
+	out := RenderModularity(RunNestedMonitorExperiment(), RunCrowdConcurrencyExperiment())
+	if !strings.Contains(out, "static evidence") {
+		t.Fatalf("T3 report lacks the static evidence column:\n%s", out)
+	}
+	if strings.Contains(out, "DISAGREES") || strings.Contains(out, "load error") {
+		t.Fatalf("static evidence contradicts the table:\n%s", out)
+	}
+}

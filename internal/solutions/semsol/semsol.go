@@ -101,6 +101,7 @@ func (d *ReadersPriority) Read(p *kernel.Proc, body func()) {
 	d.mutex.Lock(p)
 	d.rc++
 	if d.rc == 1 {
+		//synclint:allow holdwait -- CHP problem 1 blocks on w under the count mutex
 		d.w.P(p) // first reader locks out writers
 	}
 	d.mutex.Unlock(p)
@@ -147,6 +148,8 @@ func NewWritersPriority() *WritersPriority {
 }
 
 // Read implements problems.RWStore.
+//
+//synclint:allow holdwait -- CHP problem 2 as published: readers thread the r/mutex1 gauntlet while mutex3 serializes arrivals
 func (d *WritersPriority) Read(p *kernel.Proc, body func()) {
 	d.mutex3.Lock(p)
 	d.r.P(p)
@@ -170,6 +173,8 @@ func (d *WritersPriority) Read(p *kernel.Proc, body func()) {
 }
 
 // Write implements problems.RWStore.
+//
+//synclint:allow holdwait -- CHP problem 2: the first writer bars new readers while holding the writer-count mutex
 func (d *WritersPriority) Write(p *kernel.Proc, body func()) {
 	d.mutex2.Lock(p)
 	d.wc++
@@ -210,6 +215,8 @@ func NewFCFSRW() *FCFSRW {
 }
 
 // Read implements problems.RWStore.
+//
+//synclint:allow holdwait -- first reader blocks on w inside the FCFS entry gate
 func (d *FCFSRW) Read(p *kernel.Proc, body func()) {
 	d.entry.P(p)
 	d.mutex.Lock(p)

@@ -1,0 +1,391 @@
+package synclint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// BracketAnalyzer checks that every exclusion bracket is balanced on all
+// control-flow paths: monitor/serializer Enter has a matching Exit,
+// Mutex Lock a matching Unlock, and trace enter/exit emissions come in
+// pairs — including early returns and every branch of a conditional.
+//
+// Counting semaphores are checked only when a function both P's and V's
+// the same semaphore unconditionally (the straight-line bracket use):
+// conditional protocols (first-reader P, last-reader V) and
+// cross-function permit transfer (P in Deposit, V in Remove) are
+// legitimate semaphore idioms, not bugs.
+var BracketAnalyzer = &Analyzer{
+	Name: "bracket",
+	Doc:  "Enter/Exit, Lock/Unlock, P/V, and trace emissions balanced on every path",
+	run:  runBracket,
+}
+
+// Bracket keys are prefixed by kind: strong keys (m: mutex/monitor/
+// serializer, t: trace pair) must balance on every path; weak keys
+// (s: semaphore) balance only under the conditions above.
+const (
+	keyStrong = "m:"
+	keyTrace  = "t:"
+	keySem    = "s:"
+)
+
+func runBracket(pass *Pass) {
+	forEachFrame(pass.Pkg, func(fn *frame) {
+		b := &bracketWalk{pass: pass, fn: fn, deferred: map[string]int{}}
+		b.prepass()
+		st, terminated := b.block(fn.body.List, map[string]int{})
+		if !terminated {
+			b.checkExit(st, fn.body.End())
+		}
+	})
+}
+
+// frame is one function body analyzed independently: a FuncDecl or a
+// FuncLit (closures execute in their own dynamic context).
+type frame struct {
+	name string
+	body *ast.BlockStmt
+}
+
+// forEachFrame visits every FuncDecl body and every FuncLit body in the
+// package, each exactly once.
+func forEachFrame(pkg *Package, visit func(*frame)) {
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			visit(&frame{name: fd.Name.Name, body: fd.Body})
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					visit(&frame{name: fd.Name.Name + " closure", body: lit.Body})
+				}
+				return true
+			})
+		}
+	}
+}
+
+type bracketWalk struct {
+	pass     *Pass
+	fn       *frame
+	deferred map[string]int
+	// semSeen tracks which of P/V appear per semaphore and whether any
+	// occurrence is conditional.
+	semP, semV, semCond map[string]bool
+}
+
+func (b *bracketWalk) key(op Op) string {
+	if op.Recv == nil {
+		return ""
+	}
+	recv := exprText(b.pass.Pkg.Fset, op.Recv)
+	switch op.Class {
+	case OpAcquire, OpRelease:
+		return keyStrong + recv
+	case OpSemP, OpSemV:
+		return keySem + recv
+	case OpTraceEnter, OpTraceExit:
+		// Keyed by recorder and operation argument, so interleaved pairs
+		// for different operations don't collide.
+		return keyTrace + recv + ":" + exprText(b.pass.Pkg.Fset, op.Call.Args[1])
+	}
+	return ""
+}
+
+// prepass records semaphore usage shape, skipping nested FuncLits (they
+// are separate frames).
+func (b *bracketWalk) prepass() {
+	b.semP, b.semV, b.semCond = map[string]bool{}, map[string]bool{}, map[string]bool{}
+	var walk func(n ast.Node, conditional bool)
+	walk = func(n ast.Node, conditional bool) {
+		switch x := n.(type) {
+		case nil:
+			return
+		case *ast.FuncLit:
+			return
+		case *ast.IfStmt, *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			for _, c := range childNodes(n) {
+				walk(c, true)
+			}
+			return
+		case *ast.CallExpr:
+			op := classifyCall(x)
+			if op.Class == OpSemP || op.Class == OpSemV {
+				k := b.key(op)
+				if op.Class == OpSemP {
+					b.semP[k] = true
+				} else {
+					b.semV[k] = true
+				}
+				if conditional {
+					b.semCond[k] = true
+				}
+			}
+		}
+		for _, c := range childNodes(n) {
+			walk(c, conditional)
+		}
+	}
+	for _, s := range b.fn.body.List {
+		walk(s, false)
+	}
+}
+
+// childNodes returns the direct AST children of n.
+func childNodes(n ast.Node) []ast.Node {
+	var out []ast.Node
+	first := true
+	ast.Inspect(n, func(c ast.Node) bool {
+		if first {
+			first = false
+			return true
+		}
+		if c != nil {
+			out = append(out, c)
+		}
+		return false
+	})
+	return out
+}
+
+// scanOps applies mechanism-op deltas from an expression or simple
+// statement, skipping nested FuncLits.
+func (b *bracketWalk) scanOps(n ast.Node, st map[string]int) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(c ast.Node) bool {
+		if _, ok := c.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := c.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		op := classifyCall(call)
+		switch op.Class {
+		case OpAcquire, OpSemP, OpTraceEnter:
+			st[b.key(op)]++
+		case OpRelease, OpSemV, OpTraceExit:
+			st[b.key(op)]--
+		}
+		return true
+	})
+}
+
+func cloneState(st map[string]int) map[string]int {
+	out := make(map[string]int, len(st))
+	for k, v := range st {
+		out[k] = v
+	}
+	return out
+}
+
+func (b *bracketWalk) block(list []ast.Stmt, st map[string]int) (map[string]int, bool) {
+	for _, s := range list {
+		var terminated bool
+		st, terminated = b.stmt(s, st)
+		if terminated {
+			return st, true
+		}
+	}
+	return st, false
+}
+
+func (b *bracketWalk) stmt(s ast.Stmt, st map[string]int) (map[string]int, bool) {
+	switch x := s.(type) {
+	case *ast.BlockStmt:
+		return b.block(x.List, st)
+	case *ast.IfStmt:
+		b.scanOps(x.Init, st)
+		b.scanOps(x.Cond, st)
+		thenSt, thenTerm := b.block(x.Body.List, cloneState(st))
+		elseSt, elseTerm := cloneState(st), false
+		if x.Else != nil {
+			elseSt, elseTerm = b.stmt(x.Else, elseSt)
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return st, true
+		case thenTerm:
+			return elseSt, false
+		case elseTerm:
+			return thenSt, false
+		default:
+			b.compareBranches(thenSt, elseSt, x.If)
+			return thenSt, false
+		}
+	case *ast.ForStmt:
+		b.scanOps(x.Init, st)
+		b.scanOps(x.Cond, st)
+		b.scanOps(x.Post, st)
+		bodySt, term := b.block(x.Body.List, cloneState(st))
+		if !term {
+			b.compareLoop(st, bodySt, x.For)
+		}
+		return st, false
+	case *ast.RangeStmt:
+		b.scanOps(x.X, st)
+		bodySt, term := b.block(x.Body.List, cloneState(st))
+		if !term {
+			b.compareLoop(st, bodySt, x.For)
+		}
+		return st, false
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return b.branches(s, st)
+	case *ast.ReturnStmt:
+		for _, r := range x.Results {
+			b.scanOps(r, st)
+		}
+		b.checkExit(st, x.Pos())
+		return st, true
+	case *ast.DeferStmt:
+		b.deferOps(x)
+		return st, false
+	case *ast.BranchStmt:
+		// break/continue/goto transfer control elsewhere; stop checking
+		// this path rather than model the jump.
+		return st, true
+	case *ast.LabeledStmt:
+		return b.stmt(x.Stmt, st)
+	case *ast.GoStmt:
+		return st, false
+	default:
+		b.scanOps(s, st)
+		return st, false
+	}
+}
+
+// branches handles switch/type-switch/select uniformly.
+func (b *bracketWalk) branches(s ast.Stmt, st map[string]int) (map[string]int, bool) {
+	var bodies []*ast.BlockStmt
+	switch x := s.(type) {
+	case *ast.SwitchStmt:
+		b.scanOps(x.Init, st)
+		b.scanOps(x.Tag, st)
+		for _, c := range x.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				bodies = append(bodies, &ast.BlockStmt{List: cc.Body, Lbrace: cc.Pos(), Rbrace: cc.End()})
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		b.scanOps(x.Init, st)
+		for _, c := range x.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				bodies = append(bodies, &ast.BlockStmt{List: cc.Body, Lbrace: cc.Pos(), Rbrace: cc.End()})
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range x.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				bodies = append(bodies, &ast.BlockStmt{List: cc.Body, Lbrace: cc.Pos(), Rbrace: cc.End()})
+			}
+		}
+	}
+	if len(bodies) == 0 {
+		return st, false
+	}
+	var surviving []map[string]int
+	for _, body := range bodies {
+		bs, term := b.block(body.List, cloneState(st))
+		if !term {
+			surviving = append(surviving, bs)
+		}
+	}
+	if len(surviving) == 0 {
+		// Without a default clause control may still fall through.
+		return st, false
+	}
+	for _, other := range surviving[1:] {
+		b.compareBranches(surviving[0], other, s.Pos())
+	}
+	return surviving[0], false
+}
+
+func (b *bracketWalk) strongKeys(sts ...map[string]int) map[string]bool {
+	keys := map[string]bool{}
+	for _, st := range sts {
+		for k := range st {
+			if strings.HasPrefix(k, keyStrong) || strings.HasPrefix(k, keyTrace) {
+				keys[k] = true
+			}
+		}
+	}
+	return keys
+}
+
+func (b *bracketWalk) compareBranches(a, c map[string]int, pos token.Pos) {
+	for k := range b.strongKeys(a, c) {
+		if a[k] != c[k] {
+			b.pass.reportf(pos, "%s is %s on one branch but not the other in %s",
+				displayKey(k), heldWord(a[k], c[k]), b.fn.name)
+		}
+	}
+}
+
+func (b *bracketWalk) compareLoop(entry, body map[string]int, pos token.Pos) {
+	for k := range b.strongKeys(entry, body) {
+		if entry[k] != body[k] {
+			b.pass.reportf(pos, "%s changes balance by %+d across a loop iteration in %s",
+				displayKey(k), body[k]-entry[k], b.fn.name)
+		}
+	}
+}
+
+func (b *bracketWalk) checkExit(st map[string]int, pos token.Pos) {
+	for k, v := range st {
+		net := v + b.deferred[k]
+		if net == 0 {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(k, keyStrong):
+			b.pass.reportf(pos, "%s left unbalanced at function exit (net %+d) in %s", displayKey(k), net, b.fn.name)
+		case strings.HasPrefix(k, keyTrace):
+			b.pass.reportf(pos, "trace %s emission unbalanced at function exit (net %+d) in %s", displayKey(k), net, b.fn.name)
+		case strings.HasPrefix(k, keySem):
+			if b.semP[k] && b.semV[k] && !b.semCond[k] {
+				b.pass.reportf(pos, "semaphore %s unbalanced at function exit (net %+d) in %s", displayKey(k), net, b.fn.name)
+			}
+		}
+	}
+}
+
+func (b *bracketWalk) deferOps(d *ast.DeferStmt) {
+	apply := func(call *ast.CallExpr) {
+		op := classifyCall(call)
+		switch op.Class {
+		case OpRelease, OpSemV, OpTraceExit:
+			b.deferred[b.key(op)]--
+		case OpAcquire, OpSemP, OpTraceEnter:
+			b.deferred[b.key(op)]++
+		}
+	}
+	apply(d.Call)
+	if lit, ok := d.Call.Fun.(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			if call, ok := n.(*ast.CallExpr); ok {
+				apply(call)
+			}
+			return true
+		})
+	}
+}
+
+func displayKey(k string) string {
+	return k[2:]
+}
+
+func heldWord(a, c int) string {
+	if a > c {
+		return "held"
+	}
+	return "released"
+}

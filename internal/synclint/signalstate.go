@@ -1,0 +1,96 @@
+package synclint
+
+import (
+	"go/ast"
+)
+
+// SignalStateAnalyzer checks Hoare-signal hygiene: a Signal (or
+// SignalAll) inside a critical section should follow a change to the
+// state its waiters' guards re-check — otherwise the signalled process
+// wakes, re-evaluates its guard against unchanged state, and the signal
+// was at best a no-op and at worst hides a lost-wakeup bug. A Wait in
+// the same section exempts the signal: waking after a wait and passing
+// the condition on (the cascade in the alarm-clock solution) is the
+// signal-propagation idiom, where the state change happened in the
+// signalling chain's origin.
+var SignalStateAnalyzer = &Analyzer{
+	Name: "signalstate",
+	Doc:  "Signal with no write to guard-referenced state in the same critical section",
+	run:  runSignalState,
+}
+
+type signalRegion struct {
+	key      string
+	hasWrite bool
+	hasWait  bool
+}
+
+func runSignalState(pass *Pass) {
+	forEachFrame(pass.Pkg, func(fn *frame) {
+		var regions []*signalRegion
+		markWrite := func() {
+			for _, r := range regions {
+				r.hasWrite = true
+			}
+		}
+		markWait := func() {
+			for _, r := range regions {
+				r.hasWait = true
+			}
+		}
+		var walk func(n ast.Node)
+		walk = func(n ast.Node) {
+			switch x := n.(type) {
+			case nil:
+				return
+			case *ast.FuncLit:
+				// Separate frame; forEachFrame visits it.
+				return
+			case *ast.AssignStmt:
+				for _, lhs := range x.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+						continue
+					}
+					markWrite()
+					break
+				}
+			case *ast.IncDecStmt:
+				markWrite()
+			case *ast.CallExpr:
+				op := classifyCall(x)
+				switch op.Class {
+				case OpAcquire:
+					for _, c := range childNodes(n) {
+						walk(c)
+					}
+					regions = append(regions, &signalRegion{key: exprText(pass.Pkg.Fset, op.Recv)})
+					return
+				case OpRelease:
+					key := exprText(pass.Pkg.Fset, op.Recv)
+					for i := len(regions) - 1; i >= 0; i-- {
+						if regions[i].key == key {
+							regions = append(regions[:i], regions[i+1:]...)
+							break
+						}
+					}
+				case OpWait:
+					markWait()
+				case OpSignal:
+					if len(regions) > 0 {
+						top := regions[len(regions)-1]
+						if !top.hasWrite && !top.hasWait {
+							pass.reportf(x.Pos(), "signal of %s with no state change in the %s critical section (in %s)",
+								exprText(pass.Pkg.Fset, op.Recv), top.key, fn.name)
+						}
+					}
+				}
+			}
+			for _, c := range childNodes(n) {
+				walk(c)
+			}
+		}
+		for _, s := range fn.body.List {
+			walk(s)
+		}
+	})
+}

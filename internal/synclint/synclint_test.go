@@ -1,0 +1,373 @@
+package synclint
+
+import (
+	"strings"
+	"testing"
+)
+
+// runOne parses a single-file fixture package and runs one analyzer.
+func runOne(t *testing.T, analyzer *Analyzer, src string) ([]Finding, int) {
+	t.Helper()
+	pkg, err := LoadSource("fixture", map[string]string{"f.go": src})
+	if err != nil {
+		t.Fatalf("parse fixture: %v", err)
+	}
+	return Run(pkg, []*Analyzer{analyzer})
+}
+
+func wantFinding(t *testing.T, findings []Finding, substr string) {
+	t.Helper()
+	for _, f := range findings {
+		if strings.Contains(f.Message, substr) {
+			return
+		}
+	}
+	t.Fatalf("no finding containing %q; got %v", substr, findings)
+}
+
+func wantClean(t *testing.T, findings []Finding) {
+	t.Helper()
+	if len(findings) != 0 {
+		t.Fatalf("expected no findings, got %v", findings)
+	}
+}
+
+func TestBracketPositive(t *testing.T) {
+	findings, _ := runOne(t, BracketAnalyzer, `
+package fixture
+
+func Leaky(p *Proc, m *Monitor, urgent bool) {
+	m.Enter(p)
+	if urgent {
+		return // exits with m still held
+	}
+	m.Exit(p)
+}
+`)
+	wantFinding(t, findings, "left unbalanced at function exit")
+}
+
+func TestBracketNegative(t *testing.T) {
+	findings, _ := runOne(t, BracketAnalyzer, `
+package fixture
+
+func Deferred(p *Proc, m *Monitor, urgent bool) {
+	m.Enter(p)
+	defer m.Exit(p)
+	if urgent {
+		return
+	}
+}
+
+func Branches(p *Proc, m *Monitor, n int) {
+	m.Enter(p)
+	if n > 0 {
+		n--
+	} else {
+		n++
+	}
+	m.Exit(p)
+}
+
+// Split-semaphore permit transfer is a legitimate idiom, not an
+// imbalance: Deposit P's space and V's items, Remove the reverse.
+func Deposit(p *Proc, space, items *Semaphore) {
+	space.P(p)
+	items.V()
+}
+`)
+	wantClean(t, findings)
+}
+
+func TestBracketTracePairs(t *testing.T) {
+	findings, _ := runOne(t, BracketAnalyzer, `
+package fixture
+
+func Unpaired(p *Proc, rec *Recorder, early bool) {
+	rec.Enter(p, "read", 0)
+	if early {
+		return // missing rec.Exit emission
+	}
+	rec.Exit(p, "read", 0)
+}
+`)
+	wantFinding(t, findings, "trace")
+}
+
+func TestHoldWaitPositive(t *testing.T) {
+	findings, _ := runOne(t, HoldWaitAnalyzer, `
+package fixture
+
+func Nested(p *Proc, outer, inner *Monitor) {
+	outer.Enter(p)
+	inner.Enter(p) // nested-monitor hazard
+	inner.Exit(p)
+	outer.Exit(p)
+}
+`)
+	wantFinding(t, findings, "acquired while outer is held")
+}
+
+func TestHoldWaitNegative(t *testing.T) {
+	// A Wait on a condition of the HELD monitor releases that monitor by
+	// construction — the intended use, not a hazard.
+	findings, _ := runOne(t, HoldWaitAnalyzer, `
+package fixture
+
+func Consume(p *Proc, m *Monitor) {
+	c := m.NewCondition("nonempty")
+	m.Enter(p)
+	c.Wait(p)
+	m.Exit(p)
+}
+`)
+	wantClean(t, findings)
+}
+
+func TestHoldWaitTransitive(t *testing.T) {
+	// A helper that blocks, called with a bracket held, is the same
+	// hazard one call deeper.
+	findings, _ := runOne(t, HoldWaitAnalyzer, `
+package fixture
+
+func slowGet(p *Proc, inner *Monitor) {
+	inner.Enter(p)
+	inner.Exit(p)
+}
+
+func Outer(p *Proc, outer, inner *Monitor) {
+	outer.Enter(p)
+	slowGet(p, inner)
+	outer.Exit(p)
+}
+`)
+	wantFinding(t, findings, "call to slowGet may block")
+}
+
+const escapeFixture = `
+package fixture
+
+import (
+	"example/internal/ccr"
+	"example/internal/kernel"
+	"example/internal/monitor"
+)
+
+// Counter guards its state by discipline but leaks a read outside the
+// bracket: not mechanism-bound.
+type Counter struct {
+	m *monitor.Monitor
+	n int
+}
+
+func (c *Counter) Inc(p *kernel.Proc) {
+	c.m.Enter(p)
+	c.n++
+	c.m.Exit(p)
+}
+
+func (c *Counter) Peek(p *kernel.Proc) int {
+	return c.n // escaped access
+}
+
+// Cell's state is only touched inside bodies the region itself runs:
+// mechanism-bound, structurally.
+type Cell struct {
+	r *ccr.Region
+	v int
+}
+
+func (c *Cell) Set(p *kernel.Proc, x int) {
+	c.r.Execute(p, func() bool { return true }, func() { c.v = x })
+}
+
+func (c *Cell) Get(p *kernel.Proc) int {
+	out := 0
+	c.r.Execute(p, func() bool { return true }, func() { out = c.v })
+	return out
+}
+`
+
+func TestEscapePositiveAndNegative(t *testing.T) {
+	findings, _ := runOne(t, EscapeAnalyzer, escapeFixture)
+	wantFinding(t, findings, "Counter.n accessed outside any synchronization bracket in Counter.Peek")
+	for _, f := range findings {
+		if strings.Contains(f.Message, "Cell.") {
+			t.Fatalf("structurally protected Cell access reported: %v", f)
+		}
+	}
+}
+
+func TestEscapeSummary(t *testing.T) {
+	pkg, err := LoadSource("fixture", map[string]string{"f.go": escapeFixture})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, _ := AnalyzeEscape(pkg)
+	if len(sum.Types) != 2 {
+		t.Fatalf("want 2 analyzed types, got %+v", sum.Types)
+	}
+	byName := map[string]TypeEscape{}
+	for _, te := range sum.Types {
+		byName[te.Type] = te
+	}
+	if byName["Counter"].Bound() {
+		t.Errorf("Counter should not be mechanism-bound: %+v", byName["Counter"])
+	}
+	if !byName["Cell"].Bound() {
+		t.Errorf("Cell should be mechanism-bound: %+v", byName["Cell"])
+	}
+	if sum.Encapsulated() {
+		t.Errorf("1 of 2 bound is not a majority; Encapsulated() = true")
+	}
+}
+
+func TestEscapeSkipsMechanismFreePackages(t *testing.T) {
+	pkg, err := LoadSource("fixture", map[string]string{"f.go": `
+package fixture
+
+type Plain struct{ n int }
+
+func (p *Plain) Inc(q *Proc) { p.n++ }
+`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, findings := AnalyzeEscape(pkg)
+	if len(sum.Types) != 0 || len(findings) != 0 {
+		t.Fatalf("package without mechanism imports should be vacuous, got %+v %v", sum, findings)
+	}
+}
+
+func TestSignalStatePositive(t *testing.T) {
+	findings, _ := runOne(t, SignalStateAnalyzer, `
+package fixture
+
+func Hollow(p *Proc, m *Monitor, c *Condition) {
+	m.Enter(p)
+	c.Signal(p) // nothing changed; waiters re-check unchanged state
+	m.Exit(p)
+}
+`)
+	wantFinding(t, findings, "no state change")
+}
+
+func TestSignalStateNegative(t *testing.T) {
+	findings, _ := runOne(t, SignalStateAnalyzer, `
+package fixture
+
+func Produce(p *Proc, m *Monitor, c *Condition, buf *Buffer) {
+	m.Enter(p)
+	buf.count++
+	c.Signal(p)
+	m.Exit(p)
+}
+
+// The cascade idiom: waking from a Wait and passing the signal on is
+// signal propagation, not a hollow signal.
+func Cascade(p *Proc, m *Monitor, c *Condition) {
+	m.Enter(p)
+	c.Wait(p)
+	c.Signal(p)
+	m.Exit(p)
+}
+`)
+	wantClean(t, findings)
+}
+
+func TestKernelAPIPositive(t *testing.T) {
+	findings, _ := runOne(t, KernelAPIAnalyzer, `
+package fixture
+
+func CapturesProc(p *Proc, k *Kernel) {
+	k.Spawn("child", func(q *Proc) {
+		p.Yield() // p belongs to the spawning process
+	})
+}
+
+func SpawnAfterRun(k *Kernel) {
+	k.Spawn("early", func(p *Proc) {})
+	k.Run()
+	k.Spawn("late", func(p *Proc) {})
+}
+`)
+	wantFinding(t, findings, "captures p")
+	wantFinding(t, findings, "Spawn on k after k.Run() returned")
+}
+
+func TestKernelAPINegative(t *testing.T) {
+	findings, _ := runOne(t, KernelAPIAnalyzer, `
+package fixture
+
+func OwnProc(p *Proc, k *Kernel) {
+	k.Spawn("child", func(q *Proc) {
+		q.Yield()
+	})
+	k.Run()
+}
+
+func FreshKernel(k *Kernel) {
+	k.Run()
+	k = NewKernel()
+	k.Spawn("next", func(p *Proc) {})
+	k.Run()
+}
+`)
+	wantClean(t, findings)
+}
+
+func TestKernelAPINestedSpawnCapture(t *testing.T) {
+	findings, _ := runOne(t, KernelAPIAnalyzer, `
+package fixture
+
+func Nested(k *Kernel) {
+	k.Spawn("outer", func(p *Proc) {
+		k.Spawn("inner", func(q *Proc) {
+			p.Unpark(nil) // p is the outer body's process
+		})
+	})
+}
+`)
+	wantFinding(t, findings, "captures p")
+}
+
+func TestAllowAnnotations(t *testing.T) {
+	// Line-level, function-level, and file-level suppressions.
+	src := `
+package fixture
+
+func LineAllowed(p *Proc, outer, inner *Monitor) {
+	outer.Enter(p)
+	//synclint:allow holdwait -- deliberate naive demo
+	inner.Enter(p)
+	inner.Exit(p)
+	outer.Exit(p)
+}
+
+// FuncAllowed demonstrates the hazard on purpose.
+//
+//synclint:allow holdwait -- the whole function is the demo
+func FuncAllowed(p *Proc, outer, inner *Monitor) {
+	outer.Enter(p)
+	inner.Enter(p)
+	inner.Exit(p)
+	outer.Exit(p)
+}
+`
+	findings, suppressed := runOne(t, HoldWaitAnalyzer, src)
+	wantClean(t, findings)
+	if suppressed != 2 {
+		t.Fatalf("want 2 suppressed findings, got %d", suppressed)
+	}
+
+	// The annotation names a specific analyzer: others still fire.
+	findings, _ = runOne(t, BracketAnalyzer, `
+package fixture
+
+func WrongName(p *Proc, m *Monitor) {
+	//synclint:allow holdwait
+	m.Enter(p)
+}
+`)
+	wantFinding(t, findings, "left unbalanced")
+}
