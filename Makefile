@@ -1,0 +1,33 @@
+# Development entry points. CI runs the same commands (.github/workflows/ci.yml).
+
+GO        ?= go
+BENCHTIME ?= 2s
+
+.PHONY: all build test race lint bench clean
+
+all: lint build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+lint:
+	test -z "$$(gofmt -l .)" || { gofmt -l .; exit 1; }
+	$(GO) vet ./...
+	$(GO) run ./cmd/synclint ./...
+
+# bench runs the E1 exploration-throughput benchmark (pool and prune
+# variants included) and archives the numbers — ns/op, allocs/op, and
+# schedules/sec per variant — as BENCH_explore.json. Override BENCHTIME
+# (e.g. BENCHTIME=1x) for a smoke run.
+bench:
+	$(GO) test -run '^$$' -bench BenchmarkE1ExploreThroughput -benchmem -benchtime $(BENCHTIME) -count 1 . \
+		| tee /dev/stderr | $(GO) run ./cmd/benchjson -o BENCH_explore.json
+
+clean:
+	rm -f BENCH_explore.json

@@ -75,6 +75,7 @@ func benchExploreThroughput(b *testing.B, opts explore.Options) {
 	prog := explore.Program(func(k kernel.Kernel, r *trace.Recorder) {
 		eval.FigureScenario(suite.NewReadersPriority(k))(k, r)
 	})
+	b.ReportAllocs()
 	b.ResetTimer()
 	total := 0
 	for i := 0; i < b.N; i++ {
@@ -105,6 +106,27 @@ func BenchmarkE1ExploreThroughput(b *testing.B) {
 	})
 	b.Run("dfs-seq", func(b *testing.B) {
 		benchExploreThroughput(b, explore.Options{RandomRuns: -1, DFSRuns: budget, Workers: 1})
+	})
+	// Run recycling (Options.Pool): same schedules, same Result, but
+	// kernels/recorders/buffers are reused across runs instead of
+	// reallocated. Compare each -pool line against its sibling above.
+	b.Run("random-pool", func(b *testing.B) {
+		benchExploreThroughput(b, explore.Options{RandomRuns: budget, DFSRuns: 0, Pool: true})
+	})
+	b.Run("random-seq-pool", func(b *testing.B) {
+		benchExploreThroughput(b, explore.Options{RandomRuns: budget, DFSRuns: 0, Workers: 1, Pool: true})
+	})
+	b.Run("dfs-pool", func(b *testing.B) {
+		benchExploreThroughput(b, explore.Options{RandomRuns: -1, DFSRuns: budget, Pool: true})
+	})
+	b.Run("dfs-seq-pool", func(b *testing.B) {
+		benchExploreThroughput(b, explore.Options{RandomRuns: -1, DFSRuns: budget, Workers: 1, Pool: true})
+	})
+	// Fingerprint pruning (Options.Prune) collapses the DFS frontier on
+	// top of pooling; schedules/sec also reflects that fewer (deduped)
+	// schedules need executing at all to cover the same space.
+	b.Run("dfs-seq-pool-prune", func(b *testing.B) {
+		benchExploreThroughput(b, explore.Options{RandomRuns: -1, DFSRuns: budget, Workers: 1, Pool: true, Prune: true})
 	})
 }
 

@@ -1,0 +1,129 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// document, so benchmark numbers (ns/op, allocs/op, and custom metrics
+// like the exploration engine's schedules/sec) can be archived and
+// diffed across commits by CI.
+//
+// Usage:
+//
+//	go test -run '^$' -bench BenchmarkE1ExploreThroughput -benchmem . | benchjson -o BENCH_explore.json
+//
+// Input lines it understands (everything else passes through untouched):
+//
+//	goos: linux
+//	goarch: amd64
+//	pkg: repro
+//	BenchmarkE1ExploreThroughput/dfs-seq-pool-8  223  5347102 ns/op  82584 schedules/sec  2629 allocs/op
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one result line: the sub-benchmark name with its -N cpu
+// suffix split off, the iteration count, and every reported metric keyed
+// by unit.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	CPUs       int                `json:"cpus,omitempty"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Report is the whole document.
+type Report struct {
+	GoOS       string      `json:"goos,omitempty"`
+	GoArch     string      `json:"goarch,omitempty"`
+	Package    string      `json:"pkg,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "", "write JSON here instead of stdout")
+	flag.Parse()
+
+	report := parse(bufio.NewScanner(os.Stdin))
+	if len(report.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func parse(sc *bufio.Scanner) Report {
+	var r Report
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			r.GoOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			r.GoArch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "pkg: "):
+			r.Package = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "cpu: "):
+			r.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			if b, ok := parseBenchLine(line); ok {
+				r.Benchmarks = append(r.Benchmarks, b)
+			}
+		}
+	}
+	return r
+}
+
+// parseBenchLine parses one result line: name, iterations, then
+// value/unit pairs.
+func parseBenchLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Iterations: iters, Metrics: map[string]float64{}}
+	b.Name, b.CPUs = splitCPUSuffix(fields[0])
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, true
+}
+
+// splitCPUSuffix splits the trailing "-N" GOMAXPROCS marker off a
+// benchmark name. Names without one (GOMAXPROCS=1 runs) pass through.
+func splitCPUSuffix(name string) (string, int) {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name, 0
+	}
+	n, err := strconv.Atoi(name[i+1:])
+	if err != nil || n <= 0 {
+		return name, 0
+	}
+	return name[:i], n
+}

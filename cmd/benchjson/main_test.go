@@ -1,0 +1,59 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: AMD EPYC 7B13
+BenchmarkE1ExploreThroughput/dfs-seq-pool-8         	     223	   5347102 ns/op	     2629 allocs/op	     82584 schedules/sec
+BenchmarkE1ExploreThroughput/random                 	     100	  10000000 ns/op
+PASS
+ok  	repro	12.3s
+`
+
+func TestParse(t *testing.T) {
+	r := parse(bufio.NewScanner(strings.NewReader(sample)))
+	if r.GoOS != "linux" || r.GoArch != "amd64" || r.Package != "repro" {
+		t.Fatalf("header: %+v", r)
+	}
+	if len(r.Benchmarks) != 2 {
+		t.Fatalf("benchmarks: %+v", r.Benchmarks)
+	}
+	b := r.Benchmarks[0]
+	if b.Name != "BenchmarkE1ExploreThroughput/dfs-seq-pool" || b.CPUs != 8 || b.Iterations != 223 {
+		t.Fatalf("first line: %+v", b)
+	}
+	for unit, want := range map[string]float64{
+		"ns/op": 5347102, "allocs/op": 2629, "schedules/sec": 82584,
+	} {
+		if got := b.Metrics[unit]; got != want {
+			t.Fatalf("%s = %v, want %v", unit, got, want)
+		}
+	}
+	if b := r.Benchmarks[1]; b.Name != "BenchmarkE1ExploreThroughput/random" || b.CPUs != 0 {
+		t.Fatalf("second line: %+v", b)
+	}
+}
+
+func TestSplitCPUSuffix(t *testing.T) {
+	cases := []struct {
+		in   string
+		name string
+		cpus int
+	}{
+		{"BenchmarkX-8", "BenchmarkX", 8},
+		{"BenchmarkX/sub-case-16", "BenchmarkX/sub-case", 16},
+		{"BenchmarkX/sub-case", "BenchmarkX/sub-case", 0},
+		{"BenchmarkX", "BenchmarkX", 0},
+	}
+	for _, c := range cases {
+		if name, cpus := splitCPUSuffix(c.in); name != c.name || cpus != c.cpus {
+			t.Fatalf("splitCPUSuffix(%q) = %q, %d; want %q, %d", c.in, name, cpus, c.name, c.cpus)
+		}
+	}
+}

@@ -45,8 +45,12 @@ func main() {
 	experiment := flag.String("experiment", "all", "experiment id (F1 F2 T1 T2 T3 T4 T5 T6 E1 E2 B2) or all")
 	detail := flag.Bool("detail", false, "include per-declaration similarity detail in T2")
 	workers := flag.Int("workers", 0, "goroutines per schedule exploration (0 = all cores; results are identical for any value)")
+	pool := flag.Bool("pool", false, "recycle kernels/recorders across exploration runs (throughput only; identical results)")
+	prune := flag.Bool("prune", false, "prune schedule exploration via state fingerprints (reaches findings in fewer runs, so reported run counts shrink)")
 	flag.Parse()
 	eval.ExploreWorkers = *workers
+	eval.ExplorePool = *pool
+	eval.ExplorePrune = *prune
 
 	contradictions, err := writeReport(os.Stdout, strings.ToUpper(*experiment), *detail)
 	if err != nil {

@@ -31,6 +31,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "seed for -policy random")
 	exploreFlag := flag.Bool("explore", false, "hunt schedules for a violation (readers/writers-priority problems)")
 	workers := flag.Int("workers", 0, "goroutines for -explore (0 = all cores; results are identical for any value)")
+	prune := flag.Bool("prune", false, "prune the -explore DFS via state fingerprints (fewer schedules to a finding)")
+	pool := flag.Bool("pool", false, "recycle kernels and recorders across -explore runs (higher throughput)")
 	list := flag.Bool("list", false, "list mechanisms and problems")
 	quiet := flag.Bool("quiet", false, "suppress the trace, print only the verdict")
 	flag.Parse()
@@ -51,7 +53,10 @@ func main() {
 	}
 
 	if *exploreFlag {
-		runExplore(suite, *problem, *quiet, *workers)
+		runExplore(suite, *problem, *quiet, explore.Options{
+			RandomRuns: 300, DFSRuns: 600,
+			Workers: *workers, Prune: *prune, Pool: *pool,
+		})
 		return
 	}
 
@@ -92,7 +97,7 @@ func main() {
 }
 
 // runExplore hunts for priority violations on the figure scenario.
-func runExplore(suite solutions.Suite, problem string, quiet bool, workers int) {
+func runExplore(suite solutions.Suite, problem string, quiet bool, opts explore.Options) {
 	var oracle explore.Oracle
 	switch problem {
 	case problems.NameReadersPriority:
@@ -112,8 +117,15 @@ func runExplore(suite solutions.Suite, problem string, quiet bool, workers int) 
 		}
 		eval.FigureScenario(store)(k, r)
 	})
-	res := explore.Run(prog, oracle, explore.Options{RandomRuns: 300, DFSRuns: 600, Workers: workers})
-	fmt.Printf("explored %d schedules\n", res.Runs)
+	if inc, ok := problems.IncrementalOracleFor(problem); ok && opts.Pool {
+		opts.Stream = inc.New
+	}
+	res := explore.Run(prog, oracle, opts)
+	if res.Pruned > 0 {
+		fmt.Printf("explored %d schedules (pruned %d)\n", res.Runs, res.Pruned)
+	} else {
+		fmt.Printf("explored %d schedules\n", res.Runs)
+	}
 	if !res.Found {
 		fmt.Println("no violation found")
 		return

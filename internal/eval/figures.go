@@ -28,6 +28,26 @@ import (
 // knob, settable from the evalsync -workers flag.
 var ExploreWorkers int
 
+// ExplorePool recycles kernels and recorders across exploration runs
+// (explore.Options.Pool). Like ExploreWorkers it is a pure throughput
+// knob — results are identical either way — settable from the evalsync
+// -pool flag.
+var ExplorePool bool
+
+// ExplorePrune enables fingerprint pruning in every anomaly search
+// (explore.Options.Prune), settable from the evalsync -prune flag.
+// Pruning reaches findings in fewer runs, so reported run counts shrink;
+// the default report (and its golden pin) keeps it off.
+var ExplorePrune bool
+
+// exploreOpts applies the package-level exploration knobs to base.
+func exploreOpts(base explore.Options) explore.Options {
+	base.Workers = ExploreWorkers
+	base.Pool = ExplorePool
+	base.Prune = ExplorePrune
+	return base
+}
+
 // FigureScenario spawns the footnote-3 arrival pattern against db: a
 // first writer holds the resource while one reader and then a second
 // writer arrive.
@@ -86,7 +106,7 @@ func RunFigure1() Figure1Result {
 		FigureScenario(pathexprsol.NewReadersPriority())(k, r)
 	})
 	res := explore.Run(prog, problems.CheckReadersPriority,
-		explore.Options{RandomRuns: 300, DFSRuns: 600, Workers: ExploreWorkers})
+		exploreOpts(explore.Options{RandomRuns: 300, DFSRuns: 600}))
 	return Figure1Result{
 		AnomalyFound: res.Found && res.Err == nil,
 		Schedule:     res.Schedule,
@@ -115,9 +135,9 @@ func RunFigure2() Figure2Result {
 		FigureScenario(pathexprsol.NewWritersPriority())(k, r)
 	})
 	hold := explore.Run(prog, problems.CheckWritersPriority,
-		explore.Options{RandomRuns: 200, DFSRuns: 400, Workers: ExploreWorkers})
+		exploreOpts(explore.Options{RandomRuns: 200, DFSRuns: 400}))
 	inverse := explore.Run(prog, problems.CheckReadersPriority,
-		explore.Options{RandomRuns: 200, DFSRuns: 400, Workers: ExploreWorkers})
+		exploreOpts(explore.Options{RandomRuns: 200, DFSRuns: 400}))
 	return Figure2Result{
 		WritersPriorityHolds:    !hold.Found,
 		ReadersPriorityViolated: inverse.Found && inverse.Err == nil,
@@ -133,6 +153,6 @@ func MechanismFigureCheck(db func() problems.RWStore) (anomaly bool, runs int) {
 		FigureScenario(db())(k, r)
 	})
 	res := explore.Run(prog, problems.CheckReadersPriority,
-		explore.Options{RandomRuns: 200, DFSRuns: 400, Workers: ExploreWorkers})
+		exploreOpts(explore.Options{RandomRuns: 200, DFSRuns: 400}))
 	return res.Found, res.Runs
 }

@@ -55,7 +55,9 @@ type Result struct {
 	Found bool
 	// Schedule is the replayable choice sequence of the violating run.
 	Schedule []kernel.Choice
-	// Trace is the violating run's trace.
+	// Trace is the violating run's trace. When a streaming checker cut
+	// the run short (Options.Stream) it is the partial history up to the
+	// violation.
 	Trace trace.Trace
 	// Violations are the oracle findings for that run.
 	Violations []problems.Violation
@@ -63,8 +65,13 @@ type Result struct {
 	// Speculative runs executed by helper workers past the finding are not
 	// counted, so Runs is identical for every Workers setting.
 	Runs int
+	// Pruned counts sibling schedules the DFS phase skipped via
+	// fingerprint pruning; always 0 unless Options.Prune. Like Runs it is
+	// driver-side bookkeeping, identical for every Workers setting.
+	Pruned int
 	// Err is set when the finding is a kernel error (deadlock, livelock)
-	// rather than an oracle violation.
+	// rather than an oracle violation, or when a PruneAudit cross-check
+	// failed.
 	Err error
 }
 
@@ -89,6 +96,30 @@ type Options struct {
 	// runtime.GOMAXPROCS(0). The Result is the same for every value (see
 	// the package comment); Workers: 1 pins the sequential engine.
 	Workers int
+	// Prune enables schedule-space pruning in the DFS phase: decision
+	// points whose kernel-state fingerprint was already branched from are
+	// not branched again, and alternatives at invisible (pure-yield) steps
+	// are skipped. Pruning typically reaches the first violation in far
+	// fewer runs; it is heuristic (the fingerprint cannot see user data
+	// state), so PruneAudit exists as a cross-check.
+	Prune bool
+	// PruneAudit runs the DFS budget twice — pruned and unpruned, both to
+	// completion — and reports an error finding if the unpruned frontier
+	// surfaced any violation rule the pruned search missed. It implies
+	// Prune for the reported Result. Meant for test suites, not hunting.
+	PruneAudit bool
+	// Pool recycles kernels, recorders, and their internal buffers across
+	// runs (kernel.SimKernel.Reset) instead of allocating fresh ones, and
+	// hands findings out as copies. Purely a throughput knob: the Result
+	// is identical with and without it.
+	Pool bool
+	// Stream, when non-nil, constructs a per-run streaming checker
+	// mirroring the batch oracle (problems.IncrementalOracleFor). Runs
+	// are judged by the stream — violating runs are cut short at the
+	// first violation via kernel.SimKernel.Stop, and completed runs skip
+	// the batch oracle entirely. The checker must agree with the oracle
+	// on complete traces.
+	Stream func() problems.StreamChecker
 }
 
 func (o Options) withDefaults() Options {
@@ -110,45 +141,73 @@ func (o Options) withDefaults() Options {
 	if o.Workers < 1 {
 		o.Workers = 1
 	}
+	if o.PruneAudit {
+		o.Prune = true
+	}
 	return o
 }
 
-// judge converts one run into a Result if it is a finding.
+// judge converts one run into a Result if it is a finding. Findings are
+// handed out as copies: runOut's slices are views into (possibly pooled)
+// executor state, and a Result outlives the run that produced it.
 func judge(out runOut, oracle Oracle, opts Options, runs int) (Result, bool) {
 	if out.err != nil {
 		if opts.IgnoreKernelErrors {
 			return Result{}, false
 		}
-		return Result{Found: true, Schedule: out.schedule, Trace: out.tr, Err: out.err, Runs: runs}, true
+		return finding(out, nil, out.err, runs), true
+	}
+	if out.streamed {
+		// The streaming checker judged this run event by event; a
+		// completed run with no stream findings is clean, so the batch
+		// oracle is skipped entirely.
+		if len(out.streamVs) > 0 {
+			return finding(out, append([]problems.Violation(nil), out.streamVs...), nil, runs), true
+		}
+		return Result{}, false
 	}
 	if vs := oracle(out.tr); len(vs) > 0 {
-		return Result{Found: true, Schedule: out.schedule, Trace: out.tr, Violations: vs, Runs: runs}, true
+		return finding(out, vs, nil, runs), true
 	}
 	return Result{}, false
+}
+
+func finding(out runOut, vs []problems.Violation, err error, runs int) Result {
+	return Result{
+		Found:      true,
+		Schedule:   append([]kernel.Choice(nil), out.schedule...),
+		Trace:      append(trace.Trace(nil), out.tr...),
+		Violations: vs,
+		Err:        err,
+		Runs:       runs,
+	}
 }
 
 // Run explores schedules of prog until the oracle rejects one or the
 // budget is exhausted. The result does not depend on Options.Workers.
 func Run(prog Program, oracle Oracle, opts Options) Result {
 	opts = opts.withDefaults()
+	e := newExecutor(opts)
+	defer e.close()
 	runs := 0
 
 	// Phase 0: the deterministic FIFO baseline.
-	out := executeOnce(prog, kernel.FIFO(), opts.MaxSteps)
+	out := e.run(prog, kernel.FIFO())
 	runs++
 	if res, found := judge(out, oracle, opts, runs); found {
 		return res
 	}
+	e.release(out)
 
 	// Phase 1: seeded random sampling.
-	if res, found := randomPhase(prog, oracle, opts, &runs); found {
+	if res, found := randomPhase(e, prog, oracle, opts, &runs); found {
 		return res
 	}
 
 	// Phase 2: bounded DFS over choice prefixes. Running Replay(prefix)
 	// extends the prefix FIFO, and the recorded choices tell us where
 	// alternatives exist.
-	return dfsPhase(prog, oracle, opts, runs)
+	return dfsPhase(e, prog, oracle, opts, runs)
 }
 
 // Replay re-executes prog under the given schedule and returns its trace
@@ -157,6 +216,7 @@ func Replay(prog Program, schedule []kernel.Choice, maxSteps int64) (trace.Trace
 	if maxSteps == 0 {
 		maxSteps = 100000
 	}
-	out := executeOnce(prog, kernel.Replay(schedule), maxSteps)
-	return out.tr, out.err
+	e := newExecutor(Options{MaxSteps: maxSteps})
+	out := e.run(prog, kernel.Replay(schedule))
+	return append(trace.Trace(nil), out.tr...), out.err
 }

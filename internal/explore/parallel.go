@@ -12,33 +12,149 @@
 // reported Result — Schedule, Runs, Violations — is independent of the
 // worker count. Speculation past a finding or past the budget is wasted
 // work, never wrong answers.
+//
+// All schedule-space pruning (fingerprint dedup, the invisible-step rule)
+// happens on the driver, in canonical order, so pruning decisions are
+// also independent of the worker count: helpers may speculatively execute
+// schedules the driver later discards, which costs time but never changes
+// the answer.
 package explore
 
 import (
 	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/kernel"
+	"repro/internal/problems"
 	"repro/internal/trace"
 )
 
-// runOut is the outcome of executing one schedule.
+// runOut is the outcome of executing one schedule. The slices are
+// zero-copy views into the executing slot's buffers: valid until the slot
+// is released (executor.release) and must be copied before escaping into
+// a Result.
 type runOut struct {
 	schedule []kernel.Choice
 	tr       trace.Trace
 	err      error
+	fps      []uint64 // state fingerprint at each decision point
+	visible  []bool   // per-step visibility (false = pure yield)
+	streamVs []problems.Violation
+	streamed bool // a streaming checker judged this run
+	slot     *runSlot
 }
 
-// executeOnce runs the program under the given policy on a fresh kernel.
-// It is safe to call from multiple goroutines concurrently: each call gets
-// its own kernel and recorder.
-func executeOnce(prog Program, policy kernel.Policy, maxSteps int64) runOut {
-	k := kernel.NewSim(kernel.WithPolicy(policy), kernel.WithMaxSteps(maxSteps))
-	r := trace.NewRecorder(k)
-	prog(k, r)
-	err := k.Run()
-	return runOut{schedule: k.Choices(), tr: r.Events(), err: err}
+// runSlot bundles the per-run machinery — a kernel, its recorder, and
+// optionally a streaming checker wired to cut violating runs short. With
+// pooling, slots are recycled through Reset instead of reallocated, so
+// the steady-state cost of a run is the run itself, not its setup.
+type runSlot struct {
+	k      *kernel.SimKernel
+	r      *trace.Recorder
+	stream problems.StreamChecker
+	vs     []problems.Violation
+}
+
+// executor runs schedules, optionally recycling slots (Options.Pool) and
+// optionally attaching a streaming checker (Options.Stream). It is safe
+// for concurrent use; each run executes on a private slot.
+type executor struct {
+	maxSteps  int64
+	newStream func() problems.StreamChecker
+	pooled    bool
+
+	mu   sync.Mutex
+	free []*runSlot
+	all  []*runSlot // every slot ever created, for close()
+}
+
+func newExecutor(opts Options) *executor {
+	return &executor{maxSteps: opts.MaxSteps, newStream: opts.Stream, pooled: opts.Pool}
+}
+
+func (e *executor) acquire() *runSlot {
+	if e.pooled {
+		e.mu.Lock()
+		if n := len(e.free); n > 0 {
+			s := e.free[n-1]
+			e.free[n-1] = nil
+			e.free = e.free[:n-1]
+			e.mu.Unlock()
+			return s
+		}
+		e.mu.Unlock()
+	}
+	kopts := []kernel.SimOption{kernel.WithMaxSteps(e.maxSteps)}
+	if e.pooled {
+		kopts = append(kopts, kernel.WithRecycle())
+	}
+	s := &runSlot{k: kernel.NewSim(kopts...)}
+	s.r = trace.NewRecorder(s.k)
+	if e.pooled {
+		e.mu.Lock()
+		e.all = append(e.all, s)
+		e.mu.Unlock()
+	}
+	if e.newStream != nil {
+		s.stream = e.newStream()
+		s.r.SetObserver(func(ev trace.Event) {
+			if vs := s.stream.Observe(ev); len(vs) > 0 {
+				s.vs = append(s.vs, vs...)
+				s.k.Stop()
+			}
+		})
+	}
+	return s
+}
+
+// release returns out's slot to the freelist. Call only once every view
+// in out (schedule, trace, fingerprints, visibility) has been consumed or
+// copied; a released slot's next run overwrites them all.
+func (e *executor) release(out runOut) {
+	if !e.pooled || out.slot == nil {
+		return
+	}
+	e.mu.Lock()
+	e.free = append(e.free, out.slot)
+	e.mu.Unlock()
+}
+
+// close releases every slot's recycled worker goroutines. Call once, when
+// no run is in flight (the phases wait out their helpers before
+// returning).
+func (e *executor) close() {
+	for _, s := range e.all {
+		s.k.Close()
+	}
+}
+
+// run executes prog once under the given policy. Safe to call from
+// multiple goroutines concurrently.
+func (e *executor) run(prog Program, policy kernel.Policy) runOut {
+	s := e.acquire()
+	s.k.Reset(kernel.WithPolicy(policy))
+	s.r.Reset()
+	if s.stream != nil {
+		s.stream.Reset()
+		s.vs = s.vs[:0]
+	}
+	prog(s.k, s.r)
+	err := s.k.Run()
+	return runOut{
+		schedule: s.k.ChoicesView(),
+		tr:       s.r.Snapshot(),
+		err:      err,
+		fps:      s.k.StepFingerprints(),
+		visible:  s.k.StepVisibility(),
+		streamVs: s.vs,
+		streamed: s.stream != nil,
+		slot:     s,
+	}
 }
 
 // randSlot holds the speculative outcome for one random seed.
@@ -52,7 +168,7 @@ type randSlot struct {
 // seeds through an atomic cursor and publish outcomes through per-slot
 // channels; the driver consumes slots in seed order, so the first finding
 // is always the lowest-seed finding — what the sequential scan reports.
-func randomPhase(prog Program, oracle Oracle, opts Options, runs *int) (Result, bool) {
+func randomPhase(e *executor, prog Program, oracle Oracle, opts Options, runs *int) (Result, bool) {
 	n := opts.RandomRuns
 	if n == 0 {
 		return Result{}, false
@@ -85,7 +201,7 @@ func randomPhase(prog Program, oracle Oracle, opts Options, runs *int) (Result, 
 					if !s.claimed.CompareAndSwap(false, true) {
 						continue // driver ran this seed inline
 					}
-					s.out = executeOnce(prog, kernel.Random(int64(i+1)), opts.MaxSteps)
+					s.out = e.run(prog, kernel.Random(int64(i+1)))
 					close(s.done)
 				}
 			}()
@@ -103,12 +219,13 @@ func randomPhase(prog Program, oracle Oracle, opts Options, runs *int) (Result, 
 			<-slots[i].done // claimed by a helper; adopt its outcome
 			out = slots[i].out
 		} else {
-			out = executeOnce(prog, kernel.Random(int64(i+1)), opts.MaxSteps)
+			out = e.run(prog, kernel.Random(int64(i+1)))
 		}
 		*runs++
 		if res, found := judge(out, oracle, opts, *runs); found {
 			return res, true
 		}
+		e.release(out)
 	}
 	return Result{}, false
 }
@@ -130,14 +247,78 @@ type dfsShared struct {
 	over  bool
 }
 
+// auditSet summarizes what a DFS pass found, for the PruneAudit
+// cross-check: the distinct violation rules plus canonical tokens for
+// kernel errors.
+type auditSet map[string]bool
+
+func (s auditSet) addRun(out runOut, oracle Oracle, opts Options) {
+	if out.err != nil {
+		if opts.IgnoreKernelErrors {
+			return
+		}
+		if errors.Is(out.err, kernel.ErrDeadlock) {
+			s["kernel-error:deadlock"] = true
+		} else {
+			s["kernel-error"] = true
+		}
+		return
+	}
+	if out.streamed {
+		for _, v := range out.streamVs {
+			s[v.Rule] = true
+		}
+		return
+	}
+	for _, v := range oracle(out.tr) {
+		s[v.Rule] = true
+	}
+}
+
 // dfsPhase enumerates choice prefixes in LIFO frontier order with an
-// explicit DFS-run budget. Helpers speculatively execute frontier entries
-// nearest the top of the stack — the entries the driver will pop soonest —
-// while the driver pops, dedups, judges, and expands strictly in the
-// sequential order.
-func dfsPhase(prog Program, oracle Oracle, opts Options, runs int) Result {
+// explicit DFS-run budget, dispatching to the audit harness when
+// requested.
+func dfsPhase(e *executor, prog Program, oracle Oracle, opts Options, runs int) Result {
+	if opts.PruneAudit {
+		return dfsAudit(e, prog, oracle, opts, runs)
+	}
+	res, _ := dfsScan(e, prog, oracle, opts, runs, opts.Prune, false)
+	return res
+}
+
+// dfsAudit cross-checks pruning: it runs the DFS budget twice in collect
+// mode — once pruned, once unpruned — and fails if the unpruned frontier
+// surfaced any violation rule the pruned search missed. On success the
+// result is exactly what a plain pruned DFS would have reported (collect
+// mode behaves identically up to the first finding).
+func dfsAudit(e *executor, prog Program, oracle Oracle, opts Options, runs int) Result {
+	res, got := dfsScan(e, prog, oracle, opts, runs, true, true)
+	refRuns := runs
+	_, ref := dfsScan(e, prog, oracle, opts, refRuns, false, true)
+	var missing []string
+	for rule := range ref {
+		if !got[rule] {
+			missing = append(missing, rule)
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		res.Found = true
+		res.Err = fmt.Errorf("explore: prune audit failed: pruned search missed %s",
+			strings.Join(missing, ", "))
+	}
+	return res
+}
+
+// dfsScan is the DFS engine. prune enables fingerprint-based subtree
+// skipping; collect runs the full budget recording every finding's rule
+// (for the audit) instead of returning at the first one. The returned
+// Result is the first finding either way, so collect=false and
+// collect=true agree on everything a caller of Run can observe.
+func dfsScan(e *executor, prog Program, oracle Oracle, opts Options, runs int, prune, collect bool) (Result, auditSet) {
+	found := auditSet{}
 	if opts.DFSRuns <= 0 {
-		return Result{Runs: runs}
+		return Result{Runs: runs}, found
 	}
 	helpers := opts.Workers - 1
 	st := &dfsShared{}
@@ -149,7 +330,7 @@ func dfsPhase(prog Program, oracle Oracle, opts Options, runs int) Result {
 		for w := 0; w < helpers; w++ {
 			go func() {
 				defer wg.Done()
-				dfsHelper(prog, opts, st)
+				dfsHelper(e, prog, st)
 			}()
 		}
 		defer func() {
@@ -163,10 +344,18 @@ func dfsPhase(prog Program, oracle Oracle, opts Options, runs int) Result {
 
 	// seen dedups frontier prefixes by compact binary key; dedup happens
 	// at pop time (not push time) to preserve the sequential engine's
-	// exploration order exactly.
+	// exploration order exactly. expanded dedups *states*: a decision
+	// point whose fingerprint was already branched from is not branched
+	// again, killing subtrees that differ only in how they arrived.
 	seen := map[string]bool{}
+	var expanded map[uint64]bool
+	if prune {
+		expanded = map[uint64]bool{}
+	}
+	pruned := 0
 	var keyBuf []byte
-	dfsRuns := 0 // explicit budget counter: exactly DFSRuns schedules execute
+	var first Result
+	dfsRuns := 0 // explicit budget counter: at most DFSRuns schedules execute
 	for dfsRuns < opts.DFSRuns {
 		st.mu.Lock()
 		if len(st.stack) == 0 {
@@ -185,21 +374,30 @@ func dfsPhase(prog Program, oracle Oracle, opts Options, runs int) Result {
 
 		var out runOut
 		if node.claimed.CompareAndSwap(false, true) {
-			out = executeOnce(prog, kernel.Replay(node.prefix), opts.MaxSteps)
+			out = e.run(prog, kernel.Replay(node.prefix))
 		} else {
 			<-node.done // claimed by a helper; adopt its outcome
 			out = node.out
 		}
 		dfsRuns++
 		runs++
-		if res, found := judge(out, oracle, opts, runs); found {
-			return res
+		if res, isFinding := judge(out, oracle, opts, runs); isFinding {
+			if !collect {
+				res.Pruned = pruned
+				return res, found
+			}
+			found.addRun(out, oracle, opts)
+			if !first.Found {
+				first = res
+				first.Pruned = pruned
+			}
 		}
 
 		// Branch: for each decision point within depth (at or beyond the
 		// prefix), schedule the alternatives not taken. Push order matches
 		// the sequential engine, so LIFO pops explore the same tree.
-		children := expandDFS(node.prefix, out.schedule, opts.DFSDepth, helpers > 0)
+		children := expandDFS(node.prefix, out, opts.DFSDepth, helpers > 0, expanded, &pruned)
+		e.release(out)
 		if len(children) > 0 {
 			st.mu.Lock()
 			st.stack = append(st.stack, children...)
@@ -207,7 +405,11 @@ func dfsPhase(prog Program, oracle Oracle, opts Options, runs int) Result {
 			st.cond.Broadcast()
 		}
 	}
-	return Result{Runs: runs}
+	if !first.Found {
+		first.Runs = runs
+		first.Pruned = pruned
+	}
+	return first, found
 }
 
 func newDFSNode(prefix []kernel.Choice, parallel bool) *dfsNode {
@@ -219,15 +421,57 @@ func newDFSNode(prefix []kernel.Choice, parallel bool) *dfsNode {
 }
 
 // expandDFS builds the branch nodes of a completed run: every alternative
-// choice not taken at each decision point from the end of the prefix up to
-// the depth bound.
-func expandDFS(prefix, schedule []kernel.Choice, depth int, parallel bool) []*dfsNode {
+// choice not taken at each decision point from the end of the prefix up
+// to the depth bound.
+//
+// With pruning (expanded non-nil) two classes of decision point are
+// skipped wholesale:
+//
+//   - Invisible steps: if the step taken at point i was a pure yield, the
+//     alternatives at i commute with it — the same picks are available,
+//     from an equivalent state, at point i+1 — so the siblings at i are
+//     redundant with the expansion one step later (the sleep-set idea
+//     specialized to the one invisible operation the kernel has).
+//   - Visited states: if some earlier run already branched from a
+//     fingerprint-equal state, the alternatives here lead into subtrees
+//     the search has already scheduled; branching again re-explores them
+//     with a different arrival history.
+//
+// Skipped sibling counts accumulate into *pruned for reporting. The
+// fingerprint is a heuristic abstraction (see kernel.Fingerprint);
+// Options.PruneAudit cross-checks that pruning lost no violation.
+func expandDFS(prefix []kernel.Choice, out runOut, depth int, parallel bool, expanded map[uint64]bool, pruned *int) []*dfsNode {
+	schedule := out.schedule
 	limit := len(schedule)
 	if limit > depth {
 		limit = depth
 	}
+	if expanded != nil {
+		// Defensive: views are aligned on every judged path, but never
+		// index past what the kernel recorded.
+		if limit > len(out.visible) {
+			limit = len(out.visible)
+		}
+		if limit > len(out.fps) {
+			limit = len(out.fps)
+		}
+	}
 	var children []*dfsNode
 	for i := len(prefix); i < limit; i++ {
+		if schedule[i].Ready < 2 {
+			continue // no alternatives existed
+		}
+		if expanded != nil {
+			if !out.visible[i] {
+				*pruned += schedule[i].Ready - 1
+				continue
+			}
+			if expanded[out.fps[i]] {
+				*pruned += schedule[i].Ready - 1
+				continue
+			}
+			expanded[out.fps[i]] = true
+		}
 		for alt := 0; alt < schedule[i].Ready; alt++ {
 			if alt == schedule[i].Picked {
 				continue
@@ -245,7 +489,7 @@ func expandDFS(prefix, schedule []kernel.Choice, depth int, parallel bool) []*df
 // from the top of the stack (the driver's next pops). It parks on the
 // condition variable when everything visible is claimed and exits when the
 // phase is over.
-func dfsHelper(prog Program, opts Options, st *dfsShared) {
+func dfsHelper(e *executor, prog Program, st *dfsShared) {
 	for {
 		st.mu.Lock()
 		var node *dfsNode
@@ -266,7 +510,7 @@ func dfsHelper(prog Program, opts Options, st *dfsShared) {
 			st.cond.Wait()
 		}
 		st.mu.Unlock()
-		node.out = executeOnce(prog, kernel.Replay(node.prefix), opts.MaxSteps)
+		node.out = e.run(prog, kernel.Replay(node.prefix))
 		close(node.done)
 	}
 }

@@ -91,10 +91,11 @@ type procImpl interface {
 // hold a *Proc after the process has terminated (Unpark on a terminated
 // process is a no-op for SimKernel and harmless for RealKernel).
 type Proc struct {
-	id   int
-	name string
-	k    Kernel
-	impl procImpl
+	id    int
+	name  string
+	label string // "name#id", interned at spawn: id and name are immutable
+	k     Kernel
+	impl  procImpl
 }
 
 // ID reports the process identifier, unique within its kernel and assigned
@@ -107,8 +108,15 @@ func (p *Proc) Name() string { return p.name }
 // Kernel reports the kernel that owns this process.
 func (p *Proc) Kernel() Kernel { return p.k }
 
-// String formats the process as "name#id".
-func (p *Proc) String() string { return fmt.Sprintf("%s#%d", p.name, p.id) }
+// String formats the process as "name#id". The label is computed once at
+// spawn (both fields are immutable), so hot paths — the trace recorder
+// stamps it on every event — pay a field load, not a fmt.Sprintf.
+func (p *Proc) String() string {
+	if p.label == "" {
+		return fmt.Sprintf("%s#%d", p.name, p.id)
+	}
+	return p.label
+}
 
 // Park blocks the calling process until a permit is available, consuming
 // it. At most one permit is ever outstanding; a permit granted by Unpark

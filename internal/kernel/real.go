@@ -1,6 +1,7 @@
 package kernel
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -66,10 +67,12 @@ func (k *RealKernel) SpawnDaemon(name string, fn func(p *Proc)) *Proc {
 }
 
 func (k *RealKernel) spawn(name string, fn func(p *Proc), daemon bool) *Proc {
+	id := int(k.nextID.Add(1))
 	p := &Proc{
-		id:   int(k.nextID.Add(1)),
-		name: name,
-		k:    k,
+		id:    id,
+		name:  name,
+		label: fmt.Sprintf("%s#%d", name, id),
+		k:     k,
 	}
 	rp := &realProc{
 		kernel: k,

@@ -122,13 +122,44 @@ type SimKernel struct {
 	steps    int64
 	choices  []Choice
 
+	// fp is the incrementally maintained state fingerprint (XOR of
+	// per-process contributions; see fingerprint.go). fps records the
+	// fingerprint at each decision point, aligned with choices.
+	fp  uint64
+	fps []uint64
+
+	// stepVisible tracks whether the step in progress performed a visible
+	// action (park, unpark, sleep, spawn, exit, or a recorded trace
+	// event); a step that only yielded is invisible, which the DFS pruner
+	// exploits. visible is aligned with choices.
+	stepVisible bool
+	visible     []bool
+
 	// readyScratch is reused across scheduling steps to present the ready
 	// set to the Policy without a per-step allocation.
 	readyScratch []*Proc
 
-	stopCh   chan *simProc
-	started  bool
-	finished bool
+	// wg counts live process executions; Reset waits on it so a recycled
+	// kernel never shares state with stragglers from the previous run.
+	wg sync.WaitGroup
+
+	// Worker-goroutine recycling (WithRecycle): instead of one goroutine
+	// per process per run, worker goroutines park between runs and are fed
+	// process bodies. procPool holds the previous run's simProcs for
+	// in-place reuse — deterministic programs respawn the same processes
+	// in the same order, so reuse also recovers the interned name labels.
+	recycle     bool
+	freeWorkers []*recWorker
+	allWorkers  []*recWorker
+	procPool    []*simProc
+
+	// doneCh carries the run outcome from whichever goroutine detects
+	// termination back to Run. Buffered so the finishing process never
+	// blocks on the driver.
+	doneCh        chan error
+	started       bool
+	finished      bool
+	stopRequested bool
 }
 
 // SimOption configures a SimKernel.
@@ -146,12 +177,22 @@ func WithMaxSteps(n int64) SimOption {
 	return func(k *SimKernel) { k.maxSteps = n }
 }
 
+// WithRecycle enables worker-goroutine and process-object recycling
+// across Reset: spawning reuses a parked worker goroutine and the
+// previous run's process objects instead of allocating fresh ones. Meant
+// for run pools (package explore) that execute many runs on one kernel;
+// a kernel with recycling enabled must be released with Close when it is
+// no longer needed, or its parked workers leak.
+func WithRecycle() SimOption {
+	return func(k *SimKernel) { k.recycle = true }
+}
+
 // NewSim creates a SimKernel.
 func NewSim(opts ...SimOption) *SimKernel {
 	k := &SimKernel{
 		policy:   FIFO(),
 		maxSteps: 10_000_000,
-		stopCh:   make(chan *simProc),
+		doneCh:   make(chan error, 1),
 		choices:  make([]Choice, 0, 64),
 	}
 	for _, o := range opts {
@@ -161,14 +202,58 @@ func NewSim(opts ...SimOption) *SimKernel {
 }
 
 type simProc struct {
-	proc    *Proc
-	kernel  *SimKernel
-	daemon  bool
-	state   procState
-	permit  bool
-	wakeAt  int64 // valid when sleeping
-	readyAt int64 // readiness stamp for deterministic ordering
-	resume  chan struct{}
+	proc         *Proc
+	kernel       *SimKernel
+	daemon       bool
+	state        procState
+	permit       bool
+	wakeAt       int64  // valid when sleeping
+	readyAt      int64  // readiness stamp for deterministic ordering
+	schedCount   uint64 // completed scheduling steps (fingerprint PC proxy)
+	fpContrib    uint64 // cached fingerprint contribution
+	resume       chan struct{}
+	resumeClosed bool // resume was closed by finishLocked; remake on reuse
+}
+
+// recWorker is a recycled worker goroutine, parked on feed between
+// process executions (WithRecycle).
+type recWorker struct {
+	feed chan workJob
+}
+
+type workJob struct {
+	sp *simProc
+	fn func(p *Proc)
+}
+
+// workerLoop runs process bodies fed to a recycled worker until the
+// kernel is closed.
+func (k *SimKernel) workerLoop(w *recWorker) {
+	for job := range w.feed {
+		k.runJob(w, job)
+	}
+}
+
+// runJob executes one process body on a recycled worker: wait for the
+// first schedule, run, and record the exit. A shutdown unwind
+// (errShutdown) is recovered here so the worker survives to the next run.
+// The worker re-enters the freelist before wg.Done, so once Reset's
+// wg.Wait returns every worker is reusable.
+func (k *SimKernel) runJob(w *recWorker, job workJob) {
+	defer func() {
+		if r := recover(); r != nil && r != errShutdown {
+			panic(r)
+		}
+		k.mu.Lock()
+		k.freeWorkers = append(k.freeWorkers, w)
+		k.mu.Unlock()
+		k.wg.Done()
+	}()
+	if _, ok := <-job.sp.resume; !ok {
+		return // kernel shut down before the first schedule
+	}
+	job.fn(job.sp.proc)
+	job.sp.exited()
 }
 
 // Spawn implements Kernel. The process does not begin executing until the
@@ -188,28 +273,73 @@ func (k *SimKernel) SpawnDaemon(name string, fn func(p *Proc)) *Proc {
 func (k *SimKernel) spawn(name string, fn func(p *Proc), daemon bool) *Proc {
 	k.mu.Lock()
 	k.nextID++
-	p := &Proc{id: k.nextID, name: name, k: k}
-	sp := &simProc{
-		proc:   p,
-		kernel: k,
-		daemon: daemon,
-		state:  stateRunnable,
-		resume: make(chan struct{}),
+	id := k.nextID
+	var sp *simProc
+	var p *Proc
+	if i := id - 1; k.recycle && i < len(k.procPool) {
+		// Reuse the previous run's process at the same spawn position.
+		// Deterministic programs respawn identically, so the id always
+		// matches (ids are positional) and the name almost always does —
+		// keeping the label without re-formatting it.
+		sp = k.procPool[i]
+		p = sp.proc
+		if p.name != name {
+			p.name = name
+			p.label = fmt.Sprintf("%s#%d", name, id)
+		}
+		if sp.resumeClosed {
+			sp.resume = make(chan struct{})
+			sp.resumeClosed = false
+		}
+		sp.daemon = daemon
+		sp.state = stateRunnable
+		sp.permit = false
+		sp.wakeAt = 0
+		sp.schedCount = 0
+		sp.fpContrib = 0
+	} else {
+		p = &Proc{id: id, name: name, label: fmt.Sprintf("%s#%d", name, id), k: k}
+		sp = &simProc{
+			proc:   p,
+			kernel: k,
+			daemon: daemon,
+			state:  stateRunnable,
+			resume: make(chan struct{}),
+		}
+		p.impl = sp
 	}
-	p.impl = sp
 	if k.finished {
 		// Spawn after Run returned: never schedule; release the goroutine
-		// immediately so it cannot leak.
+		// (or worker) immediately so it cannot leak.
 		sp.state = stateDead
 		close(sp.resume)
+		sp.resumeClosed = true
 		k.mu.Unlock()
 		return p
 	}
 	k.procs = append(k.procs, sp)
+	k.stepVisible = true // the spawning step changed the ready set
 	k.markReadyLocked(sp)
+	k.wg.Add(1)
+	if k.recycle {
+		var w *recWorker
+		if n := len(k.freeWorkers); n > 0 {
+			w = k.freeWorkers[n-1]
+			k.freeWorkers[n-1] = nil
+			k.freeWorkers = k.freeWorkers[:n-1]
+		} else {
+			w = &recWorker{feed: make(chan workJob, 1)}
+			k.allWorkers = append(k.allWorkers, w)
+			go k.workerLoop(w)
+		}
+		k.mu.Unlock()
+		w.feed <- workJob{sp: sp, fn: fn} // cap 1: an idle worker never blocks us
+		return p
+	}
 	k.mu.Unlock()
 
 	go func() {
+		defer k.wg.Done()
 		defer func() {
 			if r := recover(); r != nil && r != errShutdown {
 				panic(r)
@@ -232,6 +362,7 @@ func (k *SimKernel) markReadyLocked(sp *simProc) {
 	k.readySeq++
 	sp.readyAt = k.readySeq
 	k.ready = append(k.ready, sp)
+	k.touchFPLocked(sp)
 }
 
 // Now implements Kernel: the virtual clock, in ticks.
@@ -258,6 +389,122 @@ func (k *SimKernel) Choices() []Choice {
 	return out
 }
 
+// ChoicesView returns the recorded choice sequence without copying. Call
+// only after Run has returned; the slice aliases kernel state and is valid
+// until the next Reset. The zero-copy sibling of Choices for the
+// exploration hot path.
+func (k *SimKernel) ChoicesView() []Choice {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.choices
+}
+
+// StepFingerprints returns the state fingerprint at each decision point,
+// aligned with ChoicesView: element i is the hash of the scheduler state
+// from which choice i was made. Same aliasing contract as ChoicesView.
+func (k *SimKernel) StepFingerprints() []uint64 {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if len(k.fps) > len(k.choices) {
+		return k.fps[:len(k.choices)]
+	}
+	return k.fps
+}
+
+// StepVisibility reports, for each executed step, whether it performed a
+// visible action (park, unpark, sleep, spawn, exit, or a recorded trace
+// event) as opposed to a pure yield. Aligned with ChoicesView; same
+// aliasing contract.
+func (k *SimKernel) StepVisibility() []bool {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.visible
+}
+
+// Stop requests that the run finish at the next scheduling step, as if
+// the program had completed: Run returns nil with the partial history.
+// Streaming oracles use it to cut violating runs short. Safe to call from
+// a running process or (pointlessly, but harmlessly) after Run returned.
+func (k *SimKernel) Stop() {
+	k.mu.Lock()
+	k.stopRequested = true
+	k.mu.Unlock()
+}
+
+// Reset returns the kernel to its pristine pre-spawn state, retaining
+// every allocation — choice, fingerprint, and scratch buffers keep their
+// capacity — so a pooled kernel runs in zero-allocation steady state. The
+// given options are applied on top of the kernel's current configuration
+// (pass WithPolicy to change the schedule).
+//
+// Reset must only be called before any Spawn or after Run has returned.
+// It blocks until every process goroutine from the previous run has
+// unwound. Proc handles and slices obtained from the view accessors
+// become invalid.
+func (k *SimKernel) Reset(opts ...SimOption) {
+	// Wait outside the lock: unwinding goroutines briefly take k.mu on
+	// their way out.
+	k.wg.Wait()
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.now = 0
+	k.nextID = 0
+	k.readySeq = 0
+	if k.recycle {
+		// Hand the finished run's processes to the pool for in-place
+		// reuse (see spawn); the pool's previous backing array becomes
+		// the next run's procs slice.
+		k.procs, k.procPool = k.procPool[:0], k.procs
+	} else {
+		k.procs = k.procs[:0]
+	}
+	k.ready = k.ready[:0]
+	k.running = nil
+	k.steps = 0
+	k.choices = k.choices[:0]
+	k.fp = 0
+	k.fps = k.fps[:0]
+	k.stepVisible = false
+	k.visible = k.visible[:0]
+	k.started = false
+	k.finished = false
+	k.stopRequested = false
+	for _, o := range opts {
+		o(k)
+	}
+}
+
+// Close releases the kernel's recycled worker goroutines (WithRecycle);
+// without recycling it is a no-op. It blocks until in-flight process
+// executions finish unwinding. The kernel must not be used after Close.
+func (k *SimKernel) Close() {
+	k.wg.Wait()
+	k.mu.Lock()
+	ws := k.allWorkers
+	k.allWorkers = nil
+	k.freeWorkers = nil
+	k.procPool = nil
+	k.mu.Unlock()
+	for _, w := range ws {
+		close(w.feed)
+	}
+}
+
+// NowCooperative reads the virtual clock without locking. Safe under the
+// cooperative discipline: exactly one process runs at a time and the
+// clock only advances inside schedule(), which runs on the yielding
+// process's goroutine before the resume-channel handoff to the next —
+// so every access is ordered by those handoffs. The trace recorder uses
+// it to stamp events without a lock acquisition.
+func (k *SimKernel) NowCooperative() Time { return k.now }
+
+// MarkStepVisible marks the scheduling step in progress as visible to the
+// DFS pruner (see StepVisibility). It must be called from the running
+// process; the trace recorder calls it when an event is recorded, since
+// recorded events are exactly what the exploration oracles can observe.
+// Unlocked by the same cooperative-discipline argument as NowCooperative.
+func (k *SimKernel) MarkStepVisible() { k.stepVisible = true }
+
 // finishLocked marks the kernel finished and releases every goroutine
 // still blocked in a kernel operation: closing a process's resume channel
 // wakes it with ok=false, which unwinds its stack (see simProc.await).
@@ -266,13 +513,20 @@ func (k *SimKernel) finishLocked() {
 	for _, sp := range k.procs {
 		if sp.state != stateDead {
 			close(sp.resume)
+			sp.resumeClosed = true
 		}
 	}
 }
 
-// Run implements Kernel: it drives the scheduler until every process is
-// dead, a deadlock is detected, or the step limit is hit. Run must be
-// called exactly once, from the goroutine that created the kernel.
+// Run implements Kernel: it dispatches the first process and then waits
+// for the run outcome. Run must be called exactly once.
+//
+// Scheduling is by direct handoff: each process giving up the processor
+// runs the scheduling step on its own goroutine and resumes its successor
+// directly, so a context switch costs one goroutine wakeup, not a bounce
+// through a central scheduler loop (two wakeups). Whichever goroutine
+// detects termination — every process dead, deadlock, step limit, Stop —
+// delivers the outcome to Run over doneCh.
 func (k *SimKernel) Run() error {
 	k.mu.Lock()
 	if k.started {
@@ -282,53 +536,100 @@ func (k *SimKernel) Run() error {
 	k.started = true
 	k.mu.Unlock()
 
-	for {
-		k.mu.Lock()
-		if k.steps >= k.maxSteps {
-			k.finishLocked()
-			k.mu.Unlock()
-			return fmt.Errorf("kernel: step limit (%d) exceeded; possible livelock", k.maxSteps)
-		}
-		if !k.anyNonDaemonLiveLocked() {
-			// Every real process finished; shut down remaining daemons.
-			k.finishLocked()
-			k.mu.Unlock()
-			return nil
-		}
-		if len(k.ready) == 0 {
-			// Try to advance virtual time to the earliest sleeper.
-			if !k.wakeSleepersLocked() {
-				live := k.parkedNamesLocked()
-				k.finishLocked()
-				k.mu.Unlock()
-				return fmt.Errorf("%w: %s", ErrDeadlock, strings.Join(live, ", "))
-			}
-		}
-		// k.ready is already in deterministic order (ascending readiness
-		// stamp); expose it to the policy through the reusable scratch.
-		if cap(k.readyScratch) < len(k.ready) {
-			k.readyScratch = make([]*Proc, len(k.ready))
-		}
-		readyProcs := k.readyScratch[:len(k.ready)]
-		for i, sp := range k.ready {
-			readyProcs[i] = sp.proc
-		}
-		idx := k.policy.Pick(readyProcs)
-		if idx < 0 || idx >= len(k.ready) {
-			k.finishLocked()
-			k.mu.Unlock()
-			return fmt.Errorf("kernel: policy picked %d of %d ready processes", idx, len(readyProcs))
-		}
-		k.choices = append(k.choices, Choice{Ready: len(readyProcs), Picked: idx})
-		k.steps++
-		next := k.ready[idx]
-		k.ready = append(k.ready[:idx], k.ready[idx+1:]...)
-		next.state = stateRunning
-		k.running = next
-		k.mu.Unlock()
+	next, fin, err := k.schedule(nil)
+	if fin {
+		return err
+	}
+	next.resume <- struct{}{} // hand the processor to the first pick
+	return <-k.doneCh
+}
 
-		next.resume <- struct{}{} // hand the processor to next
-		<-k.stopCh                // wait for it to yield control back
+// schedule performs one scheduling decision on the calling goroutine.
+// self is the process giving up the processor (nil for the initial
+// dispatch from Run). It returns the process to hand off to, or fin=true
+// with the run outcome when the run is over — in which case finishLocked
+// has already unwound every live process, and the caller delivers err.
+func (k *SimKernel) schedule(self *simProc) (next *simProc, fin bool, err error) {
+	k.mu.Lock()
+	// Close out the previous step's visibility record (the running
+	// process has handed control back, so stepVisible is final).
+	if len(k.visible) < len(k.choices) {
+		k.visible = append(k.visible, k.stepVisible)
+	}
+	if k.stopRequested {
+		// Early exit on request (e.g. a streaming oracle found its
+		// violation): finish cleanly with the partial history.
+		k.finishLocked()
+		k.mu.Unlock()
+		return nil, true, nil
+	}
+	if k.steps >= k.maxSteps {
+		k.finishLocked()
+		k.mu.Unlock()
+		return nil, true, fmt.Errorf("kernel: step limit (%d) exceeded; possible livelock", k.maxSteps)
+	}
+	if !k.anyNonDaemonLiveLocked() {
+		// Every real process finished; shut down remaining daemons.
+		k.finishLocked()
+		k.mu.Unlock()
+		return nil, true, nil
+	}
+	if len(k.ready) == 0 {
+		// Try to advance virtual time to the earliest sleeper.
+		if !k.wakeSleepersLocked() {
+			live := k.parkedNamesLocked()
+			k.finishLocked()
+			k.mu.Unlock()
+			return nil, true, fmt.Errorf("%w: %s", ErrDeadlock, strings.Join(live, ", "))
+		}
+	}
+	// k.ready is already in deterministic order (ascending readiness
+	// stamp); expose it to the policy through the reusable scratch.
+	if cap(k.readyScratch) < len(k.ready) {
+		k.readyScratch = make([]*Proc, len(k.ready))
+	}
+	readyProcs := k.readyScratch[:len(k.ready)]
+	for i, sp := range k.ready {
+		readyProcs[i] = sp.proc
+	}
+	// The fingerprint at the decision point, before anything runs.
+	k.fps = append(k.fps, k.fingerprintLocked())
+	idx := k.policy.Pick(readyProcs)
+	if idx < 0 || idx >= len(k.ready) {
+		k.finishLocked()
+		k.mu.Unlock()
+		return nil, true, fmt.Errorf("kernel: policy picked %d of %d ready processes", idx, len(readyProcs))
+	}
+	k.choices = append(k.choices, Choice{Ready: len(readyProcs), Picked: idx})
+	k.steps++
+	next = k.ready[idx]
+	k.ready = append(k.ready[:idx], k.ready[idx+1:]...)
+	next.state = stateRunning
+	next.schedCount++
+	k.touchFPLocked(next)
+	k.stepVisible = false
+	k.running = next
+	k.mu.Unlock()
+	return next, false, nil
+}
+
+// handoff transfers the processor from sp (which has already recorded its
+// new state under k.mu) to whatever the scheduler picks next, then blocks
+// until sp is rescheduled. If the run is over it delivers the outcome to
+// Run and unwinds; if the scheduler picked sp itself (possible after a
+// yield), it returns immediately with no channel traffic at all.
+func (sp *simProc) handoff() {
+	k := sp.kernel
+	next, fin, err := k.schedule(sp)
+	switch {
+	case fin:
+		k.doneCh <- err
+		sp.await() // our resume was closed by finishLocked: unwind
+	case next == sp:
+		// Rescheduled without a context switch; keep running.
+	default:
+		next.resume <- struct{}{}
+		sp.await()
 	}
 }
 
@@ -390,13 +691,6 @@ func (sp *simProc) await() {
 	}
 }
 
-// stop hands control back to the scheduler and blocks until rescheduled.
-// The caller must have already recorded its new state under k.mu.
-func (sp *simProc) stop() {
-	sp.kernel.stopCh <- sp
-	sp.await()
-}
-
 // checkLiveLocked unwinds the calling process if the kernel has already
 // finished — this catches kernel operations issued while a process stack
 // is being unwound (e.g. from a deferred cleanup).
@@ -411,14 +705,17 @@ func (sp *simProc) park() {
 	k := sp.kernel
 	k.mu.Lock()
 	k.checkLiveLocked()
+	k.stepVisible = true
 	if sp.permit {
 		sp.permit = false
+		k.touchFPLocked(sp)
 		k.mu.Unlock()
 		return
 	}
 	sp.state = stateParked
+	k.touchFPLocked(sp)
 	k.mu.Unlock()
-	sp.stop()
+	sp.handoff()
 }
 
 func (sp *simProc) unpark() {
@@ -428,6 +725,7 @@ func (sp *simProc) unpark() {
 	if k.finished {
 		return
 	}
+	k.stepVisible = true
 	switch sp.state {
 	case stateParked:
 		k.markReadyLocked(sp)
@@ -435,32 +733,47 @@ func (sp *simProc) unpark() {
 		// no-op
 	default:
 		sp.permit = true
+		k.touchFPLocked(sp)
 	}
 }
 
 func (sp *simProc) yield() {
+	// A pure yield is the one invisible kernel operation: it perturbs
+	// only the yielder's position in the ready order, which the state
+	// fingerprint deliberately ignores.
 	k := sp.kernel
 	k.mu.Lock()
 	k.checkLiveLocked()
 	k.markReadyLocked(sp)
 	k.mu.Unlock()
-	sp.stop()
+	sp.handoff()
 }
 
 func (sp *simProc) sleep(ticks int64) {
 	k := sp.kernel
 	k.mu.Lock()
 	k.checkLiveLocked()
+	k.stepVisible = true
 	sp.state = stateSleeping
 	sp.wakeAt = k.now + ticks
+	k.touchFPLocked(sp)
 	k.mu.Unlock()
-	sp.stop()
+	sp.handoff()
 }
 
 func (sp *simProc) exited() {
 	k := sp.kernel
 	k.mu.Lock()
 	sp.state = stateDead
+	k.stepVisible = true
+	k.touchFPLocked(sp)
 	k.mu.Unlock()
-	k.stopCh <- sp // return control; no resume will follow
+	// Hand the processor on; no resume will follow, so the goroutine
+	// simply returns instead of parking.
+	next, fin, err := k.schedule(sp)
+	if fin {
+		k.doneCh <- err
+		return
+	}
+	next.resume <- struct{}{}
 }

@@ -57,13 +57,14 @@ type ClockConfig struct {
 	TotalTicks int
 }
 
-// DriveAlarmClock runs the workload against ac on k, recording into r.
-// The driver tracks the number of ticks issued so far to compute each
+// SpawnAlarmClock spawns the workload processes against ac on k,
+// recording into r; the caller runs the kernel (exploration replays the
+// same spawns under many schedules). The driver tracks the number of ticks issued so far to compute each
 // sleeper's absolute due time for the oracle. The clock runs for at least
 // TotalTicks and then keeps ticking until every sleeper has woken (bounded
 // by a generous safety margin), so liveness does not depend on the
 // scheduling policy interleaving sleepers ahead of the clock.
-func DriveAlarmClock(k kernel.Kernel, ac AlarmClock, r *trace.Recorder, cfg ClockConfig) error {
+func SpawnAlarmClock(k kernel.Kernel, ac AlarmClock, r *trace.Recorder, cfg ClockConfig) error {
 	var issued atomic.Int64 // ticks issued; read by sleepers for due times
 	var woken atomic.Int64
 	total := int64(len(cfg.Sleepers))
@@ -103,6 +104,15 @@ func DriveAlarmClock(k kernel.Kernel, ac AlarmClock, r *trace.Recorder, cfg Cloc
 			p.Sleep(1)
 		}
 	})
+	return nil
+}
+
+// DriveAlarmClock spawns the workload via SpawnAlarmClock and returns the kernel's
+// verdict from running it to completion.
+func DriveAlarmClock(k kernel.Kernel, ac AlarmClock, r *trace.Recorder, cfg ClockConfig) error {
+	if err := SpawnAlarmClock(k, ac, r, cfg); err != nil {
+		return err
+	}
 	return k.Run()
 }
 

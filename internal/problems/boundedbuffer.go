@@ -73,10 +73,10 @@ type BBConfig struct {
 // TotalItems reports the number of items the workload transfers.
 func (c BBConfig) TotalItems() int { return c.Producers * c.ItemsPerProducer }
 
-// DriveBoundedBuffer runs the workload against bb on k, recording into r,
-// and returns the kernel's verdict. Total items must divide evenly among
-// consumers.
-func DriveBoundedBuffer(k kernel.Kernel, bb BoundedBuffer, r *trace.Recorder, cfg BBConfig) error {
+// SpawnBoundedBuffer spawns the workload processes against bb on k,
+// recording into r; the caller runs the kernel. Total items must divide
+// evenly among consumers.
+func SpawnBoundedBuffer(k kernel.Kernel, bb BoundedBuffer, r *trace.Recorder, cfg BBConfig) error {
 	total := cfg.TotalItems()
 	if cfg.Consumers <= 0 || total%cfg.Consumers != 0 {
 		return fmt.Errorf("problems: %d items do not divide among %d consumers", total, cfg.Consumers)
@@ -112,6 +112,15 @@ func DriveBoundedBuffer(k kernel.Kernel, bb BoundedBuffer, r *trace.Recorder, cf
 				})
 			}
 		})
+	}
+	return nil
+}
+
+// DriveBoundedBuffer spawns the workload via SpawnBoundedBuffer and returns the kernel's
+// verdict from running it to completion.
+func DriveBoundedBuffer(k kernel.Kernel, bb BoundedBuffer, r *trace.Recorder, cfg BBConfig) error {
+	if err := SpawnBoundedBuffer(k, bb, r, cfg); err != nil {
+		return err
 	}
 	return k.Run()
 }

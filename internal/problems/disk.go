@@ -61,8 +61,9 @@ type DiskConfig struct {
 	WorkYields int // transfer length
 }
 
-// DriveDisk runs the workload against d on k, recording into r.
-func DriveDisk(k kernel.Kernel, d Disk, r *trace.Recorder, cfg DiskConfig) error {
+// SpawnDisk spawns the workload processes against d on k, recording
+// into r; the caller runs the kernel.
+func SpawnDisk(k kernel.Kernel, d Disk, r *trace.Recorder, cfg DiskConfig) error {
 	for _, req := range cfg.Requests {
 		req := req
 		k.Spawn("io", func(p *kernel.Proc) {
@@ -78,6 +79,15 @@ func DriveDisk(k kernel.Kernel, d Disk, r *trace.Recorder, cfg DiskConfig) error
 				r.Exit(p, OpSeek, req.Track)
 			})
 		})
+	}
+	return nil
+}
+
+// DriveDisk spawns the workload via SpawnDisk and returns the kernel's
+// verdict from running it to completion.
+func DriveDisk(k kernel.Kernel, d Disk, r *trace.Recorder, cfg DiskConfig) error {
+	if err := SpawnDisk(k, d, r, cfg); err != nil {
+		return err
 	}
 	return k.Run()
 }

@@ -52,8 +52,9 @@ type FCFSConfig struct {
 	GapYields int
 }
 
-// DriveFCFS runs the workload against res on k, recording into r.
-func DriveFCFS(k kernel.Kernel, res Resource, r *trace.Recorder, cfg FCFSConfig) error {
+// SpawnFCFS spawns the workload processes against res on k, recording
+// into r; the caller runs the kernel.
+func SpawnFCFS(k kernel.Kernel, res Resource, r *trace.Recorder, cfg FCFSConfig) error {
 	for i := 0; i < cfg.Processes; i++ {
 		k.Spawn("user", func(p *kernel.Proc) {
 			for j := 0; j < cfg.Rounds; j++ {
@@ -70,6 +71,15 @@ func DriveFCFS(k kernel.Kernel, res Resource, r *trace.Recorder, cfg FCFSConfig)
 				}
 			}
 		})
+	}
+	return nil
+}
+
+// DriveFCFS spawns the workload via SpawnFCFS and returns the kernel's
+// verdict from running it to completion.
+func DriveFCFS(k kernel.Kernel, res Resource, r *trace.Recorder, cfg FCFSConfig) error {
+	if err := SpawnFCFS(k, res, r, cfg); err != nil {
+		return err
 	}
 	return k.Run()
 }

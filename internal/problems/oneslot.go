@@ -52,8 +52,9 @@ type OneSlotConfig struct {
 // TotalItems reports the number of items the workload transfers.
 func (c OneSlotConfig) TotalItems() int { return c.Producers * c.ItemsPerProducer }
 
-// DriveOneSlot runs the workload against s on k, recording into r.
-func DriveOneSlot(k kernel.Kernel, s OneSlot, r *trace.Recorder, cfg OneSlotConfig) error {
+// SpawnOneSlot spawns the workload processes against s on k, recording
+// into r; the caller runs the kernel.
+func SpawnOneSlot(k kernel.Kernel, s OneSlot, r *trace.Recorder, cfg OneSlotConfig) error {
 	total := cfg.TotalItems()
 	if cfg.Consumers <= 0 || total%cfg.Consumers != 0 {
 		return fmt.Errorf("problems: %d items do not divide among %d consumers", total, cfg.Consumers)
@@ -82,6 +83,15 @@ func DriveOneSlot(k kernel.Kernel, s OneSlot, r *trace.Recorder, cfg OneSlotConf
 				})
 			}
 		})
+	}
+	return nil
+}
+
+// DriveOneSlot spawns the workload via SpawnOneSlot and returns the kernel's
+// verdict from running it to completion.
+func DriveOneSlot(k kernel.Kernel, s OneSlot, r *trace.Recorder, cfg OneSlotConfig) error {
+	if err := SpawnOneSlot(k, s, r, cfg); err != nil {
+		return err
 	}
 	return k.Run()
 }

@@ -99,8 +99,9 @@ type RWConfig struct {
 	GapYields   int // pause between a process's operations
 }
 
-// DriveRW runs the workload against db on k, recording into r.
-func DriveRW(k kernel.Kernel, db RWStore, r *trace.Recorder, cfg RWConfig) error {
+// SpawnRW spawns the workload processes against db on k, recording
+// into r; the caller runs the kernel.
+func SpawnRW(k kernel.Kernel, db RWStore, r *trace.Recorder, cfg RWConfig) error {
 	for i := 0; i < cfg.Readers; i++ {
 		k.Spawn("reader", func(p *kernel.Proc) {
 			for j := 0; j < cfg.Rounds; j++ {
@@ -134,6 +135,15 @@ func DriveRW(k kernel.Kernel, db RWStore, r *trace.Recorder, cfg RWConfig) error
 				}
 			}
 		})
+	}
+	return nil
+}
+
+// DriveRW spawns the workload via SpawnRW and returns the kernel's
+// verdict from running it to completion.
+func DriveRW(k kernel.Kernel, db RWStore, r *trace.Recorder, cfg RWConfig) error {
+	if err := SpawnRW(k, db, r, cfg); err != nil {
+		return err
 	}
 	return k.Run()
 }

@@ -238,64 +238,86 @@ func StdOneSlotConfig() problems.OneSlotConfig {
 	return problems.OneSlotConfig{Producers: 2, Consumers: 2, ItemsPerProducer: 8}
 }
 
-// RunStandard drives the suite's solution to the named problem with the
-// standard workload on k, then judges the trace. strict additionally
-// checks priority/ordering constraints, which are exact only on
-// deterministic (SimKernel) traces. The trace is returned for further
-// analysis; err is the kernel's verdict (deadlock, timeout).
-func RunStandard(k kernel.Kernel, s Suite, problem string, strict bool) (trace.Trace, []problems.Violation, error) {
-	r := trace.NewRecorder(k)
-	var drive func() error
+// StandardProgram returns the suite's solution to the named problem as a
+// spawn-only program over the standard workload, plus the oracle that
+// judges its traces. The program constructs a fresh solution instance per
+// invocation and spawns the workload processes without running the
+// kernel, which is exactly the shape schedule exploration needs (package
+// explore replays the same program under many schedules). strict
+// additionally checks priority/ordering constraints, which are exact only
+// on deterministic (SimKernel) traces.
+func StandardProgram(s Suite, problem string, strict bool) (func(k kernel.Kernel, r *trace.Recorder), func(trace.Trace) []problems.Violation, error) {
+	var prog func(k kernel.Kernel, r *trace.Recorder)
 	var check func(trace.Trace) []problems.Violation
 
 	switch problem {
 	case problems.NameBoundedBuffer:
-		bb := s.NewBoundedBuffer(k, StdBufferCap)
 		cfg := StdBBConfig()
-		drive = func() error { return problems.DriveBoundedBuffer(k, bb, r, cfg) }
+		prog = func(k kernel.Kernel, r *trace.Recorder) {
+			bb := s.NewBoundedBuffer(k, StdBufferCap)
+			_ = problems.SpawnBoundedBuffer(k, bb, r, cfg) // Std config is valid
+		}
 		check = func(tr trace.Trace) []problems.Violation {
 			return problems.CheckBoundedBuffer(tr, StdBufferCap, cfg.TotalItems())
 		}
 	case problems.NameFCFS:
-		res := s.NewFCFS(k)
-		drive = func() error { return problems.DriveFCFS(k, res, r, StdFCFSConfig()) }
+		prog = func(k kernel.Kernel, r *trace.Recorder) {
+			_ = problems.SpawnFCFS(k, s.NewFCFS(k), r, StdFCFSConfig())
+		}
 		check = func(tr trace.Trace) []problems.Violation { return problems.CheckFCFS(tr, strict) }
 	case problems.NameReadersPriority, problems.NameWritersPriority, problems.NameFCFSRW:
-		var db problems.RWStore
+		newDB := s.NewFCFSRW
 		switch problem {
 		case problems.NameReadersPriority:
-			db = s.NewReadersPriority(k)
+			newDB = s.NewReadersPriority
 		case problems.NameWritersPriority:
-			db = s.NewWritersPriority(k)
-		default:
-			db = s.NewFCFSRW(k)
+			newDB = s.NewWritersPriority
 		}
-		drive = func() error { return problems.DriveRW(k, db, r, StdRWConfig()) }
+		prog = func(k kernel.Kernel, r *trace.Recorder) {
+			_ = problems.SpawnRW(k, newDB(k), r, StdRWConfig())
+		}
 		check = func(tr trace.Trace) []problems.Violation {
 			return problems.CheckRW(problem, tr, strict)
 		}
 	case problems.NameDisk:
-		d := s.NewDisk(k, StdDiskStart, StdDiskMax)
-		drive = func() error { return problems.DriveDisk(k, d, r, StdDiskConfig()) }
+		prog = func(k kernel.Kernel, r *trace.Recorder) {
+			_ = problems.SpawnDisk(k, s.NewDisk(k, StdDiskStart, StdDiskMax), r, StdDiskConfig())
+		}
 		check = func(tr trace.Trace) []problems.Violation {
 			return problems.CheckDisk(tr, StdDiskStart, strict)
 		}
 	case problems.NameAlarmClock:
-		ac := s.NewAlarmClock(k)
-		drive = func() error { return problems.DriveAlarmClock(k, ac, r, StdClockConfig()) }
+		prog = func(k kernel.Kernel, r *trace.Recorder) {
+			_ = problems.SpawnAlarmClock(k, s.NewAlarmClock(k), r, StdClockConfig())
+		}
 		check = problems.CheckAlarmClock
 	case problems.NameOneSlot:
-		os := s.NewOneSlot(k)
 		cfg := StdOneSlotConfig()
-		drive = func() error { return problems.DriveOneSlot(k, os, r, cfg) }
+		prog = func(k kernel.Kernel, r *trace.Recorder) {
+			_ = problems.SpawnOneSlot(k, s.NewOneSlot(k), r, cfg)
+		}
 		check = func(tr trace.Trace) []problems.Violation {
 			return problems.CheckOneSlot(tr, cfg.TotalItems())
 		}
 	default:
 		return nil, nil, fmt.Errorf("solutions: unknown problem %q", problem)
 	}
+	return prog, check, nil
+}
 
-	err := drive()
+// RunStandard drives the suite's solution to the named problem with the
+// standard workload on k, then judges the trace. strict additionally
+// checks priority/ordering constraints, which are exact only on
+// deterministic (SimKernel) traces. The trace is returned for further
+// analysis; err is the kernel's verdict (deadlock, timeout).
+func RunStandard(k kernel.Kernel, s Suite, problem string, strict bool) (trace.Trace, []problems.Violation, error) {
+	prog, check, err := StandardProgram(s, problem, strict)
+	if err != nil {
+		return nil, nil, err
+	}
+	r := trace.NewRecorder(k)
+	prog(k, r)
+	err = k.Run()
 	tr := r.Events()
 	if err != nil {
 		return tr, nil, fmt.Errorf("solutions: %s/%s: %w", s.Mechanism, problem, err)

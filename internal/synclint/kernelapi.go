@@ -162,12 +162,28 @@ func checkPostRun(pass *Pass, fd *ast.FuncDecl) {
 					pass.reportf(call.Pos(), "Spawn on %s after %s.Run() returned: the scheduler has shut down", recvName, recvName)
 				}
 			default:
-				if sel, ok := call.Fun.(*ast.SelectorExpr); ok && anyRan != "" {
-					switch sel.Sel.Name {
-					case "Park", "Unpark", "Yield":
-						if len(call.Args) == 0 {
-							pass.reportf(call.Pos(), "%s after %s.Run() returned: no process is scheduled anymore",
-								sel.Sel.Name, anyRan)
+				if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+					// Reset revives a finished SimKernel for another
+					// Spawn/Run cycle (run recycling), and Close only
+					// releases its pooled workers — neither leaves the
+					// kernel in the shut-down state, so both clear the
+					// post-Run taint for their receiver.
+					if name := sel.Sel.Name; name == "Reset" || name == "Close" {
+						if id, ok := sel.X.(*ast.Ident); ok && ran[id.Name] {
+							delete(ran, id.Name)
+							if anyRan == id.Name {
+								anyRan = ""
+							}
+						}
+						return true
+					}
+					if anyRan != "" {
+						switch sel.Sel.Name {
+						case "Park", "Unpark", "Yield":
+							if len(call.Args) == 0 {
+								pass.reportf(call.Pos(), "%s after %s.Run() returned: no process is scheduled anymore",
+									sel.Sel.Name, anyRan)
+							}
 						}
 					}
 				}

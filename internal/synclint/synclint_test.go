@@ -316,6 +316,48 @@ func FreshKernel(k *Kernel) {
 	wantClean(t, findings)
 }
 
+// Reset revives a finished kernel for another Spawn/Run cycle — the run
+// recycling idiom the exploration engine's pool depends on — and Close
+// merely releases pooled workers, so neither may trip the post-Run check.
+func TestKernelAPIResetAfterRun(t *testing.T) {
+	findings, _ := runOne(t, KernelAPIAnalyzer, `
+package fixture
+
+func Recycled(k *Kernel) {
+	for i := 0; i < 3; i++ {
+		k.Spawn("worker", func(p *Proc) {})
+		k.Run()
+		k.Reset()
+	}
+	k.Close()
+}
+
+func ResetThenSpawn(k *Kernel) {
+	k.Spawn("first", func(p *Proc) {})
+	k.Run()
+	k.Reset()
+	k.Spawn("second", func(p *Proc) {})
+	k.Run()
+}
+`)
+	wantClean(t, findings)
+}
+
+// Reset clears the taint only for its own receiver: Spawn on a different
+// kernel that already ran is still a finding.
+func TestKernelAPIResetOtherKernel(t *testing.T) {
+	findings, _ := runOne(t, KernelAPIAnalyzer, `
+package fixture
+
+func WrongKernelReset(k1, k2 *Kernel) {
+	k1.Run()
+	k2.Reset()
+	k1.Spawn("late", func(p *Proc) {})
+}
+`)
+	wantFinding(t, findings, "Spawn on k1 after k1.Run() returned")
+}
+
 func TestKernelAPINestedSpawnCapture(t *testing.T) {
 	findings, _ := runOne(t, KernelAPIAnalyzer, `
 package fixture

@@ -77,9 +77,33 @@ func (e Event) String() string {
 	return s
 }
 
-// Recorder collects events. It is safe for concurrent use.
+// cooperativeKernel is the part of kernel.SimKernel the recorder's
+// unsynchronized fast path relies on: a clock readable without a lock
+// (exactly one process runs at a time, so recording is already
+// serialized by the scheduler handoff) and the step-visibility hook the
+// exploration pruner consumes.
+type cooperativeKernel interface {
+	NowCooperative() kernel.Time
+	MarkStepVisible()
+}
+
+// Recorder collects events. It is safe for concurrent use; when the
+// kernel is the cooperative SimKernel it skips its own lock entirely (the
+// scheduler handoff already serializes and orders every record call).
 type Recorder struct {
-	k kernel.Kernel
+	k    kernel.Kernel
+	coop cooperativeKernel // non-nil: unsynchronized fast path
+
+	// observer, when set, sees every event as it is recorded (streaming
+	// oracles hang off this). Called with the recorder's synchronization
+	// — i.e. on the recording process's goroutine.
+	observer func(Event)
+
+	// ops interns operation-name strings: every event with the same op
+	// shares one backing array, so long traces retain O(distinct ops)
+	// string bytes and oracle comparisons hit the pointer-equality fast
+	// path.
+	ops map[string]string
 
 	mu     sync.Mutex
 	seq    int64
@@ -89,16 +113,54 @@ type Recorder struct {
 // NewRecorder creates a Recorder stamping events with k's clock. A nil
 // kernel is allowed; events then carry time 0.
 func NewRecorder(k kernel.Kernel) *Recorder {
-	return &Recorder{k: k}
+	r := &Recorder{k: k, ops: make(map[string]string, 8)}
+	if coop, ok := k.(cooperativeKernel); ok {
+		r.coop = coop
+	}
+	return r
+}
+
+// SetObserver installs fn to be called with every subsequently recorded
+// event, in sequence order, on the recording process's goroutine. A nil
+// fn removes the observer. Install before the run starts.
+func (r *Recorder) SetObserver(fn func(Event)) { r.observer = fn }
+
+// Reset discards all recorded events, retaining the event buffer and the
+// op intern table, so a pooled recorder records in zero-allocation steady
+// state. Snapshots obtained earlier become invalid. Reset must not race
+// with recording (call it between runs).
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seq = 0
+	r.events = r.events[:0]
 }
 
 func (r *Recorder) record(p *kernel.Proc, kind Kind, op string, arg int64, note string) Event {
+	if r.coop != nil {
+		// Cooperative fast path: exactly one process runs at a time and
+		// the scheduler handoff orders every access, so neither the
+		// recorder's lock nor the kernel clock's is needed.
+		r.coop.MarkStepVisible()
+		return r.append(p, r.coop.NowCooperative(), kind, op, arg, note)
+	}
 	var t kernel.Time
 	if r.k != nil {
 		t = r.k.Now()
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	return r.append(p, t, kind, op, arg, note)
+}
+
+// append assumes the caller holds r.mu or is on the cooperative fast
+// path.
+func (r *Recorder) append(p *kernel.Proc, t kernel.Time, kind Kind, op string, arg int64, note string) Event {
+	if canonical, ok := r.ops[op]; ok {
+		op = canonical
+	} else {
+		r.ops[op] = op
+	}
 	r.seq++
 	e := Event{
 		Seq:    r.seq,
@@ -111,6 +173,9 @@ func (r *Recorder) record(p *kernel.Proc, kind Kind, op string, arg int64, note 
 		Note:   note,
 	}
 	r.events = append(r.events, e)
+	if r.observer != nil {
+		r.observer(e)
+	}
 	return e
 }
 
@@ -148,6 +213,21 @@ func (r *Recorder) Events() Trace {
 	out := make(Trace, len(r.events))
 	copy(out, r.events)
 	return out
+}
+
+// Snapshot returns the recorded events without copying.
+//
+// Aliasing contract: the returned Trace shares the recorder's buffer. It
+// is valid only while no further events are recorded and until the next
+// Reset; the caller must treat it as read-only and must not append to it.
+// Use it where the run is already finished and the trace is consumed
+// before the recorder is touched again — the exploration engine's
+// judge-then-discard hot path — and Events everywhere the trace outlives
+// the recorder.
+func (r *Recorder) Snapshot() Trace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return Trace(r.events)
 }
 
 // Trace is an ordered event history.
