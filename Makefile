@@ -3,7 +3,7 @@
 GO        ?= go
 BENCHTIME ?= 2s
 
-.PHONY: all build test race lint bench clean
+.PHONY: all build test race lint bench hunt clean
 
 all: lint build test
 
@@ -29,5 +29,14 @@ bench:
 	$(GO) test -run '^$$' -bench BenchmarkE1ExploreThroughput -benchmem -benchtime $(BENCHTIME) -count 1 . \
 		| tee /dev/stderr | $(GO) run ./cmd/benchjson -o BENCH_explore.json
 
+# hunt runs the Figure-1 anomaly search with live progress, shrinks the
+# finding to a 1-minimal schedule, and saves it as a replayable artifact
+# (exploration exits 1 on a finding — expected here — so the replay step
+# is the success check).
+hunt:
+	-$(GO) run ./cmd/simtrace -mech pathexpr -problem readers-priority \
+		-explore -shrink -pool -progress -save-sched figure1-found.sched -quiet
+	$(GO) run ./cmd/simtrace -replay figure1-found.sched
+
 clean:
-	rm -f BENCH_explore.json
+	rm -f BENCH_explore.json figure1-found.sched

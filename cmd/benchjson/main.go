@@ -48,9 +48,13 @@ func main() {
 	out := flag.String("o", "", "write JSON here instead of stdout")
 	flag.Parse()
 
-	report := parse(bufio.NewScanner(os.Stdin))
+	report, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
 	if len(report.Benchmarks) == 0 {
-		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin (did the bench run produce output?)")
 		os.Exit(1)
 	}
 	buf, err := json.MarshalIndent(report, "", "  ")
@@ -69,9 +73,15 @@ func main() {
 	}
 }
 
-func parse(sc *bufio.Scanner) Report {
+// parse reads the bench output. A malformed Benchmark result line —
+// truncated mid-write, interleaved with a crash, wrong field count — is
+// an error, not a skip: silently dropping lines would let CI archive a
+// report that looks complete but is missing data.
+func parse(sc *bufio.Scanner) (Report, error) {
 	var r Report
+	lineno := 0
 	for sc.Scan() {
+		lineno++
 		line := sc.Text()
 		switch {
 		case strings.HasPrefix(line, "goos: "):
@@ -83,35 +93,40 @@ func parse(sc *bufio.Scanner) Report {
 		case strings.HasPrefix(line, "cpu: "):
 			r.CPU = strings.TrimPrefix(line, "cpu: ")
 		case strings.HasPrefix(line, "Benchmark"):
-			if b, ok := parseBenchLine(line); ok {
-				r.Benchmarks = append(r.Benchmarks, b)
+			b, err := parseBenchLine(line)
+			if err != nil {
+				return r, fmt.Errorf("line %d: %w: %q", lineno, err, line)
 			}
+			r.Benchmarks = append(r.Benchmarks, b)
 		}
 	}
-	return r
+	if err := sc.Err(); err != nil {
+		return r, err
+	}
+	return r, nil
 }
 
 // parseBenchLine parses one result line: name, iterations, then
 // value/unit pairs.
-func parseBenchLine(line string) (Benchmark, bool) {
+func parseBenchLine(line string) (Benchmark, error) {
 	fields := strings.Fields(line)
 	if len(fields) < 4 || len(fields)%2 != 0 {
-		return Benchmark{}, false
+		return Benchmark{}, fmt.Errorf("malformed benchmark line (%d fields, want an even count >= 4)", len(fields))
 	}
 	iters, err := strconv.ParseInt(fields[1], 10, 64)
 	if err != nil {
-		return Benchmark{}, false
+		return Benchmark{}, fmt.Errorf("malformed iteration count %q", fields[1])
 	}
 	b := Benchmark{Iterations: iters, Metrics: map[string]float64{}}
 	b.Name, b.CPUs = splitCPUSuffix(fields[0])
 	for i := 2; i+1 < len(fields); i += 2 {
 		v, err := strconv.ParseFloat(fields[i], 64)
 		if err != nil {
-			return Benchmark{}, false
+			return Benchmark{}, fmt.Errorf("malformed metric value %q", fields[i])
 		}
 		b.Metrics[fields[i+1]] = v
 	}
-	return b, true
+	return b, nil
 }
 
 // splitCPUSuffix splits the trailing "-N" GOMAXPROCS marker off a

@@ -17,7 +17,10 @@ ok  	repro	12.3s
 `
 
 func TestParse(t *testing.T) {
-	r := parse(bufio.NewScanner(strings.NewReader(sample)))
+	r, err := parse(bufio.NewScanner(strings.NewReader(sample)))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if r.GoOS != "linux" || r.GoArch != "amd64" || r.Package != "repro" {
 		t.Fatalf("header: %+v", r)
 	}
@@ -37,6 +40,43 @@ func TestParse(t *testing.T) {
 	}
 	if b := r.Benchmarks[1]; b.Name != "BenchmarkE1ExploreThroughput/random" || b.CPUs != 0 {
 		t.Fatalf("second line: %+v", b)
+	}
+}
+
+// Truncated or corrupted bench output must be a parse error with a
+// diagnostic naming the offending line — never a silently thinner report.
+func TestParseRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want string // substring of the error
+	}{
+		{"truncated-mid-line", "BenchmarkX-8\t 223\t 5347102\n", "malformed benchmark line"},
+		{"odd-field-count", "BenchmarkX-8 223 5347102 ns/op extra\n", "malformed benchmark line"},
+		{"bad-iterations", "BenchmarkX-8 fast 5347102 ns/op\n", "malformed iteration count"},
+		{"bad-metric-value", "BenchmarkX-8 223 quick ns/op\n", "malformed metric value"},
+		{"truncated-after-good-line", sample[:strings.Index(sample, "PASS")] + "BenchmarkY-8 10\n", "malformed benchmark line"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := parse(bufio.NewScanner(strings.NewReader(c.in)))
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("parse error = %v, want substring %q", err, c.want)
+			}
+		})
+	}
+}
+
+// Non-benchmark noise (build logs, PASS/ok lines, blank lines) still
+// passes through untouched; an input with only noise yields an empty
+// report, which main turns into the "no benchmark lines" diagnostic.
+func TestParseEmptyOutput(t *testing.T) {
+	r, err := parse(bufio.NewScanner(strings.NewReader("PASS\nok  \trepro\t1.2s\n")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Benchmarks) != 0 {
+		t.Fatalf("benchmarks: %+v", r.Benchmarks)
 	}
 }
 

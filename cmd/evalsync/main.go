@@ -33,9 +33,11 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/eval"
+	"repro/internal/explore"
 	"repro/internal/kernel"
 	"repro/internal/problems"
 	"repro/internal/solutions"
@@ -47,10 +49,18 @@ func main() {
 	workers := flag.Int("workers", 0, "goroutines per schedule exploration (0 = all cores; results are identical for any value)")
 	pool := flag.Bool("pool", false, "recycle kernels/recorders across exploration runs (throughput only; identical results)")
 	prune := flag.Bool("prune", false, "prune schedule exploration via state fingerprints (reaches findings in fewer runs, so reported run counts shrink)")
+	shrink := flag.Bool("shrink", false, "minimize every exploration finding by delta debugging (adds a shrunk-schedule line to F1)")
+	progress := flag.Bool("progress", false, "print a one-line live exploration status to stderr")
+	saveSched := flag.String("save-sched", "", "write the F1 anomaly (shrunk when -shrink) to this path as a replayable .sched artifact")
 	flag.Parse()
 	eval.ExploreWorkers = *workers
 	eval.ExplorePool = *pool
 	eval.ExplorePrune = *prune
+	eval.ExploreShrink = *shrink
+	if *progress {
+		eval.ExploreProgress = progressLine()
+	}
+	saveSchedPath = *saveSched
 
 	contradictions, err := writeReport(os.Stdout, strings.ToUpper(*experiment), *detail)
 	if err != nil {
@@ -248,6 +258,12 @@ func writeReport(w io.Writer, experiment string, detail bool) ([]string, error) 
 		fmt.Fprint(w, eval.RenderFigure1(res))
 		if !res.AnomalyFound {
 			contradict("F1: the footnote-3 anomaly was not found in %d runs", res.Runs)
+		} else if saveSchedPath != "" {
+			if err := eval.SaveFigure1Sched(res, saveSchedPath); err != nil {
+				return nil, err
+			}
+			fmt.Fprintf(w, "\n  saved schedule artifact: %s (replay with: simtrace -replay %s)\n",
+				saveSchedPath, saveSchedPath)
 		}
 	}
 	if run("F2") {
@@ -341,6 +357,28 @@ func renderT6() (string, []string) {
 	b.WriteString(strings.Join(cells, " "))
 	b.WriteString("\n")
 	return b.String(), failures
+}
+
+// saveSchedPath, when set via -save-sched, makes the F1 experiment write
+// its anomaly as a replayable schedule artifact.
+var saveSchedPath string
+
+// progressLine renders exploration Stats snapshots as a single
+// overwritten stderr line, throttled to keep rendering cheap.
+func progressLine() func(explore.Stats) {
+	var last time.Time
+	return func(s explore.Stats) {
+		if s.Phase != "done" && time.Since(last) < 100*time.Millisecond {
+			return
+		}
+		last = time.Now()
+		fmt.Fprintf(os.Stderr,
+			"\rexplore: phase=%-8s runs=%-7d %6.0f/s pruned=%-6d frontier=%-4d shrink=%d(len %d)   ",
+			s.Phase, s.Runs, s.RunsPerSec, s.Pruned, s.Frontier, s.ShrinkRuns, s.ShrinkLen)
+		if s.Phase == "done" {
+			fmt.Fprintln(os.Stderr)
+		}
+	}
 }
 
 func fatal(err error) {

@@ -6,6 +6,8 @@
 //
 //	simtrace -mech monitor -problem readers-priority
 //	simtrace -mech pathexpr -problem readers-priority -explore
+//	simtrace -mech pathexpr -problem readers-priority -explore -shrink -save-sched f1.sched
+//	simtrace -replay f1.sched
 //	simtrace -mech csp -problem disk-scheduler -policy random -seed 9
 //	simtrace -list
 package main
@@ -13,8 +15,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/eval"
 	"repro/internal/explore"
@@ -33,6 +38,11 @@ func main() {
 	workers := flag.Int("workers", 0, "goroutines for -explore (0 = all cores; results are identical for any value)")
 	prune := flag.Bool("prune", false, "prune the -explore DFS via state fingerprints (fewer schedules to a finding)")
 	pool := flag.Bool("pool", false, "recycle kernels and recorders across -explore runs (higher throughput)")
+	shrink := flag.Bool("shrink", false, "minimize the -explore finding by delta debugging (1-minimal schedule)")
+	progress := flag.Bool("progress", false, "print a one-line live exploration status to stderr")
+	saveSched := flag.String("save-sched", "", "write the -explore finding to this path as a replayable .sched artifact")
+	replayFile := flag.String("replay", "", "replay a saved .sched artifact with drift detection; exits 0 iff it reproduces")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) during -explore")
 	list := flag.Bool("list", false, "list mechanisms and problems")
 	quiet := flag.Bool("quiet", false, "suppress the trace, print only the verdict")
 	flag.Parse()
@@ -47,16 +57,33 @@ func main() {
 		return
 	}
 
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "simtrace: pprof:", err)
+			}
+		}()
+	}
+
+	if *replayFile != "" {
+		runReplay(*replayFile, *quiet)
+		return
+	}
+
 	suite, ok := solutions.ByMechanism(*mech)
 	if !ok {
 		fatal(fmt.Errorf("unknown mechanism %q", *mech))
 	}
 
 	if *exploreFlag {
-		runExplore(suite, *problem, *quiet, explore.Options{
+		opts := explore.Options{
 			RandomRuns: 300, DFSRuns: 600,
-			Workers: *workers, Prune: *prune, Pool: *pool,
-		})
+			Workers: *workers, Prune: *prune, Pool: *pool, Shrink: *shrink,
+		}
+		if *progress {
+			opts.Progress = progressLine()
+		}
+		runExplore(suite, *problem, *quiet, *saveSched, opts)
 		return
 	}
 
@@ -96,8 +123,10 @@ func main() {
 	os.Exit(1)
 }
 
-// runExplore hunts for priority violations on the figure scenario.
-func runExplore(suite solutions.Suite, problem string, quiet bool, opts explore.Options) {
+// figureProgram rebuilds the figure-scenario exploration program and
+// oracle for a (mechanism, priority-problem) pair — shared by -explore,
+// -save-sched sealing, and -replay verification, which must all agree.
+func figureProgram(suite solutions.Suite, problem string) (explore.Program, explore.Oracle, error) {
 	var oracle explore.Oracle
 	switch problem {
 	case problems.NameReadersPriority:
@@ -105,7 +134,7 @@ func runExplore(suite solutions.Suite, problem string, quiet bool, opts explore.
 	case problems.NameWritersPriority:
 		oracle = problems.CheckWritersPriority
 	default:
-		fatal(fmt.Errorf("-explore supports readers-priority and writers-priority, not %q", problem))
+		return nil, nil, fmt.Errorf("figure scenario supports readers-priority and writers-priority, not %q", problem)
 	}
 	prog := explore.Program(func(k kernel.Kernel, r *trace.Recorder) {
 		var store problems.RWStore
@@ -117,6 +146,84 @@ func runExplore(suite solutions.Suite, problem string, quiet bool, opts explore.
 		}
 		eval.FigureScenario(store)(k, r)
 	})
+	return prog, oracle, nil
+}
+
+// schedProgram rebuilds the program and oracle a schedule file was saved
+// against, from its mechanism/problem/scenario fields.
+func schedProgram(f *explore.SchedFile) (explore.Program, explore.Oracle, error) {
+	suite, ok := solutions.ByMechanism(f.Mechanism)
+	if !ok {
+		return nil, nil, fmt.Errorf("schedule file names unknown mechanism %q", f.Mechanism)
+	}
+	switch f.Scenario {
+	case "figure":
+		return figureProgram(suite, f.Problem)
+	case "standard":
+		prog, check, err := solutions.StandardProgram(suite, f.Problem, false)
+		if err != nil {
+			return nil, nil, err
+		}
+		return explore.Program(prog), check, nil
+	default:
+		return nil, nil, fmt.Errorf("schedule file names unknown scenario %q", f.Scenario)
+	}
+}
+
+// runReplay replays a saved schedule artifact with full drift detection
+// and exits 0 iff it reproduces the recorded finding.
+func runReplay(path string, quiet bool) {
+	f, err := explore.ReadSchedFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	prog, oracle, err := schedProgram(f)
+	if err != nil {
+		fatal(err)
+	}
+	tr, vs, err := f.Verify(prog, oracle)
+	if !quiet && len(tr) > 0 {
+		fmt.Print(tr)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("replay ok: %s/%s/%s, %d choices, fingerprint %s\n",
+		f.Mechanism, f.Problem, f.Scenario, len(f.Choices), f.Fingerprint)
+	if f.KernelError != "" {
+		fmt.Printf("reproduced kernel error class: %s\n", f.KernelError)
+		return
+	}
+	for _, v := range vs {
+		fmt.Println("reproduced violation: " + v.String())
+	}
+}
+
+// progressLine renders Stats snapshots as a single overwritten stderr
+// line, throttled so rendering never slows the hunt.
+func progressLine() func(explore.Stats) {
+	var last time.Time
+	return func(s explore.Stats) {
+		if s.Phase != "done" && time.Since(last) < 100*time.Millisecond {
+			return
+		}
+		last = time.Now()
+		fmt.Fprintf(os.Stderr,
+			"\rexplore: phase=%-8s runs=%-7d %6.0f/s pruned=%-6d frontier=%-4d shrink=%d(len %d) pool=%d/%d   ",
+			s.Phase, s.Runs, s.RunsPerSec, s.Pruned, s.Frontier,
+			s.ShrinkRuns, s.ShrinkLen, s.PoolReuses, s.PoolSlots)
+		if s.Phase == "done" {
+			fmt.Fprintln(os.Stderr)
+		}
+	}
+}
+
+// runExplore hunts for priority violations on the figure scenario.
+func runExplore(suite solutions.Suite, problem string, quiet bool, saveSched string, opts explore.Options) {
+	prog, oracle, err := figureProgram(suite, problem)
+	if err != nil {
+		fatal(fmt.Errorf("-explore: %w", err))
+	}
 	if inc, ok := problems.IncrementalOracleFor(problem); ok && opts.Pool {
 		opts.Stream = inc.New
 	}
@@ -139,6 +246,25 @@ func runExplore(suite solutions.Suite, problem string, quiet bool, opts explore.
 	}
 	for _, v := range res.Violations {
 		fmt.Println("violation: " + v.String())
+	}
+	if res.MinSchedule != nil {
+		fmt.Printf("shrunk schedule: %d choices (from %d, %d shrink replays): %v\n",
+			len(res.MinSchedule), len(res.Schedule), res.ShrinkRuns, res.MinSchedule)
+	}
+	if saveSched != "" {
+		schedule := res.Schedule
+		if res.MinSchedule != nil {
+			schedule = res.MinSchedule
+		}
+		f := explore.NewSchedFile(suite.Mechanism, problem, "figure", schedule)
+		f.Note = "found by simtrace -explore"
+		if err := f.Seal(prog, oracle); err != nil {
+			fatal(fmt.Errorf("sealing %s: %w", saveSched, err))
+		}
+		if err := f.WriteFile(saveSched); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("saved schedule artifact: %s (replay with: simtrace -replay %s)\n", saveSched, saveSched)
 	}
 	os.Exit(1)
 }

@@ -40,11 +40,24 @@ var ExplorePool bool
 // the default report (and its golden pin) keeps it off.
 var ExplorePrune bool
 
+// ExploreShrink minimizes every finding's schedule by delta debugging
+// (explore.Options.Shrink), settable from the evalsync -shrink flag.
+// Shrinking changes nothing about how findings are reached — only
+// MinSchedule/ShrinkRuns are added to the outcome.
+var ExploreShrink bool
+
+// ExploreProgress, when non-nil, receives live progress snapshots from
+// every anomaly search (explore.Options.Progress), settable from the
+// evalsync -progress flag. Observes only; results are unchanged.
+var ExploreProgress func(explore.Stats)
+
 // exploreOpts applies the package-level exploration knobs to base.
 func exploreOpts(base explore.Options) explore.Options {
 	base.Workers = ExploreWorkers
 	base.Pool = ExplorePool
 	base.Prune = ExplorePrune
+	base.Shrink = ExploreShrink
+	base.Progress = ExploreProgress
 	return base
 }
 
@@ -54,32 +67,32 @@ func exploreOpts(base explore.Options) explore.Options {
 func FigureScenario(db problems.RWStore) explore.Program {
 	return func(k kernel.Kernel, r *trace.Recorder) {
 		k.Spawn("writer1", func(p *kernel.Proc) {
-			r.Request(p, problems.OpWrite, 0)
+			r.Request(p, problems.OpWrite, trace.NoArg)
 			db.Write(p, func() {
-				r.Enter(p, problems.OpWrite, 0)
+				r.Enter(p, problems.OpWrite, trace.NoArg)
 				for i := 0; i < 6; i++ {
 					p.Yield()
 				}
-				r.Exit(p, problems.OpWrite, 0)
+				r.Exit(p, problems.OpWrite, trace.NoArg)
 			})
 		})
 		k.Spawn("reader", func(p *kernel.Proc) {
 			p.Yield()
-			r.Request(p, problems.OpRead, 0)
+			r.Request(p, problems.OpRead, trace.NoArg)
 			db.Read(p, func() {
-				r.Enter(p, problems.OpRead, 0)
+				r.Enter(p, problems.OpRead, trace.NoArg)
 				p.Yield()
-				r.Exit(p, problems.OpRead, 0)
+				r.Exit(p, problems.OpRead, trace.NoArg)
 			})
 		})
 		k.Spawn("writer2", func(p *kernel.Proc) {
 			p.Yield()
 			p.Yield()
-			r.Request(p, problems.OpWrite, 0)
+			r.Request(p, problems.OpWrite, trace.NoArg)
 			db.Write(p, func() {
-				r.Enter(p, problems.OpWrite, 0)
+				r.Enter(p, problems.OpWrite, trace.NoArg)
 				p.Yield()
-				r.Exit(p, problems.OpWrite, 0)
+				r.Exit(p, problems.OpWrite, trace.NoArg)
 			})
 		})
 	}
@@ -97,6 +110,11 @@ type Figure1Result struct {
 	// Violations are the oracle findings.
 	Violations []problems.Violation
 	Runs       int
+	// MinSchedule is the shrunk anomaly schedule (ExploreShrink); nil when
+	// shrinking was off.
+	MinSchedule []kernel.Choice
+	// ShrinkRuns counts the shrinker's replays (not included in Runs).
+	ShrinkRuns int
 }
 
 // RunFigure1 searches for the footnote-3 anomaly in the Figure-1
@@ -113,7 +131,27 @@ func RunFigure1() Figure1Result {
 		Trace:        res.Trace,
 		Violations:   res.Violations,
 		Runs:         res.Runs,
+		MinSchedule:  res.MinSchedule,
+		ShrinkRuns:   res.ShrinkRuns,
 	}
+}
+
+// SaveFigure1Sched seals the F1 finding as a replayable schedule artifact
+// and writes it to path. The shrunk schedule is preferred when available.
+func SaveFigure1Sched(res Figure1Result, path string) error {
+	schedule := res.Schedule
+	if res.MinSchedule != nil {
+		schedule = res.MinSchedule
+	}
+	prog := explore.Program(func(k kernel.Kernel, r *trace.Recorder) {
+		FigureScenario(pathexprsol.NewReadersPriority())(k, r)
+	})
+	f := explore.NewSchedFile("pathexpr", problems.NameReadersPriority, "figure", schedule)
+	f.Note = "footnote-3 readers-priority anomaly found by evalsync F1"
+	if err := f.Seal(prog, problems.CheckReadersPriority); err != nil {
+		return err
+	}
+	return f.WriteFile(path)
 }
 
 // Figure2Result is the F2 experiment outcome.

@@ -178,6 +178,10 @@ func RenderFigure1(res Figure1Result) string {
 	b.WriteString("F1. Figure 1 (path-expression readers-priority) and the footnote-3 anomaly\n\n")
 	fmt.Fprintf(&b, "  schedules explored: %d\n", res.Runs)
 	fmt.Fprintf(&b, "  anomaly reproduced: %v\n", res.AnomalyFound)
+	if res.MinSchedule != nil {
+		fmt.Fprintf(&b, "  shrunk schedule:    %d choices (from %d, %d shrink replays)\n",
+			len(res.MinSchedule), len(res.Schedule), res.ShrinkRuns)
+	}
 	if res.AnomalyFound {
 		b.WriteString("\n  violating history (writer2 overtakes the waiting reader):\n")
 		for _, e := range res.Trace {

@@ -80,12 +80,12 @@ func starvationScenarioOn(k *kernel.SimKernel, db problems.RWStore, stormIsRead 
 		stormOp, victimOp = problems.OpWrite, problems.OpRead
 	}
 	do := func(p *kernel.Proc, op string, body func(func())) {
-		r.Request(p, op, 0)
+		r.Request(p, op, trace.NoArg)
 		body(func() {
-			r.Enter(p, op, 0)
+			r.Enter(p, op, trace.NoArg)
 			p.Yield()
 			p.Yield()
-			r.Exit(p, op, 0)
+			r.Exit(p, op, trace.NoArg)
 		})
 	}
 	for i := 0; i < stormProcs; i++ {

@@ -69,6 +69,21 @@ type Result struct {
 	// fingerprint pruning; always 0 unless Options.Prune. Like Runs it is
 	// driver-side bookkeeping, identical for every Workers setting.
 	Pruned int
+	// MinSchedule is the 1-minimal violating schedule the shrinker
+	// produced (Options.Shrink): it still triggers the same violation, and
+	// removing any single choice from it no longer does. Nil when
+	// shrinking was off or the finding was not shrinkable. MinSchedule is
+	// canonicalized — every Choice records the actual ready count observed
+	// at its decision point, so it replays under kernel.ExactReplay.
+	MinSchedule []kernel.Choice
+	// ShrinkRuns is the number of replays the shrinker executed. Shrink
+	// replays are not counted in Runs, so enabling Shrink changes neither
+	// Runs nor anything else about how the finding was reached.
+	ShrinkRuns int
+	// Stats is the final progress snapshot: deterministic counters only
+	// (the wall-clock and pool fields are zeroed), so it is byte-identical
+	// across Workers settings like the rest of the Result.
+	Stats Stats
 	// Err is set when the finding is a kernel error (deadlock, livelock)
 	// rather than an oracle violation, or when a PruneAudit cross-check
 	// failed.
@@ -120,6 +135,21 @@ type Options struct {
 	// the batch oracle entirely. The checker must agree with the oracle
 	// on complete traces.
 	Stream func() problems.StreamChecker
+	// Shrink minimizes the finding's schedule by delta debugging before
+	// Run returns: chunks of choices are removed and remaining choices
+	// substituted with the FIFO default, re-running each candidate under
+	// replay and re-judging it with the same oracle, until the schedule is
+	// 1-minimal. The result lands in Result.MinSchedule; the replays are
+	// counted in Result.ShrinkRuns, not Runs. Shrinking runs on the driver
+	// and reuses the executor's (possibly pooled) kernels, so it is cheap
+	// and Workers-independent.
+	Shrink bool
+	// Progress, when non-nil, receives Stats snapshots from the driver as
+	// the search advances — per phase transition and per judged run.
+	// Called on the driver goroutine; keep it cheap (renderers should
+	// throttle themselves). Progress observes the search but must not
+	// influence it.
+	Progress func(Stats)
 }
 
 func (o Options) withDefaults() Options {
@@ -189,25 +219,40 @@ func Run(prog Program, oracle Oracle, opts Options) Result {
 	opts = opts.withDefaults()
 	e := newExecutor(opts)
 	defer e.close()
-	runs := 0
+	t := newTracker(e, opts)
 
+	res := runPhases(e, prog, oracle, opts, t)
+	if opts.Shrink && res.Found {
+		t.phase("shrink")
+		shrinkResult(e, prog, oracle, opts, &res, t)
+	}
+	res.Stats = t.deterministic(&res)
+	t.st = res.Stats
+	t.emit()
+	return res
+}
+
+// runPhases is the search itself: FIFO baseline, seeded random sampling,
+// bounded DFS.
+func runPhases(e *executor, prog Program, oracle Oracle, opts Options, t *tracker) Result {
 	// Phase 0: the deterministic FIFO baseline.
+	t.phase("baseline")
 	out := e.run(prog, kernel.FIFO())
-	runs++
-	if res, found := judge(out, oracle, opts, runs); found {
+	t.ran()
+	if res, found := judge(out, oracle, opts, t.st.Runs); found {
 		return res
 	}
 	e.release(out)
 
 	// Phase 1: seeded random sampling.
-	if res, found := randomPhase(e, prog, oracle, opts, &runs); found {
+	if res, found := randomPhase(e, prog, oracle, opts, t); found {
 		return res
 	}
 
 	// Phase 2: bounded DFS over choice prefixes. Running Replay(prefix)
 	// extends the prefix FIFO, and the recorded choices tell us where
 	// alternatives exist.
-	return dfsPhase(e, prog, oracle, opts, runs)
+	return dfsPhase(e, prog, oracle, opts, t)
 }
 
 // Replay re-executes prog under the given schedule and returns its trace

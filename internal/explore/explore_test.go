@@ -20,32 +20,32 @@ import (
 func rwScenario(db problems.RWStore) Program {
 	return func(k kernel.Kernel, r *trace.Recorder) {
 		k.Spawn("writer1", func(p *kernel.Proc) {
-			r.Request(p, problems.OpWrite, 0)
+			r.Request(p, problems.OpWrite, trace.NoArg)
 			db.Write(p, func() {
-				r.Enter(p, problems.OpWrite, 0)
+				r.Enter(p, problems.OpWrite, trace.NoArg)
 				for i := 0; i < 6; i++ {
 					p.Yield() // long write: others arrive meanwhile
 				}
-				r.Exit(p, problems.OpWrite, 0)
+				r.Exit(p, problems.OpWrite, trace.NoArg)
 			})
 		})
 		k.Spawn("reader", func(p *kernel.Proc) {
 			p.Yield() // arrive during the write
-			r.Request(p, problems.OpRead, 0)
+			r.Request(p, problems.OpRead, trace.NoArg)
 			db.Read(p, func() {
-				r.Enter(p, problems.OpRead, 0)
+				r.Enter(p, problems.OpRead, trace.NoArg)
 				p.Yield()
-				r.Exit(p, problems.OpRead, 0)
+				r.Exit(p, problems.OpRead, trace.NoArg)
 			})
 		})
 		k.Spawn("writer2", func(p *kernel.Proc) {
 			p.Yield()
 			p.Yield()
-			r.Request(p, problems.OpWrite, 0)
+			r.Request(p, problems.OpWrite, trace.NoArg)
 			db.Write(p, func() {
-				r.Enter(p, problems.OpWrite, 0)
+				r.Enter(p, problems.OpWrite, trace.NoArg)
 				p.Yield()
-				r.Exit(p, problems.OpWrite, 0)
+				r.Exit(p, problems.OpWrite, trace.NoArg)
 			})
 		})
 	}

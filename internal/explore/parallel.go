@@ -68,6 +68,13 @@ type executor struct {
 	newStream func() problems.StreamChecker
 	pooled    bool
 
+	// slots counts runSlots ever created; reuses counts runs served by a
+	// recycled slot. Atomics because helpers acquire concurrently; they
+	// feed Stats observability fields only, never the deterministic
+	// Result.
+	slots  atomic.Int64
+	reuses atomic.Int64
+
 	mu   sync.Mutex
 	free []*runSlot
 	all  []*runSlot // every slot ever created, for close()
@@ -75,6 +82,12 @@ type executor struct {
 
 func newExecutor(opts Options) *executor {
 	return &executor{maxSteps: opts.MaxSteps, newStream: opts.Stream, pooled: opts.Pool}
+}
+
+// poolStats reports (slots created, runs served by a recycled slot) for
+// Stats snapshots.
+func (e *executor) poolStats() (int, int) {
+	return int(e.slots.Load()), int(e.reuses.Load())
 }
 
 func (e *executor) acquire() *runSlot {
@@ -85,10 +98,12 @@ func (e *executor) acquire() *runSlot {
 			e.free[n-1] = nil
 			e.free = e.free[:n-1]
 			e.mu.Unlock()
+			e.reuses.Add(1)
 			return s
 		}
 		e.mu.Unlock()
 	}
+	e.slots.Add(1)
 	kopts := []kernel.SimOption{kernel.WithMaxSteps(e.maxSteps)}
 	if e.pooled {
 		kopts = append(kopts, kernel.WithRecycle())
@@ -168,11 +183,12 @@ type randSlot struct {
 // seeds through an atomic cursor and publish outcomes through per-slot
 // channels; the driver consumes slots in seed order, so the first finding
 // is always the lowest-seed finding — what the sequential scan reports.
-func randomPhase(e *executor, prog Program, oracle Oracle, opts Options, runs *int) (Result, bool) {
+func randomPhase(e *executor, prog Program, oracle Oracle, opts Options, t *tracker) (Result, bool) {
 	n := opts.RandomRuns
 	if n == 0 {
 		return Result{}, false
 	}
+	t.phase("random")
 	helpers := opts.Workers - 1
 	if helpers > n-1 {
 		helpers = n - 1
@@ -221,8 +237,8 @@ func randomPhase(e *executor, prog Program, oracle Oracle, opts Options, runs *i
 		} else {
 			out = e.run(prog, kernel.Random(int64(i+1)))
 		}
-		*runs++
-		if res, found := judge(out, oracle, opts, *runs); found {
+		t.ran()
+		if res, found := judge(out, oracle, opts, t.st.Runs); found {
 			return res, true
 		}
 		e.release(out)
@@ -278,11 +294,12 @@ func (s auditSet) addRun(out runOut, oracle Oracle, opts Options) {
 // dfsPhase enumerates choice prefixes in LIFO frontier order with an
 // explicit DFS-run budget, dispatching to the audit harness when
 // requested.
-func dfsPhase(e *executor, prog Program, oracle Oracle, opts Options, runs int) Result {
+func dfsPhase(e *executor, prog Program, oracle Oracle, opts Options, t *tracker) Result {
+	t.phase("dfs")
 	if opts.PruneAudit {
-		return dfsAudit(e, prog, oracle, opts, runs)
+		return dfsAudit(e, prog, oracle, opts, t)
 	}
-	res, _ := dfsScan(e, prog, oracle, opts, runs, opts.Prune, false)
+	res, _ := dfsScan(e, prog, oracle, opts, t, opts.Prune, false)
 	return res
 }
 
@@ -291,10 +308,12 @@ func dfsPhase(e *executor, prog Program, oracle Oracle, opts Options, runs int) 
 // surfaced any violation rule the pruned search missed. On success the
 // result is exactly what a plain pruned DFS would have reported (collect
 // mode behaves identically up to the first finding).
-func dfsAudit(e *executor, prog Program, oracle Oracle, opts Options, runs int) Result {
-	res, got := dfsScan(e, prog, oracle, opts, runs, true, true)
-	refRuns := runs
-	_, ref := dfsScan(e, prog, oracle, opts, refRuns, false, true)
+func dfsAudit(e *executor, prog Program, oracle Oracle, opts Options, t *tracker) Result {
+	// The reference pass uses a silent tracker: its runs are not part of
+	// the canonical counter stream the Result (and Progress) reports.
+	ref0 := t.silent()
+	res, got := dfsScan(e, prog, oracle, opts, t, true, true)
+	_, ref := dfsScan(e, prog, oracle, opts, ref0, false, true)
 	var missing []string
 	for rule := range ref {
 		if !got[rule] {
@@ -315,10 +334,10 @@ func dfsAudit(e *executor, prog Program, oracle Oracle, opts Options, runs int) 
 // (for the audit) instead of returning at the first one. The returned
 // Result is the first finding either way, so collect=false and
 // collect=true agree on everything a caller of Run can observe.
-func dfsScan(e *executor, prog Program, oracle Oracle, opts Options, runs int, prune, collect bool) (Result, auditSet) {
+func dfsScan(e *executor, prog Program, oracle Oracle, opts Options, t *tracker, prune, collect bool) (Result, auditSet) {
 	found := auditSet{}
 	if opts.DFSRuns <= 0 {
-		return Result{Runs: runs}, found
+		return Result{Runs: t.st.Runs}, found
 	}
 	helpers := opts.Workers - 1
 	st := &dfsShared{}
@@ -364,6 +383,7 @@ func dfsScan(e *executor, prog Program, oracle Oracle, opts Options, runs int, p
 		}
 		node := st.stack[len(st.stack)-1]
 		st.stack = st.stack[:len(st.stack)-1]
+		t.st.Frontier = len(st.stack)
 		st.mu.Unlock()
 
 		keyBuf = appendScheduleKey(keyBuf[:0], node.prefix)
@@ -380,8 +400,9 @@ func dfsScan(e *executor, prog Program, oracle Oracle, opts Options, runs int, p
 			out = node.out
 		}
 		dfsRuns++
-		runs++
-		if res, isFinding := judge(out, oracle, opts, runs); isFinding {
+		t.st.Pruned = pruned
+		t.ran()
+		if res, isFinding := judge(out, oracle, opts, t.st.Runs); isFinding {
 			if !collect {
 				res.Pruned = pruned
 				return res, found
@@ -401,12 +422,14 @@ func dfsScan(e *executor, prog Program, oracle Oracle, opts Options, runs int, p
 		if len(children) > 0 {
 			st.mu.Lock()
 			st.stack = append(st.stack, children...)
+			t.st.Frontier = len(st.stack)
 			st.mu.Unlock()
 			st.cond.Broadcast()
 		}
 	}
+	t.st.Frontier = 0
 	if !first.Found {
-		first.Runs = runs
+		first.Runs = t.st.Runs
 		first.Pruned = pruned
 	}
 	return first, found

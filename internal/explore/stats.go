@@ -1,0 +1,111 @@
+package explore
+
+import "time"
+
+// Stats is a snapshot of the exploration engine's progress, delivered to
+// Options.Progress as the driver judges runs and stamped (deterministic
+// fields only) into Result.Stats when Run returns.
+//
+// The fields split into two groups. The counters — Phase, Runs, Pruned,
+// Frontier, ShrinkRuns, ShrinkLen — are driver-side bookkeeping and are
+// byte-identical for every Options.Workers setting, like everything else
+// in a Result. The observability fields — Elapsed, RunsPerSec, PoolSlots,
+// PoolReuses — depend on wall clock and worker count; they are populated
+// in Progress snapshots for live rendering but zeroed in Result.Stats so
+// results stay reproducible.
+type Stats struct {
+	// Phase is the engine's current phase: "baseline", "random", "dfs",
+	// "shrink", or "done".
+	Phase string
+	// Runs is the number of schedules judged so far (shrink replays are
+	// counted separately in ShrinkRuns).
+	Runs int
+	// Pruned counts sibling schedules skipped by fingerprint pruning.
+	Pruned int
+	// Frontier is the current DFS frontier depth (unexplored prefixes on
+	// the stack); 0 outside the DFS phase.
+	Frontier int
+	// ShrinkRuns is the number of replays the shrinker has executed.
+	ShrinkRuns int
+	// ShrinkLen is the length of the best minimized schedule so far; 0
+	// until the shrink phase starts.
+	ShrinkLen int
+
+	// Elapsed is the wall-clock time since Run started. Observability
+	// only: zero in Result.Stats.
+	Elapsed time.Duration
+	// RunsPerSec is the judged-run throughput (including shrink replays).
+	// Observability only: zero in Result.Stats.
+	RunsPerSec float64
+	// PoolSlots is the number of kernel slots the executor has created;
+	// PoolReuses the number of runs served by a recycled slot. Both are
+	// worker-dependent; observability only, zero in Result.Stats.
+	PoolSlots  int
+	PoolReuses int
+}
+
+// tracker owns the engine's Stats and feeds Options.Progress. It lives on
+// the driver: every mutation happens on the single goroutine that judges
+// runs, so no locking is needed, and the counter stream is identical for
+// every worker count.
+type tracker struct {
+	e        *executor
+	progress func(Stats)
+	start    time.Time
+	st       Stats
+}
+
+func newTracker(e *executor, opts Options) *tracker {
+	return &tracker{e: e, progress: opts.Progress, start: time.Now()}
+}
+
+// silent returns a tracker sharing e but emitting no progress — for
+// reference passes (PruneAudit) whose runs are not part of the canonical
+// counter stream.
+func (t *tracker) silent() *tracker {
+	return &tracker{e: t.e, st: t.st}
+}
+
+// phase marks a phase transition.
+func (t *tracker) phase(name string) {
+	t.st.Phase = name
+	t.emit()
+}
+
+// ran records one judged run.
+func (t *tracker) ran() {
+	t.st.Runs++
+	t.emit()
+}
+
+// shrank records one shrinker replay and the current best length.
+func (t *tracker) shrank(bestLen int) {
+	t.st.ShrinkRuns++
+	t.st.ShrinkLen = bestLen
+	t.emit()
+}
+
+func (t *tracker) emit() {
+	if t.progress == nil {
+		return
+	}
+	s := t.st
+	s.Elapsed = time.Since(t.start)
+	if secs := s.Elapsed.Seconds(); secs > 0 {
+		s.RunsPerSec = float64(s.Runs+s.ShrinkRuns) / secs
+	}
+	s.PoolSlots, s.PoolReuses = t.e.poolStats()
+	t.progress(s)
+}
+
+// deterministic returns the final Stats for a Result: counters only, with
+// the wall-clock and worker-dependent fields zeroed.
+func (t *tracker) deterministic(res *Result) Stats {
+	return Stats{
+		Phase:      "done",
+		Runs:       res.Runs,
+		Pruned:     res.Pruned,
+		ShrinkRuns: res.ShrinkRuns,
+		ShrinkLen:  len(res.MinSchedule),
+	}
+}

@@ -85,3 +85,27 @@ func (k *SimKernel) Fingerprint() uint64 {
 	defer k.mu.Unlock()
 	return k.fingerprintLocked()
 }
+
+// RunFingerprint hashes the entire run so far: a chain over the state
+// fingerprint and the scheduling choice at every decision point. Unlike
+// Fingerprint (an instantaneous, order-independent state hash), the run
+// fingerprint is order-sensitive — two runs agree only if they made the
+// same decisions from the same states in the same sequence. Schedule
+// artifacts record it at save time and compare it at replay time, so a
+// program that drifted since the recording is detected even when the
+// replay happens to stay in range at every step.
+func (k *SimKernel) RunFingerprint() uint64 {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	fps := k.fps
+	if len(fps) > len(k.choices) {
+		fps = fps[:len(k.choices)]
+	}
+	h := fpMix(uint64(len(fps)) * fpSaltID)
+	for i, fp := range fps {
+		c := k.choices[i]
+		h = fpMix(h ^ fp)
+		h = fpMix(h ^ uint64(c.Ready)<<32 ^ uint64(uint32(c.Picked)))
+	}
+	return h
+}

@@ -93,6 +93,49 @@ func Replay(choices []Choice) Policy {
 	})
 }
 
+// ExactReplay is a Policy that follows a recorded choice sequence and
+// refuses to improvise: at every decision point the observed ready count
+// must equal the recorded Choice.Ready and the recorded pick must be in
+// range. On divergence the policy fails the run (by returning an
+// out-of-range index, which the kernel reports as an error) and records a
+// diagnostic retrievable via Err. Once the recording is exhausted it
+// falls back to FIFO, matching Replay, so schedules trimmed of their
+// default tail still replay exactly.
+//
+// Use ExactReplay to re-execute saved schedule artifacts: if the program
+// has drifted since the schedule was recorded, the replay fails loudly at
+// the first divergent decision instead of silently exploring a different
+// interleaving.
+type ExactReplay struct {
+	choices []Choice
+	i       int
+	err     error
+}
+
+// NewExactReplay returns a strict replay policy over the given recording.
+func NewExactReplay(choices []Choice) *ExactReplay {
+	return &ExactReplay{choices: choices}
+}
+
+// Pick implements Policy.
+func (r *ExactReplay) Pick(ready []*Proc) int {
+	if r.i >= len(r.choices) {
+		return 0
+	}
+	c := r.choices[r.i]
+	if c.Ready != len(ready) || c.Picked < 0 || c.Picked >= len(ready) {
+		r.err = fmt.Errorf("kernel: replay diverged at decision %d: recorded %d ready (picked %d), observed %d ready",
+			r.i, c.Ready, c.Picked, len(ready))
+		return -1
+	}
+	r.i++
+	return c.Picked
+}
+
+// Err reports the divergence diagnostic, or nil if the replay has
+// followed the recording so far.
+func (r *ExactReplay) Err() error { return r.err }
+
 // errShutdown is the panic value used to unwind process goroutines when
 // the kernel shuts down (deadlock, step limit, or normal termination with
 // daemons still live). It never escapes the kernel: the spawn wrapper

@@ -246,6 +246,82 @@ func TestSimReplayReproducesSchedule(t *testing.T) {
 	}
 }
 
+func TestSimExactReplayReproducesRun(t *testing.T) {
+	program := func(k Kernel, order *[]string) {
+		for _, name := range []string{"a", "b", "c"} {
+			k.Spawn(name, func(p *Proc) {
+				for i := 0; i < 2; i++ {
+					*order = append(*order, p.Name())
+					p.Yield()
+				}
+			})
+		}
+	}
+	k1 := NewSim(WithPolicy(Random(7)))
+	var o1 []string
+	program(k1, &o1)
+	if err := k1.Run(); err != nil {
+		t.Fatal(err)
+	}
+	pol := NewExactReplay(k1.Choices())
+	k2 := NewSim(WithPolicy(pol))
+	var o2 []string
+	program(k2, &o2)
+	if err := k2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if pol.Err() != nil {
+		t.Fatalf("exact replay of own recording diverged: %v", pol.Err())
+	}
+	if strings.Join(o1, "") != strings.Join(o2, "") {
+		t.Fatalf("replay diverged: %v vs %v", o1, o2)
+	}
+	if f1, f2 := k1.RunFingerprint(), k2.RunFingerprint(); f1 != f2 {
+		t.Fatalf("run fingerprints differ across identical runs: %#x vs %#x", f1, f2)
+	}
+}
+
+func TestSimExactReplayFailsOnDrift(t *testing.T) {
+	spin := func(k Kernel, n int) {
+		for i := 0; i < n; i++ {
+			k.Spawn("p", func(p *Proc) { p.Yield(); p.Yield() })
+		}
+	}
+	k1 := NewSim()
+	spin(k1, 3)
+	if err := k1.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// "Drifted" program: one fewer process, so the ready counts at early
+	// decisions no longer match the recording.
+	pol := NewExactReplay(k1.Choices())
+	k2 := NewSim(WithPolicy(pol))
+	spin(k2, 2)
+	err := k2.Run()
+	if err == nil || pol.Err() == nil {
+		t.Fatalf("exact replay of drifted program: run err=%v policy err=%v; want both non-nil", err, pol.Err())
+	}
+	if !strings.Contains(pol.Err().Error(), "replay diverged") {
+		t.Fatalf("unexpected divergence diagnostic: %v", pol.Err())
+	}
+}
+
+func TestSimRunFingerprintOrderSensitive(t *testing.T) {
+	run := func(pol Policy) uint64 {
+		k := NewSim(WithPolicy(pol))
+		for _, name := range []string{"a", "b"} {
+			k.Spawn(name, func(p *Proc) { p.Yield(); p.Yield() })
+		}
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return k.RunFingerprint()
+	}
+	if run(FIFO()) == run(LIFO()) {
+		t.Fatal("FIFO and LIFO runs produced the same run fingerprint")
+	}
+}
+
 func TestSimStepLimit(t *testing.T) {
 	k := NewSim(WithMaxSteps(50))
 	k.Spawn("spinner", func(p *Proc) {

@@ -102,7 +102,7 @@ func SpawnBoundedBuffer(k kernel.Kernel, bb BoundedBuffer, r *trace.Recorder, cf
 	for ci := 0; ci < cfg.Consumers; ci++ {
 		k.Spawn("consumer", func(p *kernel.Proc) {
 			for i := 0; i < perConsumer; i++ {
-				r.Request(p, OpRemove, 0)
+				r.Request(p, OpRemove, trace.NoArg)
 				bb.Remove(p, func(item int64) {
 					r.Enter(p, OpRemove, item)
 					for y := 0; y < cfg.WorkYields; y++ {
@@ -171,6 +171,10 @@ func CheckBoundedBuffer(tr trace.Trace, capacity int, expectedItems int) []Viola
 	removed := map[int64]int{}
 	nDep, nRem := 0, 0
 	for _, iv := range ivs {
+		if !iv.Started() {
+			// A request-only interval never transferred an item.
+			continue
+		}
 		switch iv.Op {
 		case OpDeposit:
 			deposited[iv.Arg]++

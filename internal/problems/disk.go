@@ -155,6 +155,11 @@ func CheckDisk(tr trace.Trace, initialHead int64, checkScan bool) []Violation {
 	prevExit := int64(0)
 	served := map[int]bool{} // index into ivs
 	for si, cur := range ivs {
+		if !cur.Started() {
+			// A request-only interval was never served; it stays pending
+			// for the decisions above but is not a service step itself.
+			continue
+		}
 		// Pending sets at the two candidate decision points. The strict
 		// point is where the scheduler actually decided: the previous
 		// completion for a busy disk, or the served request's own arrival

@@ -58,13 +58,13 @@ func SpawnFCFS(k kernel.Kernel, res Resource, r *trace.Recorder, cfg FCFSConfig)
 	for i := 0; i < cfg.Processes; i++ {
 		k.Spawn("user", func(p *kernel.Proc) {
 			for j := 0; j < cfg.Rounds; j++ {
-				r.Request(p, OpUse, 0)
+				r.Request(p, OpUse, trace.NoArg)
 				res.Use(p, func() {
-					r.Enter(p, OpUse, 0)
+					r.Enter(p, OpUse, trace.NoArg)
 					for y := 0; y < cfg.WorkYields; y++ {
 						p.Yield()
 					}
-					r.Exit(p, OpUse, 0)
+					r.Exit(p, OpUse, trace.NoArg)
 				})
 				for y := 0; y < cfg.GapYields; y++ {
 					p.Yield()

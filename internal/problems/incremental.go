@@ -16,10 +16,11 @@ import (
 //
 // A streaming checker must agree with its batch oracle on complete
 // traces: same violations at the same sequence numbers (details may be
-// phrased differently). On truncated traces the streaming view is
-// strictly stronger — it charges admissions against favored requests that
-// never got admitted, which the interval reconstruction cannot see —
-// which is exactly what early exit wants. TestStreamMatchesBatch pins the
+// phrased differently). Both views charge admissions against favored
+// requests that never got admitted — the streaming checker as the events
+// arrive, the batch oracle via the request-only intervals that interval
+// reconstruction emits for blocked-forever waiters — so early exit loses
+// no findings on truncated traces. TestStreamMatchesBatch pins the
 // agreement.
 
 // StreamChecker observes a trace event by event, in sequence order, and

@@ -76,7 +76,7 @@ func SpawnOneSlot(k kernel.Kernel, s OneSlot, r *trace.Recorder, cfg OneSlotConf
 	for ci := 0; ci < cfg.Consumers; ci++ {
 		k.Spawn("consumer", func(p *kernel.Proc) {
 			for i := 0; i < perConsumer; i++ {
-				r.Request(p, OpGet, 0)
+				r.Request(p, OpGet, trace.NoArg)
 				s.Get(p, func(item int64) {
 					r.Enter(p, OpGet, item)
 					r.Exit(p, OpGet, item)
@@ -113,6 +113,11 @@ func CheckOneSlot(tr trace.Trace, expectedItems int) []Violation {
 	var lastItem int64
 	puts, gets := 0, 0
 	for _, iv := range ivs {
+		if !iv.Started() {
+			// A request-only interval never executed; it neither advances
+			// the alternation nor consumes an item.
+			continue
+		}
 		switch iv.Op {
 		case OpPut:
 			puts++

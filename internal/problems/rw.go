@@ -105,13 +105,13 @@ func SpawnRW(k kernel.Kernel, db RWStore, r *trace.Recorder, cfg RWConfig) error
 	for i := 0; i < cfg.Readers; i++ {
 		k.Spawn("reader", func(p *kernel.Proc) {
 			for j := 0; j < cfg.Rounds; j++ {
-				r.Request(p, OpRead, 0)
+				r.Request(p, OpRead, trace.NoArg)
 				db.Read(p, func() {
-					r.Enter(p, OpRead, 0)
+					r.Enter(p, OpRead, trace.NoArg)
 					for y := 0; y < cfg.ReadYields; y++ {
 						p.Yield()
 					}
-					r.Exit(p, OpRead, 0)
+					r.Exit(p, OpRead, trace.NoArg)
 				})
 				for y := 0; y < cfg.GapYields; y++ {
 					p.Yield()
@@ -122,13 +122,13 @@ func SpawnRW(k kernel.Kernel, db RWStore, r *trace.Recorder, cfg RWConfig) error
 	for i := 0; i < cfg.Writers; i++ {
 		k.Spawn("writer", func(p *kernel.Proc) {
 			for j := 0; j < cfg.Rounds; j++ {
-				r.Request(p, OpWrite, 0)
+				r.Request(p, OpWrite, trace.NoArg)
 				db.Write(p, func() {
-					r.Enter(p, OpWrite, 0)
+					r.Enter(p, OpWrite, trace.NoArg)
 					for y := 0; y < cfg.WriteYields; y++ {
 						p.Yield()
 					}
-					r.Exit(p, OpWrite, 0)
+					r.Exit(p, OpWrite, trace.NoArg)
 				})
 				for y := 0; y < cfg.GapYields; y++ {
 					p.Yield()
@@ -199,16 +199,23 @@ func checkNoOvertaking(tr trace.Trace, favored, loser, rule string) []Violation 
 		if f.Op != favored || f.RequestSeq == 0 {
 			continue
 		}
+		// A favored waiter never admitted by trace end (Started() false)
+		// waited forever: every later loser admission overtook it.
+		fEnter := enterOrEnd(f)
 		for _, l := range ivs {
-			if l.Op != loser {
+			if l.Op != loser || !l.Started() {
 				continue
 			}
-			if l.EnterSeq > f.RequestSeq && l.EnterSeq < f.EnterSeq &&
+			if l.EnterSeq > f.RequestSeq && l.EnterSeq < fEnter &&
 				anyInWindow(exits, f.RequestSeq, l.EnterSeq) {
+				admitted := fmt.Sprintf("admitted @%d", f.EnterSeq)
+				if !f.Started() {
+					admitted = "never admitted"
+				}
 				out = append(out, Violation{
 					Rule: rule,
-					Detail: fmt.Sprintf("%s admitted while %s was waiting (requested @%d, admitted @%d)",
-						l, f, f.RequestSeq, f.EnterSeq),
+					Detail: fmt.Sprintf("%s admitted while %s was waiting (requested @%d, %s)",
+						l, f, f.RequestSeq, admitted),
 					Seq: l.EnterSeq,
 				})
 			}
@@ -256,14 +263,17 @@ func orderInversionsFiltered(rule string, ivs []trace.Interval, exits []int64, e
 		if waiting.RequestSeq == 0 {
 			continue
 		}
+		// A waiter never admitted by trace end waited forever; any later
+		// request that did get in jumped it (see enterOrEnd).
+		wEnter := enterOrEnd(waiting)
 		for _, jumped := range ivs { // the one that entered first
-			if jumped.RequestSeq == 0 || jumped.RequestSeq <= waiting.RequestSeq {
+			if jumped.RequestSeq == 0 || jumped.RequestSeq <= waiting.RequestSeq || !jumped.Started() {
 				continue
 			}
 			if exempt != nil && exempt(waiting, jumped) {
 				continue
 			}
-			if jumped.EnterSeq < waiting.EnterSeq &&
+			if jumped.EnterSeq < wEnter &&
 				anyInWindow(exits, waiting.RequestSeq, jumped.EnterSeq) {
 				out = append(out, Violation{
 					Rule:   rule,

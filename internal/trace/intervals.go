@@ -1,26 +1,39 @@
 package trace
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
-// Interval is one completed (or still-open) operation execution,
-// reconstructed from a trace by matching each process's Request/Enter/Exit
-// events.
+// Interval is one operation execution — completed, still-open, or never
+// admitted — reconstructed from a trace by matching each process's
+// Request/Enter/Exit events.
 type Interval struct {
 	ProcID     int
 	Proc       string
 	Op         string
 	Arg        int64
+	HasArg     bool  // whether any matched event carried an argument
 	RequestSeq int64 // 0 if the solution did not record a request event
-	EnterSeq   int64
+	EnterSeq   int64 // 0 if the request was never admitted by trace end
 	ExitSeq    int64 // 0 while the operation is still executing at trace end
 }
 
 // Open reports whether the operation had not exited by the end of the trace.
 func (iv Interval) Open() bool { return iv.ExitSeq == 0 }
 
+// Started reports whether the operation was admitted (reached Enter). A
+// request-only interval — a waiter still blocked at trace end — has
+// Started() == false; it waited but never executed.
+func (iv Interval) Started() bool { return iv.EnterSeq != 0 }
+
 // OverlapsExecution reports whether the two executions' Enter..Exit spans
-// intersect. Open intervals extend to the end of the trace.
+// intersect. Open intervals extend to the end of the trace; an interval
+// that never started executes nothing and overlaps nothing.
 func (iv Interval) OverlapsExecution(other Interval) bool {
+	if !iv.Started() || !other.Started() {
+		return false
+	}
 	aEnd, bEnd := iv.ExitSeq, other.ExitSeq
 	if iv.Open() {
 		aEnd = int64(^uint64(0) >> 1)
@@ -32,15 +45,24 @@ func (iv Interval) OverlapsExecution(other Interval) bool {
 }
 
 func (iv Interval) String() string {
-	return fmt.Sprintf("%s %s(%d) req@%d enter@%d exit@%d", iv.Proc, iv.Op, iv.Arg, iv.RequestSeq, iv.EnterSeq, iv.ExitSeq)
+	arg := ""
+	if iv.HasArg {
+		arg = fmt.Sprintf("(%d)", iv.Arg)
+	}
+	return fmt.Sprintf("%s %s%s req@%d enter@%d exit@%d", iv.Proc, iv.Op, arg, iv.RequestSeq, iv.EnterSeq, iv.ExitSeq)
 }
 
 // Intervals reconstructs operation executions from the trace. Matching is
 // per process: a Request is attached to the next Enter with the same
 // process and op; an Exit closes the most recent open Enter with the same
-// process and op (so properly nested executions are supported). The result
-// is ordered by EnterSeq. An error is reported for unmatched Exit events or
-// mismatched nesting, which indicate an instrumentation bug in a solution.
+// process and op (so properly nested executions are supported). Requests
+// that never reached an Enter — waiters still blocked at trace end — are
+// emitted as request-only intervals (EnterSeq == 0, Started() false), so
+// FCFS-style oracles can see overtaken processes that never got in. The
+// result is ordered by EnterSeq, with request-only intervals appended at
+// the end in RequestSeq order. An error is reported for unmatched Exit
+// events or mismatched nesting, which indicate an instrumentation bug in
+// a solution.
 func (t Trace) Intervals() ([]Interval, error) {
 	type key struct {
 		proc int
@@ -61,12 +83,14 @@ func (t Trace) Intervals() ([]Interval, error) {
 				Proc:     e.Proc,
 				Op:       e.Op,
 				Arg:      e.Arg,
+				HasArg:   e.HasArg,
 				EnterSeq: e.Seq,
 			}
 			if reqs := pendingReq[k]; len(reqs) > 0 {
 				iv.RequestSeq = reqs[0].Seq
-				if iv.Arg == 0 {
+				if !iv.HasArg && reqs[0].HasArg {
 					iv.Arg = reqs[0].Arg
+					iv.HasArg = true
 				}
 				pendingReq[k] = reqs[1:]
 			}
@@ -84,6 +108,24 @@ func (t Trace) Intervals() ([]Interval, error) {
 			// annotations do not affect intervals
 		}
 	}
+	// Blocked-forever waiters: requests with no matching Enter become
+	// request-only intervals so they stay visible to priority oracles.
+	waiting := len(out)
+	for _, reqs := range pendingReq {
+		for _, e := range reqs {
+			out = append(out, Interval{
+				ProcID:     e.ProcID,
+				Proc:       e.Proc,
+				Op:         e.Op,
+				Arg:        e.Arg,
+				HasArg:     e.HasArg,
+				RequestSeq: e.Seq,
+			})
+		}
+	}
+	sort.Slice(out[waiting:], func(i, j int) bool {
+		return out[waiting+i].RequestSeq < out[waiting+j].RequestSeq
+	})
 	return out, nil
 }
 

@@ -34,10 +34,16 @@ func (t Trace) Stats() ([]OpStats, error) {
 	}
 	var out []OpStats
 	for op, list := range byOp {
-		s := OpStats{Op: op, Executions: len(list)}
+		s := OpStats{Op: op}
 		var queued int64
 		waits := 0
 		for _, iv := range list {
+			if !iv.Started() {
+				// A request-only interval never executed; it contributes
+				// neither an execution nor a measurable queueing delay.
+				continue
+			}
+			s.Executions++
 			if iv.RequestSeq > 0 {
 				q := iv.EnterSeq - iv.RequestSeq - 1
 				queued += q
@@ -57,6 +63,9 @@ func (t Trace) Stats() ([]OpStats, error) {
 		}
 		var bs []boundary
 		for _, iv := range list {
+			if !iv.Started() {
+				continue
+			}
 			bs = append(bs, boundary{iv.EnterSeq, +1})
 			end := iv.ExitSeq
 			if iv.Open() {

@@ -16,11 +16,20 @@ package trace
 
 import (
 	"fmt"
+	"math"
 	"strings"
 	"sync"
 
 	"repro/internal/kernel"
 )
+
+// NoArg is the sentinel callers pass to Request/Enter/Exit when the
+// operation has no argument. It is distinct from a legitimate zero
+// argument: events recorded with NoArg carry HasArg == false and Arg == 0,
+// while an explicit 0 carries HasArg == true. Interval reconstruction uses
+// the bit to decide when an Enter's missing argument may be backfilled
+// from its Request.
+const NoArg int64 = math.MinInt64
 
 // Kind classifies an event.
 type Kind int
@@ -61,14 +70,15 @@ type Event struct {
 	Proc   string // process name#id
 	Kind   Kind
 	Op     string // operation name ("read", "write", "deposit", …)
-	Arg    int64  // request parameter (track, wake time, item …); 0 if unused
+	Arg    int64  // request parameter (track, wake time, item …); 0 if absent
+	HasArg bool   // whether an argument was recorded (false when NoArg was passed)
 	Note   string // free-form (KindMark) or extra detail
 }
 
 // String formats the event as a fixed-width trace line.
 func (e Event) String() string {
 	s := fmt.Sprintf("%5d %8d  %-14s %-8s %s", e.Seq, e.Time, e.Proc, e.Kind, e.Op)
-	if e.Arg != 0 {
+	if e.HasArg {
 		s += fmt.Sprintf("(%d)", e.Arg)
 	}
 	if e.Note != "" {
@@ -161,6 +171,10 @@ func (r *Recorder) append(p *kernel.Proc, t kernel.Time, kind Kind, op string, a
 	} else {
 		r.ops[op] = op
 	}
+	hasArg := arg != NoArg
+	if !hasArg {
+		arg = 0
+	}
 	r.seq++
 	e := Event{
 		Seq:    r.seq,
@@ -170,6 +184,7 @@ func (r *Recorder) append(p *kernel.Proc, t kernel.Time, kind Kind, op string, a
 		Kind:   kind,
 		Op:     op,
 		Arg:    arg,
+		HasArg: hasArg,
 		Note:   note,
 	}
 	r.events = append(r.events, e)
@@ -180,6 +195,8 @@ func (r *Recorder) append(p *kernel.Proc, t kernel.Time, kind Kind, op string, a
 }
 
 // Request records that p asked to perform op with the given argument.
+// Pass NoArg when the operation has no argument; an explicit 0 is a
+// legitimate argument value.
 func (r *Recorder) Request(p *kernel.Proc, op string, arg int64) Event {
 	return r.record(p, KindRequest, op, arg, "")
 }
@@ -196,7 +213,7 @@ func (r *Recorder) Exit(p *kernel.Proc, op string, arg int64) Event {
 
 // Mark records a free-form annotation.
 func (r *Recorder) Mark(p *kernel.Proc, note string) Event {
-	return r.record(p, KindMark, "", 0, note)
+	return r.record(p, KindMark, "", NoArg, note)
 }
 
 // Len reports the number of recorded events.

@@ -111,12 +111,86 @@ func TestIntervalsMatching(t *testing.T) {
 func TestIntervalsArgFromRequest(t *testing.T) {
 	r := run(t, func(r *Recorder, p *kernel.Proc) {
 		r.Request(p, "seek", 42)
-		r.Enter(p, "seek", 0) // arg omitted at enter: taken from request
-		r.Exit(p, "seek", 0)
+		r.Enter(p, "seek", NoArg) // arg omitted at enter: taken from request
+		r.Exit(p, "seek", NoArg)
 	})
 	ivs := r.Events().MustIntervals()
-	if ivs[0].Arg != 42 {
-		t.Fatalf("arg = %d, want 42 (inherited from request)", ivs[0].Arg)
+	if ivs[0].Arg != 42 || !ivs[0].HasArg {
+		t.Fatalf("arg = %d (hasArg %v), want 42 (inherited from request)", ivs[0].Arg, ivs[0].HasArg)
+	}
+}
+
+// Regression: an explicit zero argument at Enter is a legitimate value,
+// not "no argument" — it must not be overwritten by the request's arg.
+func TestIntervalsExplicitZeroArgNotBackfilled(t *testing.T) {
+	r := run(t, func(r *Recorder, p *kernel.Proc) {
+		r.Request(p, "seek", 42)
+		r.Enter(p, "seek", 0) // an explicit track 0, not an omission
+		r.Exit(p, "seek", NoArg)
+	})
+	ivs := r.Events().MustIntervals()
+	if ivs[0].Arg != 0 || !ivs[0].HasArg {
+		t.Fatalf("interval = %+v; explicit zero arg was conflated with no-arg", ivs[0])
+	}
+}
+
+func TestNoArgEventsCarryNoArg(t *testing.T) {
+	r := run(t, func(r *Recorder, p *kernel.Proc) {
+		r.Request(p, "read", NoArg)
+		r.Enter(p, "read", NoArg)
+		r.Exit(p, "read", NoArg)
+	})
+	for _, e := range r.Events() {
+		if e.HasArg || e.Arg != 0 {
+			t.Fatalf("event %+v: NoArg should record HasArg=false, Arg=0", e)
+		}
+	}
+	ivs := r.Events().MustIntervals()
+	if ivs[0].HasArg {
+		t.Fatalf("interval %+v: no event carried an arg", ivs[0])
+	}
+}
+
+// Regression: a Request that never reaches its Enter (a blocked-forever
+// waiter, e.g. on a truncated trace) must still appear in interval
+// reconstruction as a request-only open interval rather than vanish.
+func TestIntervalsEmitRequestOnlyWaiters(t *testing.T) {
+	k := kernel.NewSim()
+	r := NewRecorder(k)
+	k.Spawn("w", func(p *kernel.Proc) {
+		r.Request(p, "write", 5)
+		r.Enter(p, "write", 5)
+		r.Exit(p, "write", NoArg)
+	})
+	k.Spawn("blocked", func(p *kernel.Proc) {
+		r.Request(p, "write", 6)
+		// never admitted: the trace is truncated before its Enter
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	ivs := r.Events().MustIntervals()
+	if len(ivs) != 2 {
+		t.Fatalf("intervals = %d, want 2 (one executed, one request-only):\n%v", len(ivs), ivs)
+	}
+	exec, waiter := ivs[0], ivs[1]
+	if !exec.Started() || exec.Op != "write" || exec.Arg != 5 {
+		t.Fatalf("executed interval = %+v", exec)
+	}
+	if waiter.Started() || !waiter.Open() || waiter.RequestSeq == 0 || waiter.Arg != 6 || !waiter.HasArg {
+		t.Fatalf("request-only interval = %+v", waiter)
+	}
+	// A never-admitted waiter executes nothing: it overlaps no execution,
+	// and contributes no executions or concurrency to Stats.
+	if waiter.OverlapsExecution(exec) || exec.OverlapsExecution(waiter) {
+		t.Fatal("request-only interval reported as overlapping an execution")
+	}
+	stats, err := r.Events().Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 1 || stats[0].Executions != 1 || stats[0].MaxConcurrent != 1 {
+		t.Fatalf("stats = %+v; request-only interval should not count as an execution", stats)
 	}
 }
 
