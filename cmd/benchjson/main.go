@@ -3,9 +3,17 @@
 // like the exploration engine's schedules/sec) can be archived and
 // diffed across commits by CI.
 //
+// With -load it instead ingests a syncload report (internal/load's
+// versioned schema), validates it — schema version, histogram/bucket
+// consistency, quantile monotonicity — and archives the normalized
+// document. Malformed input is rejected with a line-numbered diagnostic
+// (JSON syntax/type errors) or a field-path diagnostic (semantic errors
+// like a histogram whose buckets disagree with its count).
+//
 // Usage:
 //
 //	go test -run '^$' -bench BenchmarkE1ExploreThroughput -benchmem . | benchjson -o BENCH_explore.json
+//	syncload -json | benchjson -load -o BENCH_load.json
 //
 // Input lines it understands (everything else passes through untouched):
 //
@@ -17,12 +25,16 @@ package main
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
+
+	"repro/internal/load"
 )
 
 // Benchmark is one result line: the sub-benchmark name with its -N cpu
@@ -46,23 +58,20 @@ type Report struct {
 
 func main() {
 	out := flag.String("o", "", "write JSON here instead of stdout")
+	loadMode := flag.Bool("load", false, "ingest a syncload report instead of bench output")
 	flag.Parse()
 
-	report, err := parse(bufio.NewScanner(os.Stdin))
+	var buf []byte
+	var err error
+	if *loadMode {
+		buf, err = ingestLoad(os.Stdin)
+	} else {
+		buf, err = ingestBench(os.Stdin)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
-	if len(report.Benchmarks) == 0 {
-		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin (did the bench run produce output?)")
-		os.Exit(1)
-	}
-	buf, err := json.MarshalIndent(report, "", "  ")
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
-	}
-	buf = append(buf, '\n')
 	if *out == "" {
 		os.Stdout.Write(buf)
 		return
@@ -71,6 +80,59 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// ingestBench is the original mode: bench text in, JSON document out.
+func ingestBench(r io.Reader) ([]byte, error) {
+	report, err := parse(bufio.NewScanner(r))
+	if err != nil {
+		return nil, err
+	}
+	if len(report.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark lines on stdin (did the bench run produce output?)")
+	}
+	return marshal(report)
+}
+
+// ingestLoad validates a syncload report and re-emits it normalized.
+// JSON syntax and type errors carry the input line; semantic errors
+// (internal/load's Validate) carry the offending field's path.
+func ingestLoad(r io.Reader) ([]byte, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	var rep load.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		switch e := err.(type) {
+		case *json.SyntaxError:
+			return nil, fmt.Errorf("load report: line %d: %v", lineAt(data, e.Offset), e)
+		case *json.UnmarshalTypeError:
+			return nil, fmt.Errorf("load report: line %d: field %q: cannot decode %s into %s",
+				lineAt(data, e.Offset), e.Field, e.Value, e.Type)
+		}
+		return nil, fmt.Errorf("load report: %v", err)
+	}
+	if err := rep.Validate(); err != nil {
+		return nil, fmt.Errorf("load report: %v", err)
+	}
+	return marshal(rep)
+}
+
+// lineAt converts a byte offset of the input into a 1-based line number.
+func lineAt(data []byte, off int64) int {
+	if off > int64(len(data)) {
+		off = int64(len(data))
+	}
+	return 1 + bytes.Count(data[:off], []byte{'\n'})
+}
+
+func marshal(v any) ([]byte, error) {
+	buf, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(buf, '\n'), nil
 }
 
 // parse reads the bench output. A malformed Benchmark result line —

@@ -97,3 +97,61 @@ func TestSplitCPUSuffix(t *testing.T) {
 		}
 	}
 }
+
+// A well-formed load report round-trips through -load ingestion and
+// comes out normalized (indented, schema intact).
+func TestIngestLoadRoundTrip(t *testing.T) {
+	in := `{"schema":"repro-load/v1","runs":[{"mechanism":"monitor","problem":"fcfs",
+	"arrival":"poisson","rate_per_sec":1000,"seed":1,"elapsed_ns":5000000,
+	"issued":2,"completed":2,"throughput_ops_sec":400,"judged":false,
+	"classes":[{"name":"use","issued":2,"completed":2,"completed_share":1,"issued_share":1,
+	"wait":{"count":2,"p50_ns":40,"p90_ns":50,"p99_ns":50,"max_ns":50,"mean_ns":45,
+	"buckets":[{"index":40,"count":1},{"index":44,"count":1}]},
+	"total":{"count":2,"p50_ns":60,"p90_ns":70,"p99_ns":70,"max_ns":70,"mean_ns":65,
+	"buckets":[{"index":46,"count":1},{"index":48,"count":1}]}}]}]}`
+	out, err := ingestLoad(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), `"schema": "repro-load/v1"`) {
+		t.Fatalf("normalized output missing schema:\n%s", out)
+	}
+}
+
+// Malformed load reports are rejected: syntax and type errors with the
+// input line, semantic histogram errors with the field path.
+func TestIngestLoadRejectsMalformed(t *testing.T) {
+	good := `{"schema":"repro-load/v1","runs":[{"mechanism":"m","problem":"p","arrival":"poisson",
+"seed":1,"elapsed_ns":1,"issued":1,"completed":1,"throughput_ops_sec":1,"judged":false,
+"classes":[{"name":"use","issued":1,"completed":1,"completed_share":1,"issued_share":1,
+"wait":{"count":1,"p50_ns":5,"p90_ns":5,"p99_ns":5,"max_ns":5,"mean_ns":5,"buckets":[{"index":5,"count":1}]},
+"total":{"count":1,"p50_ns":5,"p90_ns":5,"p99_ns":5,"max_ns":5,"mean_ns":5,"buckets":[{"index":5,"count":1}]}}]}]}`
+	cases := []struct {
+		name string
+		in   string
+		want string // substring of the error
+	}{
+		{"syntax", "{\"schema\": \"repro-load/v1\",\n\"runs\": [}", "line 2"},
+		{"type", "{\"schema\": \"repro-load/v1\",\n\"runs\": [{\"mechanism\": 7}]}", "line 2"},
+		{"schema-version", `{"schema":"repro-load/v0","runs":[]}`, `schema: got "repro-load/v0"`},
+		{"no-runs", `{"schema":"repro-load/v1","runs":[]}`, "no runs"},
+		{"bucket-sum", strings.Replace(good, `"wait":{"count":1`, `"wait":{"count":3`, 1),
+			"runs[0].classes[0].wait: count 3 exceeds issued"},
+		{"bucket-index", strings.Replace(good, `"buckets":[{"index":5,"count":1}]},
+"total"`, `"buckets":[{"index":99999,"count":1}]},
+"total"`, 1), "runs[0].classes[0].wait: bucket index 99999"},
+		{"quantile-order", strings.Replace(good, `"p50_ns":5,"p90_ns":5,"p99_ns":5,"max_ns":5,"mean_ns":5,"buckets":[{"index":5,"count":1}]},
+"total"`, `"p50_ns":9,"p90_ns":5,"p99_ns":5,"max_ns":5,"mean_ns":5,"buckets":[{"index":5,"count":1}]},
+"total"`, 1), "quantiles not monotone"},
+		{"class-sum", strings.Replace(good, `"issued":1,"completed":1,"throughput`, `"issued":1,"completed":0,"throughput`, 1),
+			"classes sum to"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ingestLoad(strings.NewReader(c.in))
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error = %v, want substring %q", err, c.want)
+			}
+		})
+	}
+}

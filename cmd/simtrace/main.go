@@ -5,6 +5,7 @@
 // Usage:
 //
 //	simtrace -mech monitor -problem readers-priority
+//	simtrace -mech monitor -problem readers-priority -kernel real
 //	simtrace -mech pathexpr -problem readers-priority -explore
 //	simtrace -mech pathexpr -problem readers-priority -explore -shrink -save-sched f1.sched
 //	simtrace -replay f1.sched
@@ -32,7 +33,8 @@ import (
 func main() {
 	mech := flag.String("mech", "monitor", "mechanism: semaphore ccr pathexpr monitor serializer csp")
 	problem := flag.String("problem", problems.NameReadersPriority, "problem name")
-	policy := flag.String("policy", "fifo", "schedule policy: fifo, lifo, random")
+	kernelFlag := flag.String("kernel", "sim", "kernel: sim (deterministic scheduler) or real (goroutines, wall clock)")
+	policy := flag.String("policy", "fifo", "schedule policy: fifo, lifo, random (sim kernel only)")
 	seed := flag.Int64("seed", 1, "seed for -policy random")
 	exploreFlag := flag.Bool("explore", false, "hunt schedules for a violation (readers/writers-priority problems)")
 	workers := flag.Int("workers", 0, "goroutines for -explore (0 = all cores; results are identical for any value)")
@@ -75,6 +77,21 @@ func main() {
 		fatal(fmt.Errorf("unknown mechanism %q", *mech))
 	}
 
+	switch *kernelFlag {
+	case "sim":
+	case "real":
+		if *exploreFlag {
+			fatal(fmt.Errorf("-explore needs the deterministic kernel (drop -kernel=real)"))
+		}
+		if *policy != "fifo" {
+			fatal(fmt.Errorf("-policy has no effect on the real kernel (goroutines schedule themselves)"))
+		}
+		runReal(suite, *problem, *quiet)
+		return
+	default:
+		fatal(fmt.Errorf("unknown kernel %q (want sim or real)", *kernelFlag))
+	}
+
 	if *exploreFlag {
 		opts := explore.Options{
 			RandomRuns: 300, DFSRuns: 600,
@@ -109,6 +126,38 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("%d events, %d scheduling steps, strict=%v\n", len(tr), k.Steps(), strict)
+	if stats, serr := tr.Stats(); serr == nil {
+		fmt.Print(trace.RenderStats(stats))
+	}
+	if len(vs) == 0 {
+		fmt.Println("oracle: trace admissible")
+		return
+	}
+	fmt.Printf("oracle: %d violation(s):\n", len(vs))
+	for _, v := range vs {
+		fmt.Println("  " + v.String())
+	}
+	os.Exit(1)
+}
+
+// runReal runs the standard workload once on the real kernel: genuine
+// goroutine concurrency and wall-clock time instead of the simulated
+// scheduler. The trace is judged non-strict — exclusion and resource
+// safety only — because FCFS/priority ordering is exact only on
+// deterministic traces (that remains the sim kernel's job; see
+// DESIGN.md §8). Steps are not reported: the real kernel makes no
+// scheduling decisions of its own.
+func runReal(suite solutions.Suite, problem string, quiet bool) {
+	k := kernel.NewReal()
+	defer k.Close()
+	tr, vs, err := solutions.RunStandard(k, suite, problem, false)
+	if !quiet {
+		fmt.Print(tr)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%d events on the real kernel (non-deterministic), strict=false\n", len(tr))
 	if stats, serr := tr.Stats(); serr == nil {
 		fmt.Print(trace.RenderStats(stats))
 	}

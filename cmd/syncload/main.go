@@ -1,0 +1,245 @@
+// Command syncload generates traffic against solutions running on the
+// real kernel (genuine goroutine concurrency, wall-clock time) and
+// measures latency, throughput, and per-class fairness. It is the
+// real-runtime leg of the evaluation: the same solutions the simulator
+// checks over every schedule, now under load, optionally traced and
+// judged by the same oracles.
+//
+// Usage:
+//
+//	syncload                                  # full matrix: all mechanisms × canonical trio × poisson+closed
+//	syncload -mech monitor -problem fcfs -arrival poisson -rate 5000 -duration 2s
+//	syncload -arrival closed -clients 16 -think 50
+//	syncload -json -o load-raw.json           # machine-readable report (benchjson -load archives it)
+//	syncload -list
+//
+// Exit status is 0 when every run completed cleanly, 1 when any run hit
+// a kernel error (watchdog expiry — a lost wakeup or deadlock under
+// load) or an oracle violation, and 2 on usage errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/load"
+	"repro/internal/solutions"
+)
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+// options is the parsed command line; a separate struct keeps run
+// testable without touching global flag state.
+type options struct {
+	mechs    []string
+	problems []string
+	arrivals []load.ArrivalKind
+
+	rate     float64
+	burst    int
+	clients  int
+	think    int64
+	duration time.Duration
+	ops      int64
+	seed     int64
+	readFrac float64
+	bufCap   int
+	yields   int
+	watchdog time.Duration
+
+	trace   bool
+	jsonOut bool
+	outPath string
+	quiet   bool
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("syncload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	mech := fs.String("mech", "all", "mechanism, comma-separated list, or \"all\"")
+	problem := fs.String("problem", "default", "problem, comma list, \"default\" (canonical trio), or \"all\"")
+	arrival := fs.String("arrival", "poisson,closed", "arrival models to run, comma list of closed poisson uniform burst")
+	rate := fs.Float64("rate", 1000, "open-loop offered rate, ops/sec")
+	burst := fs.Int("burst", 8, "arrivals per burst for -arrival burst")
+	clients := fs.Int("clients", 4, "closed-loop client population")
+	think := fs.Int64("think", 100, "closed-loop mean think time, kernel ticks")
+	duration := fs.Duration("duration", time.Second, "traffic-generation duration per run (0 with -ops: op count governs)")
+	ops := fs.Int64("ops", 0, "operation cap per run (0: duration governs)")
+	seed := fs.Int64("seed", 1, "traffic seed (offered load is deterministic per seed)")
+	readFrac := fs.Float64("read-frac", 0.9, "read share of readers–writers traffic")
+	bufCap := fs.Int("cap", 0, "bounded-buffer capacity (0: standard)")
+	yields := fs.Int("yields", 2, "yields inside each operation body (contention window width)")
+	watchdog := fs.Duration("watchdog", 0, "per-run watchdog (0: duration+30s)")
+	traceFlag := fs.Bool("trace", true, "record each run and judge it with the problem oracle")
+	jsonOut := fs.Bool("json", false, "emit the versioned JSON report (human summary goes to stderr)")
+	outPath := fs.String("o", "", "write the JSON report here instead of stdout (implies -json)")
+	quiet := fs.Bool("quiet", false, "suppress the per-run human summary")
+	list := fs.Bool("list", false, "list mechanisms, problems, and arrival models")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		var mechs []string
+		for _, s := range solutions.All() {
+			mechs = append(mechs, s.Mechanism)
+		}
+		fmt.Fprintln(stdout, "mechanisms:", strings.Join(mechs, ", "))
+		fmt.Fprintln(stdout, "problems:  ", strings.Join(load.LoadProblems(), ", "))
+		fmt.Fprintln(stdout, "arrivals:   closed, poisson, uniform, burst")
+		return 0
+	}
+
+	opt := &options{
+		rate: *rate, burst: *burst, clients: *clients, think: *think,
+		duration: *duration, ops: *ops, seed: *seed, readFrac: *readFrac,
+		bufCap: *bufCap, yields: *yields, watchdog: *watchdog,
+		trace: *traceFlag, jsonOut: *jsonOut || *outPath != "", outPath: *outPath,
+		quiet: *quiet,
+	}
+	var err error
+	if opt.mechs, err = expandMechs(*mech); err == nil {
+		if opt.problems, err = expandProblems(*problem); err == nil {
+			opt.arrivals, err = expandArrivals(*arrival)
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, "syncload:", err)
+		return 2
+	}
+	return execute(opt, stdout, stderr)
+}
+
+// execute runs the matrix and emits the report.
+func execute(opt *options, stdout, stderr io.Writer) int {
+	human := stdout
+	if opt.jsonOut {
+		human = stderr
+	}
+	if opt.quiet {
+		human = io.Discard
+	}
+
+	rep := load.NewReport()
+	failed := false
+	for _, mech := range opt.mechs {
+		for _, problem := range opt.problems {
+			for _, arrival := range opt.arrivals {
+				res, err := load.Run(load.Config{
+					Mechanism: mech, Problem: problem, Arrival: arrival,
+					RatePerSec: opt.rate, BurstSize: opt.burst,
+					Clients: opt.clients, ThinkTicks: opt.think,
+					Duration: opt.duration, MaxOps: opt.ops, Seed: opt.seed,
+					ReadFraction: opt.readFrac, BufferCap: opt.bufCap,
+					WorkYields: opt.yields, Watchdog: opt.watchdog,
+					Trace: opt.trace,
+				})
+				if err != nil {
+					fmt.Fprintln(stderr, "syncload:", err)
+					return 2
+				}
+				if res.Failed() {
+					failed = true
+				}
+				one := load.Report{Schema: load.SchemaVersion, Runs: []load.RunReport{res.Report()}}
+				one.Render(human)
+				rep.Runs = append(rep.Runs, one.Runs[0])
+			}
+		}
+	}
+
+	if err := rep.Validate(); err != nil {
+		fmt.Fprintln(stderr, "syncload: internal error: emitted report invalid:", err)
+		return 2
+	}
+	if opt.jsonOut {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(stderr, "syncload:", err)
+			return 2
+		}
+		buf = append(buf, '\n')
+		if opt.outPath != "" {
+			if err := os.WriteFile(opt.outPath, buf, 0o644); err != nil {
+				fmt.Fprintln(stderr, "syncload:", err)
+				return 2
+			}
+		} else {
+			stdout.Write(buf)
+		}
+	}
+	if failed {
+		fmt.Fprintln(stderr, "syncload: FAILED — kernel errors or oracle violations above")
+		return 1
+	}
+	return 0
+}
+
+func expandMechs(s string) ([]string, error) {
+	if s == "all" {
+		var out []string
+		for _, suite := range solutions.All() {
+			out = append(out, suite.Mechanism)
+		}
+		return out, nil
+	}
+	out := splitList(s)
+	for _, m := range out {
+		if _, ok := solutions.ByMechanism(m); !ok {
+			return nil, fmt.Errorf("unknown mechanism %q", m)
+		}
+	}
+	return out, nil
+}
+
+func expandProblems(s string) ([]string, error) {
+	switch s {
+	case "default":
+		return load.DefaultProblems(), nil
+	case "all":
+		return load.LoadProblems(), nil
+	}
+	out := splitList(s)
+	for _, p := range out {
+		found := false
+		for _, known := range load.LoadProblems() {
+			if p == known {
+				found = true
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("problem %q is not load-generable (want one of %v)", p, load.LoadProblems())
+		}
+	}
+	return out, nil
+}
+
+func expandArrivals(s string) ([]load.ArrivalKind, error) {
+	var out []load.ArrivalKind
+	for _, a := range splitList(s) {
+		kind, err := load.ParseArrival(a)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, kind)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no arrival models given")
+	}
+	return out, nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/load"
+)
+
+func TestExpandMechs(t *testing.T) {
+	all, err := expandMechs("all")
+	if err != nil || len(all) != 6 {
+		t.Fatalf("all = %v, %v", all, err)
+	}
+	two, err := expandMechs("monitor, csp")
+	if err != nil || len(two) != 2 || two[0] != "monitor" {
+		t.Fatalf("list = %v, %v", two, err)
+	}
+	if _, err := expandMechs("mutex"); err == nil {
+		t.Fatal("unknown mechanism accepted")
+	}
+}
+
+func TestExpandProblems(t *testing.T) {
+	if def, err := expandProblems("default"); err != nil || len(def) != 3 {
+		t.Fatalf("default = %v, %v", def, err)
+	}
+	if all, err := expandProblems("all"); err != nil || len(all) != 5 {
+		t.Fatalf("all = %v, %v", all, err)
+	}
+	if _, err := expandProblems("disk-scheduler"); err == nil {
+		t.Fatal("non-load-generable problem accepted")
+	}
+}
+
+func TestExpandArrivals(t *testing.T) {
+	ks, err := expandArrivals("poisson,closed")
+	if err != nil || len(ks) != 2 || ks[0] != load.ArrivalPoisson || ks[1] != load.ArrivalClosed {
+		t.Fatalf("arrivals = %v, %v", ks, err)
+	}
+	if _, err := expandArrivals("bursty"); err == nil {
+		t.Fatal("unknown arrival accepted")
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-mech", "nope"}, &out, &errBuf); code != 2 {
+		t.Fatalf("exit = %d, want 2; stderr: %s", code, errBuf.String())
+	}
+	if !strings.Contains(errBuf.String(), "unknown mechanism") {
+		t.Fatalf("stderr = %q", errBuf.String())
+	}
+}
+
+func TestRunList(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	for _, want := range []string{"semaphore", "bounded-buffer", "poisson"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("-list output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// End-to-end: a tiny matrix run must exit 0, write a valid versioned
+// report to -o, and print the human summary to stderr.
+func TestRunEndToEnd(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "load.json")
+	var out, errBuf bytes.Buffer
+	code := run([]string{
+		"-mech", "monitor,semaphore", "-problem", "bounded-buffer",
+		"-arrival", "poisson,closed",
+		"-ops", "40", "-duration", "0s", "-rate", "20000", "-think", "10",
+		"-o", path,
+	}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit = %d\nstderr: %s", code, errBuf.String())
+	}
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep load.Report
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		t.Fatalf("report not JSON: %v", err)
+	}
+	if err := rep.Validate(); err != nil {
+		t.Fatalf("report invalid: %v", err)
+	}
+	if len(rep.Runs) != 4 {
+		t.Fatalf("runs = %d, want 2 mechs × 2 arrivals", len(rep.Runs))
+	}
+	for _, rr := range rep.Runs {
+		if !rr.Judged || len(rr.Violations) != 0 || rr.KernelError != "" {
+			t.Fatalf("run %s/%s/%s not clean: %+v", rr.Mechanism, rr.Problem, rr.Arrival, rr)
+		}
+	}
+	if !strings.Contains(errBuf.String(), "oracle clean") {
+		t.Fatalf("human summary missing from stderr:\n%s", errBuf.String())
+	}
+}

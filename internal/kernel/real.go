@@ -19,6 +19,9 @@ type RealKernel struct {
 	nextID atomic.Int64
 	wg     sync.WaitGroup
 
+	closeOnce sync.Once
+	closed    chan struct{} // closed by Close; parked processes then unwind
+
 	mu      sync.Mutex
 	started bool
 	done    chan struct{} // closed when wg drains during Run
@@ -47,6 +50,7 @@ func NewReal(opts ...RealOption) *RealKernel {
 		tick:     time.Microsecond,
 		watchdog: 30 * time.Second,
 		start:    time.Now(),
+		closed:   make(chan struct{}),
 	}
 	for _, o := range opts {
 		o(k)
@@ -116,12 +120,38 @@ func (k *RealKernel) Run() error {
 // Now implements Kernel: nanoseconds since the kernel was created.
 func (k *RealKernel) Now() Time { return int64(time.Since(k.start)) }
 
+// Close abandons the kernel's remaining processes: every process blocked
+// in Park — stuck non-daemons left behind by a watchdog timeout, and
+// daemon servers parked waiting for requests that will never come — is
+// unwound (its goroutine exits, running deferred calls) instead of
+// leaking for the life of the host program. Processes that subsequently
+// reach a Park unwind there too. This mirrors SimKernel's close-based
+// shutdown; it is safe because the mechanism discipline forbids holding a
+// lock another process may need while parked. Call Close after Run has
+// returned; the kernel must not be used afterwards. Close is idempotent.
+//
+// A process spinning without ever parking cannot be unwound (goroutines
+// are not preemptively killable); the watchdog reports it, Close cannot
+// collect it.
+func (k *RealKernel) Close() {
+	k.closeOnce.Do(func() { close(k.closed) })
+}
+
 type realProc struct {
 	kernel *RealKernel
 	permit chan struct{}
 }
 
-func (rp *realProc) park()   { <-rp.permit }
+func (rp *realProc) park() {
+	select {
+	case <-rp.permit:
+	case <-rp.kernel.closed:
+		// The kernel was abandoned: unwind this process instead of
+		// waiting for a permit that will never come. Goexit runs deferred
+		// calls, so the spawn wrapper's wg.Done still fires.
+		runtime.Goexit()
+	}
+}
 func (rp *realProc) yield()  { runtime.Gosched() }
 func (rp *realProc) exited() {}
 

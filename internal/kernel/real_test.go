@@ -2,6 +2,7 @@ package kernel
 
 import (
 	"errors"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -82,8 +83,101 @@ func TestRealWatchdog(t *testing.T) {
 	if !errors.Is(err, ErrTimeout) {
 		t.Fatalf("Run = %v, want ErrTimeout", err)
 	}
-	// Unblock the leaked goroutine so the test process exits cleanly.
-	// (The spawned goroutine is still parked; give it its permit.)
+	// Unwind the stuck goroutine so the test process exits cleanly.
+	k.Close()
+}
+
+// A watchdog expiry must be recoverable: Run reports ErrTimeout, and Close
+// then unwinds every process still blocked in Park — including the
+// kernel's internal wg watcher — so repeated timed-out runs do not
+// accumulate goroutines. Mirrors TestSimDeadlockReleasesGoroutines.
+func TestRealWatchdogReleasesGoroutines(t *testing.T) {
+	base := runtime.NumGoroutine()
+	for i := 0; i < 50; i++ {
+		k := NewReal(WithWatchdog(time.Millisecond))
+		for j := 0; j < 3; j++ {
+			k.Spawn("stuck", func(p *Proc) { p.Park() })
+		}
+		if err := k.Run(); !errors.Is(err, ErrTimeout) {
+			t.Fatalf("Run = %v, want ErrTimeout", err)
+		}
+		k.Close()
+	}
+	waitGoroutines(t, base+4)
+}
+
+// Daemons abandoned at normal termination are unwound by Close, whether
+// parked waiting for requests or mid-Sleep (they unwind at their next
+// Park). Mirrors TestSimDaemonsAndSleepersReleased.
+func TestRealDaemonsAbandonedCleanly(t *testing.T) {
+	base := runtime.NumGoroutine()
+	for i := 0; i < 50; i++ {
+		k := NewReal(WithWatchdog(5 * time.Second))
+		k.SpawnDaemon("server", func(p *Proc) {
+			for {
+				p.Park()
+			}
+		})
+		k.SpawnDaemon("ticker", func(p *Proc) {
+			for {
+				p.Sleep(1)
+				p.Park()
+			}
+		})
+		k.Spawn("client", func(p *Proc) { p.Yield() })
+		if err := k.Run(); err != nil {
+			t.Fatalf("Run = %v; daemons must not be waited on", err)
+		}
+		k.Close()
+	}
+	waitGoroutines(t, base+4)
+}
+
+// Close is idempotent, and a process that parks only after Close unwinds
+// immediately instead of blocking forever.
+func TestRealCloseIdempotent(t *testing.T) {
+	k := NewReal(WithWatchdog(5 * time.Second))
+	k.Spawn("worker", func(p *Proc) {})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	k.Close()
+	k.Close()
+	base := runtime.NumGoroutine()
+	k.SpawnDaemon("late", func(p *Proc) { p.Park() }) // parks after close: unwinds
+	waitGoroutines(t, base+1)
+}
+
+// WithTick scales Sleep: the same tick count takes proportionally longer
+// under a coarser tick, and the default microsecond tick keeps large
+// virtual delays fast. Leak-checked like the SimKernel sleep tests.
+func TestRealWithTickScaling(t *testing.T) {
+	base := runtime.NumGoroutine()
+	elapsed := func(tick time.Duration, ticks int64) time.Duration {
+		k := NewReal(WithTick(tick), WithWatchdog(10*time.Second))
+		var d time.Duration
+		k.Spawn("sleeper", func(p *Proc) {
+			start := time.Now()
+			p.Sleep(ticks)
+			d = time.Since(start)
+		})
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		k.Close()
+		return d
+	}
+	// 10 ticks of 2ms is a 20ms sleep; allow generous scheduler slop but
+	// require at least half the nominal duration.
+	if got := elapsed(2*time.Millisecond, 10); got < 10*time.Millisecond {
+		t.Fatalf("Sleep(10 x 2ms) elapsed only %v", got)
+	}
+	// The default-scale regime: a million microsecond ticks must not take
+	// anywhere near a wall-clock million microseconds per tick.
+	if got := elapsed(time.Microsecond, 100_000); got > 5*time.Second {
+		t.Fatalf("Sleep(100000 x 1us) took %v", got)
+	}
+	waitGoroutines(t, base)
 }
 
 func TestRealNowMonotonic(t *testing.T) {

@@ -1,0 +1,99 @@
+package load
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Arrival models. Open-loop traffic (Poisson, uniform, burst) offers
+// operations at externally scheduled instants regardless of how fast the
+// system absorbs them — the load-testing regime that exposes queueing
+// behavior and avoids coordinated omission, because latency is measured
+// from the *intended* arrival time. Closed-loop traffic (a fixed client
+// population with think time) models a bounded user base and measures the
+// latency those users actually experience.
+
+// ArrivalKind selects the traffic model of a load run.
+type ArrivalKind int
+
+const (
+	// ArrivalClosed is closed-loop traffic: Config.Clients processes,
+	// each issuing one operation at a time separated by exponentially
+	// distributed think time with mean Config.ThinkTicks kernel ticks.
+	ArrivalClosed ArrivalKind = iota
+	// ArrivalPoisson is open-loop traffic with exponentially distributed
+	// interarrival gaps at mean rate Config.RatePerSec.
+	ArrivalPoisson
+	// ArrivalUniform is open-loop traffic with gaps uniform on
+	// [0, 2/rate], same mean rate as Poisson but bounded burstiness.
+	ArrivalUniform
+	// ArrivalBurst is open-loop traffic in bursts: Config.BurstSize
+	// back-to-back arrivals, then one long gap, preserving the mean rate.
+	ArrivalBurst
+)
+
+// String reports the CLI spelling of the arrival kind.
+func (a ArrivalKind) String() string {
+	switch a {
+	case ArrivalClosed:
+		return "closed"
+	case ArrivalPoisson:
+		return "poisson"
+	case ArrivalUniform:
+		return "uniform"
+	case ArrivalBurst:
+		return "burst"
+	}
+	return "invalid"
+}
+
+// Open reports whether the kind is an open-loop model.
+func (a ArrivalKind) Open() bool { return a != ArrivalClosed }
+
+// ParseArrival parses a CLI spelling of an arrival kind.
+func ParseArrival(s string) (ArrivalKind, error) {
+	switch s {
+	case "closed":
+		return ArrivalClosed, nil
+	case "poisson":
+		return ArrivalPoisson, nil
+	case "uniform":
+		return ArrivalUniform, nil
+	case "burst":
+		return ArrivalBurst, nil
+	}
+	return 0, fmt.Errorf("load: unknown arrival kind %q (want closed, poisson, uniform, or burst)", s)
+}
+
+// gapper produces the deterministic interarrival gap sequence of an
+// open-loop run: given the same seed and parameters, the offered traffic
+// is identical between runs even though real-kernel interleaving is not.
+type gapper struct {
+	kind    ArrivalKind
+	rng     *rand.Rand
+	meanGap float64 // ns between arrivals at the configured rate
+	burst   int
+	inBurst int
+}
+
+func newGapper(kind ArrivalKind, rate float64, burstSize int, rng *rand.Rand) *gapper {
+	return &gapper{kind: kind, rng: rng, meanGap: 1e9 / rate, burst: burstSize}
+}
+
+// next returns the gap in nanoseconds before the following arrival.
+func (g *gapper) next() int64 {
+	switch g.kind {
+	case ArrivalPoisson:
+		return int64(g.rng.ExpFloat64() * g.meanGap)
+	case ArrivalUniform:
+		return int64(g.rng.Float64() * 2 * g.meanGap)
+	case ArrivalBurst:
+		g.inBurst++
+		if g.inBurst < g.burst {
+			return 0
+		}
+		g.inBurst = 0
+		return int64(float64(g.burst) * g.meanGap)
+	}
+	return int64(g.meanGap)
+}

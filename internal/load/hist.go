@@ -1,0 +1,159 @@
+package load
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// Latency histogram: fixed log-scale buckets so the hot path is a pure
+// index-and-increment — no allocation, no resizing, no locking. The
+// layout is HDR-style: values below 2^histSubBits land in unit-width
+// buckets; above that, each power-of-two octave is split into
+// histSubBuckets sub-buckets, bounding the relative quantile error at
+// 1/histSubBuckets (~3%) across the full int64 nanosecond range. All
+// counters are atomics, so one histogram can be shared by every client
+// process of a load run without a merge step.
+
+const (
+	histSubBits    = 5
+	histSubBuckets = 1 << histSubBits // sub-buckets per octave
+	// histBuckets covers bucketIndex's full range: the unit region plus
+	// one sub-bucket block per octave from histSubBits through 62 (the
+	// int64 sign bit never appears; negatives clamp to zero).
+	histBuckets = (64 - histSubBits) * histSubBuckets
+)
+
+// Histogram is a fixed-size log-scale latency histogram in nanoseconds.
+// The zero value is ready to use. Record is safe for concurrent use and
+// allocation-free; readers (Quantile, Max, ...) may run concurrently with
+// writers and observe a momentarily inconsistent but monotone view, so
+// summaries are normally taken after the run completes.
+type Histogram struct {
+	counts [histBuckets]atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Uint64
+	max    atomic.Int64
+}
+
+// bucketIndex maps a non-negative value to its bucket. Values below
+// 2^histSubBits map to unit buckets; larger values map by exponent and
+// the histSubBits bits after the leading one.
+func bucketIndex(v int64) int {
+	u := uint64(v)
+	if u < histSubBuckets {
+		return int(u)
+	}
+	exp := bits.Len64(u) - 1 // >= histSubBits
+	sub := (u >> (exp - histSubBits)) & (histSubBuckets - 1)
+	return (exp-histSubBits)*histSubBuckets + int(sub) + histSubBuckets
+}
+
+// bucketUpper is the largest value mapping to bucket i — the
+// representative value quantiles report, so reported quantiles never
+// understate the true value by more than the bucket width.
+func bucketUpper(i int) int64 {
+	if i < histSubBuckets {
+		return int64(i)
+	}
+	i -= histSubBuckets
+	exp := uint(i/histSubBuckets) + histSubBits
+	sub := uint64(i % histSubBuckets)
+	base := uint64(1) << exp
+	upper := base + (sub+1)*(base>>histSubBits) - 1
+	if upper > math.MaxInt64 {
+		return math.MaxInt64
+	}
+	return int64(upper)
+}
+
+// Record adds one observation. Negative values clamp to zero (the clock
+// is monotone, but an open-loop operation can complete before its
+// intended arrival instant when the generator is catching up).
+func (h *Histogram) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(uint64(v))
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Count reports the number of recorded observations.
+func (h *Histogram) Count() int64 { return int64(h.count.Load()) }
+
+// Max reports the largest recorded value, 0 when empty.
+func (h *Histogram) Max() int64 { return h.max.Load() }
+
+// Mean reports the arithmetic mean, 0 when empty.
+func (h *Histogram) Mean() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n)
+}
+
+// Quantile reports the q-quantile (0 < q <= 1) as the upper bound of the
+// bucket containing that rank, clamped to the recorded maximum. Returns 0
+// when the histogram is empty.
+func (h *Histogram) Quantile(q float64) int64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	var seen uint64
+	for i := range h.counts {
+		seen += h.counts[i].Load()
+		if seen >= rank {
+			v := bucketUpper(i)
+			if m := h.max.Load(); v > m {
+				v = m
+			}
+			return v
+		}
+	}
+	return h.max.Load()
+}
+
+// BucketCount is one non-empty bucket, exported in reports so downstream
+// tooling can validate and re-aggregate histograms.
+type BucketCount struct {
+	Index int    `json:"index"`
+	Count uint64 `json:"count"`
+}
+
+// NonZeroBuckets returns the occupied buckets in ascending index order.
+func (h *Histogram) NonZeroBuckets() []BucketCount {
+	var out []BucketCount
+	for i := range h.counts {
+		if c := h.counts[i].Load(); c != 0 {
+			out = append(out, BucketCount{Index: i, Count: c})
+		}
+	}
+	return out
+}
+
+// BucketUpperBound exposes the bucket→value mapping for report tooling.
+func BucketUpperBound(i int) int64 {
+	if i < 0 || i >= histBuckets {
+		return 0
+	}
+	return bucketUpper(i)
+}
+
+// NumBuckets reports the fixed bucket count of every Histogram.
+func NumBuckets() int { return histBuckets }

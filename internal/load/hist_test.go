@@ -1,0 +1,152 @@
+package load
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// Every representable value must land in range, and the round trips
+// value→bucket→upper must never understate the value.
+func TestBucketIndexRoundTrip(t *testing.T) {
+	values := []int64{0, 1, 31, 32, 33, 63, 64, 100, 1_000, 12_345,
+		1 << 20, (1 << 20) + 7, 1e9, 1e12, math.MaxInt64 / 2, math.MaxInt64}
+	prev := -1
+	for _, v := range values {
+		i := bucketIndex(v)
+		if i < 0 || i >= histBuckets {
+			t.Fatalf("bucketIndex(%d) = %d outside [0,%d)", v, i, histBuckets)
+		}
+		if i < prev {
+			t.Fatalf("bucketIndex not monotone at %d: %d < %d", v, i, prev)
+		}
+		prev = i
+		if up := bucketUpper(i); up < v {
+			t.Fatalf("bucketUpper(%d) = %d < recorded value %d", i, up, v)
+		}
+	}
+	for i := 0; i < histBuckets; i += 17 {
+		up := bucketUpper(i)
+		if got := bucketIndex(up); got != i {
+			t.Fatalf("bucketIndex(bucketUpper(%d)) = %d", i, got)
+		}
+	}
+}
+
+// Quantiles of a known uniform population must stay within one
+// sub-bucket (~3% relative error) of the exact answer.
+func TestQuantileAccuracy(t *testing.T) {
+	var h Histogram
+	const n = 100_000
+	for i := int64(1); i <= n; i++ {
+		h.Record(i)
+	}
+	if h.Count() != n {
+		t.Fatalf("count = %d, want %d", h.Count(), n)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 1.0} {
+		exact := int64(math.Ceil(q * n))
+		got := h.Quantile(q)
+		if got < exact {
+			t.Fatalf("q%.2f = %d understates exact %d", q, got, exact)
+		}
+		if float64(got) > float64(exact)*(1+1.0/histSubBuckets)+1 {
+			t.Fatalf("q%.2f = %d overstates exact %d beyond bucket error", q, got, exact)
+		}
+	}
+	if h.Max() != n {
+		t.Fatalf("max = %d, want %d", h.Max(), n)
+	}
+	wantMean := float64(n+1) / 2
+	if m := h.Mean(); math.Abs(m-wantMean) > 1 {
+		t.Fatalf("mean = %v, want %v", m, wantMean)
+	}
+}
+
+func TestQuantileClampedToMax(t *testing.T) {
+	var h Histogram
+	h.Record(1_000_003) // lands mid-bucket; upper bound exceeds it
+	if got := h.Quantile(1.0); got != 1_000_003 {
+		t.Fatalf("q1.0 = %d, want clamp to recorded max 1000003", got)
+	}
+}
+
+func TestEmptyHistogram(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Max() != 0 || h.Mean() != 0 || h.Quantile(0.99) != 0 {
+		t.Fatalf("empty histogram not all-zero: count=%d max=%d mean=%v q99=%d",
+			h.Count(), h.Max(), h.Mean(), h.Quantile(0.99))
+	}
+	if bs := h.NonZeroBuckets(); len(bs) != 0 {
+		t.Fatalf("empty histogram has %d non-zero buckets", len(bs))
+	}
+}
+
+func TestNegativeClampsToZero(t *testing.T) {
+	var h Histogram
+	h.Record(-5)
+	if h.Count() != 1 || h.Max() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatalf("negative record mishandled: count=%d max=%d", h.Count(), h.Max())
+	}
+}
+
+// The hot path must not allocate: the histogram sits on every operation
+// completion of a load run.
+func TestRecordDoesNotAllocate(t *testing.T) {
+	var h Histogram
+	v := int64(0)
+	if allocs := testing.AllocsPerRun(1000, func() {
+		h.Record(v)
+		v += 997
+	}); allocs != 0 {
+		t.Fatalf("Record allocates %v per op", allocs)
+	}
+}
+
+// Concurrent recording must be race-free (checked under -race) and lose
+// no observations.
+func TestConcurrentRecord(t *testing.T) {
+	var h Histogram
+	const workers, each = 8, 10_000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < each; i++ {
+				h.Record(rng.Int63n(1 << 30))
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	if h.Count() != workers*each {
+		t.Fatalf("count = %d, want %d", h.Count(), workers*each)
+	}
+	var sum uint64
+	for _, b := range h.NonZeroBuckets() {
+		sum += b.Count
+	}
+	if sum != workers*each {
+		t.Fatalf("bucket sum = %d, want %d", sum, workers*each)
+	}
+}
+
+// A summarized histogram must satisfy the same validation benchjson
+// applies to ingested reports.
+func TestSummarizePassesValidation(t *testing.T) {
+	var h Histogram
+	for i := int64(0); i < 5000; i++ {
+		h.Record(i * 13)
+	}
+	s := Summarize(&h)
+	if err := s.validate(5000); err != nil {
+		t.Fatalf("summary of live histogram invalid: %v", err)
+	}
+	var empty Histogram
+	se := Summarize(&empty)
+	if err := se.validate(0); err != nil {
+		t.Fatalf("summary of empty histogram invalid: %v", err)
+	}
+}

@@ -1,0 +1,422 @@
+// Package load generates traffic against the real kernel and measures
+// it. The paper evaluates synchronization mechanisms qualitatively —
+// expressive power, modularity, ease of use; this package adds the
+// quantitative axis: the same solutions the simulator verifies
+// exhaustively are run as genuinely concurrent Go on kernel.RealKernel
+// under generated load, and their latency, throughput, and per-class
+// fairness are measured.
+//
+// Two traffic models are provided (see ArrivalKind): open-loop arrivals
+// (Poisson, uniform, burst) that offer operations at scheduled instants
+// regardless of backlog — latency is measured from the intended arrival
+// time, so queueing delay is never hidden by coordinated omission — and
+// closed-loop traffic from a fixed client population with think time.
+//
+// The sim↔real loop: a run can record its history into the ordinary
+// trace.Recorder and have it judged by the same problem oracles the
+// exploration engine uses. Exclusion and resource-safety constraints are
+// exact on real traces and are checked here; FCFS/priority ordering
+// constraints are only exact on deterministic traces and remain the
+// simulator's job. A property proven over every schedule in simulation
+// is thereby continuously spot-checked under real concurrency (and,
+// in CI, under the race detector).
+package load
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/kernel"
+	"repro/internal/problems"
+	"repro/internal/solutions"
+	"repro/internal/trace"
+)
+
+// Config parameterizes one load run.
+type Config struct {
+	Mechanism string      // key into solutions.All
+	Problem   string      // one of LoadProblems
+	Arrival   ArrivalKind // traffic model
+
+	// RatePerSec is the open-loop offered rate (mean arrivals/second).
+	RatePerSec float64
+	// BurstSize is the arrivals per burst for ArrivalBurst.
+	BurstSize int
+
+	// Clients is the closed-loop population size.
+	Clients int
+	// ThinkTicks is the closed-loop mean think time between a client's
+	// operations, in kernel ticks (exponentially distributed; 0 disables
+	// thinking).
+	ThinkTicks int64
+
+	// Duration bounds the traffic-generation phase on the kernel clock;
+	// operations in flight at the deadline are drained, not cut. Zero
+	// means MaxOps alone governs (both zero: 1 second).
+	Duration time.Duration
+	// MaxOps caps the number of operations issued. Zero means unbounded
+	// (Duration governs). Balanced workloads round down to whole cycles.
+	MaxOps int64
+
+	// Seed makes the offered traffic (arrival instants, class choices,
+	// think times) deterministic; the real-kernel interleaving of course
+	// is not. Defaults to 1.
+	Seed int64
+
+	// ReadFraction is the read share of RW workloads (default 0.9 — a
+	// reader flood, the regime that exposes writer starvation).
+	ReadFraction float64
+	// BufferCap is the bounded-buffer capacity (default the standard
+	// workload's solutions.StdBufferCap).
+	BufferCap int
+	// WorkYields stretches each operation body with yields, widening the
+	// contention windows the oracles observe.
+	WorkYields int
+
+	// Tick is the kernel tick (default 1µs); Watchdog bounds Run
+	// (default Duration + 30s).
+	Tick     time.Duration
+	Watchdog time.Duration
+
+	// Trace records the run into a trace.Recorder and judges it with the
+	// problem's oracle (exclusion/safety rules; see the package comment).
+	// Costs memory proportional to the operation count.
+	Trace bool
+}
+
+// normalize fills defaults and validates; it mutates the (caller-copied)
+// config so the Result reports the effective parameters.
+func (cfg *Config) normalize() error {
+	if _, ok := solutions.ByMechanism(cfg.Mechanism); !ok {
+		return fmt.Errorf("load: unknown mechanism %q", cfg.Mechanism)
+	}
+	if cfg.Arrival.Open() {
+		if cfg.RatePerSec == 0 {
+			cfg.RatePerSec = 1000
+		}
+		if cfg.RatePerSec < 0 {
+			return fmt.Errorf("load: negative rate %v", cfg.RatePerSec)
+		}
+		if cfg.Arrival == ArrivalBurst {
+			if cfg.BurstSize == 0 {
+				cfg.BurstSize = 8
+			}
+			if cfg.BurstSize < 2 {
+				return fmt.Errorf("load: burst size %d < 2", cfg.BurstSize)
+			}
+		}
+	} else {
+		if cfg.Clients == 0 {
+			cfg.Clients = 4
+		}
+		if cfg.Clients < 0 {
+			return fmt.Errorf("load: negative client count %d", cfg.Clients)
+		}
+		if cfg.ThinkTicks < 0 {
+			return fmt.Errorf("load: negative think time %d", cfg.ThinkTicks)
+		}
+	}
+	if cfg.Duration < 0 || cfg.MaxOps < 0 {
+		return fmt.Errorf("load: negative duration or op cap")
+	}
+	if cfg.Duration == 0 && cfg.MaxOps == 0 {
+		cfg.Duration = time.Second
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.ReadFraction == 0 {
+		cfg.ReadFraction = 0.9
+	}
+	if cfg.ReadFraction < 0 || cfg.ReadFraction > 1 {
+		return fmt.Errorf("load: read fraction %v outside [0,1]", cfg.ReadFraction)
+	}
+	if cfg.BufferCap == 0 {
+		cfg.BufferCap = solutions.StdBufferCap
+	}
+	if cfg.BufferCap < 1 {
+		return fmt.Errorf("load: buffer capacity %d < 1", cfg.BufferCap)
+	}
+	if cfg.WorkYields < 0 {
+		return fmt.Errorf("load: negative work yields %d", cfg.WorkYields)
+	}
+	if cfg.Tick == 0 {
+		cfg.Tick = time.Microsecond
+	}
+	if cfg.Watchdog == 0 {
+		cfg.Watchdog = cfg.Duration + 30*time.Second
+	}
+	return nil
+}
+
+// ClassResult is one operation class's measurements.
+type ClassResult struct {
+	Name      string
+	Issued    int64
+	Completed int64
+	Wait      *Histogram // intended arrival → admission
+	Total     *Histogram // intended arrival → completion
+}
+
+// Result is the outcome of one load run.
+type Result struct {
+	Config    Config
+	ElapsedNs int64
+	Issued    int64
+	Completed int64
+	Classes   []ClassResult
+
+	// ClientCompleted is the per-client completion count of a
+	// closed-loop run (fairness between identical clients); JainIndex is
+	// its Jain fairness index — 1.0 when every client completed equally.
+	ClientCompleted []int64
+	JainIndex       float64
+
+	// KernelErr is the kernel's verdict, non-nil when the watchdog
+	// expired before every issued operation drained (a lost wakeup or
+	// deadlock in the mechanism under load).
+	KernelErr error
+
+	// Judged reports whether a trace was recorded and judged;
+	// TraceEvents and Violations are its size and oracle findings.
+	Judged      bool
+	TraceEvents int
+	Violations  []problems.Violation
+}
+
+// Throughput reports completed operations per second of elapsed run time.
+func (r *Result) Throughput() float64 {
+	if r.ElapsedNs <= 0 {
+		return 0
+	}
+	return float64(r.Completed) / (float64(r.ElapsedNs) / 1e9)
+}
+
+// Failed reports whether the run found anything wrong — a kernel error
+// or an oracle violation.
+func (r *Result) Failed() bool { return r.KernelErr != nil || len(r.Violations) > 0 }
+
+// Run executes one load run to completion and reports its measurements.
+// The returned error covers configuration problems only; a failure of the
+// system under load (watchdog expiry, oracle violation) is reported in
+// the Result so its partial measurements stay observable.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	suite, _ := solutions.ByMechanism(cfg.Mechanism)
+
+	k := kernel.NewReal(kernel.WithTick(cfg.Tick), kernel.WithWatchdog(cfg.Watchdog))
+	// Abandon stragglers (and CSP server daemons) when done: their
+	// goroutines unwind at their next Park instead of leaking.
+	defer k.Close()
+
+	var rec *trace.Recorder
+	if cfg.Trace {
+		rec = trace.NewRecorder(k)
+	}
+	w, err := buildWorkload(&cfg, suite, k, rec)
+	if err != nil {
+		return nil, err
+	}
+
+	eng := &engine{cfg: &cfg, k: k, w: w}
+	eng.budget.Store(math.MaxInt64)
+	if cfg.MaxOps > 0 {
+		eng.budget.Store(cfg.MaxOps)
+	}
+	eng.deadlineNs = math.MaxInt64
+	if cfg.Duration > 0 {
+		eng.deadlineNs = cfg.Duration.Nanoseconds()
+	}
+
+	if cfg.Arrival.Open() {
+		eng.spawnGenerator()
+	} else {
+		eng.spawnClients()
+	}
+	kernelErr := k.Run()
+
+	res := &Result{Config: cfg, ElapsedNs: k.Now(), KernelErr: kernelErr}
+	for _, c := range w.classes {
+		cr := ClassResult{
+			Name:      c.name,
+			Issued:    c.issued.Load(),
+			Completed: c.completed.Load(),
+			Wait:      c.wait,
+			Total:     c.total,
+		}
+		res.Issued += cr.Issued
+		res.Completed += cr.Completed
+		res.Classes = append(res.Classes, cr)
+	}
+	if !cfg.Arrival.Open() {
+		for i := range eng.clients {
+			res.ClientCompleted = append(res.ClientCompleted, eng.clients[i].completed.Load())
+		}
+		res.JainIndex = jain(res.ClientCompleted)
+	}
+	if rec != nil {
+		tr := rec.Events()
+		res.Judged = true
+		res.TraceEvents = len(tr)
+		res.Violations = w.judge(tr)
+	}
+	return res, nil
+}
+
+// engine holds the shared issuing state of one run.
+type engine struct {
+	cfg        *Config
+	k          *kernel.RealKernel
+	w          *workload
+	budget     atomic.Int64 // operations remaining to issue
+	deadlineNs int64        // kernel-clock issue deadline
+	opSeq      atomic.Int64
+	clients    []clientState
+}
+
+type clientState struct {
+	completed atomic.Int64
+}
+
+// pickClass selects a class by weight with rng.
+func (e *engine) pickClass(rng *rand.Rand) *class {
+	cs := e.w.classes
+	if len(cs) == 1 {
+		return cs[0]
+	}
+	x := rng.Float64()
+	var acc float64
+	for _, c := range cs {
+		acc += c.weight
+		if x < acc {
+			return c
+		}
+	}
+	return cs[len(cs)-1]
+}
+
+// spawnGenerator issues open-loop traffic: a generator process walks the
+// deterministic arrival schedule, sleeping until each intended instant
+// and spawning a fresh process per arrival. Arrivals never wait for
+// earlier operations to finish — that is what makes the loop open.
+func (e *engine) spawnGenerator() {
+	cfg := e.cfg
+	e.k.Spawn("loadgen", func(gp *kernel.Proc) {
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		g := newGapper(cfg.Arrival, cfg.RatePerSec, cfg.BurstSize, rng)
+		tickNs := cfg.Tick.Nanoseconds()
+		order := make([]int, len(e.w.classes))
+		for i := range order {
+			order[i] = i
+		}
+		next := int64(0)
+		for {
+			// One issuing cycle: every class once for balanced
+			// workloads (in shuffled order, so the interleaving of
+			// deposit/remove arrivals still varies), one weighted pick
+			// otherwise.
+			n := 1
+			if e.w.balanced {
+				n = len(order)
+				rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+			}
+			if next > e.deadlineNs || e.budget.Add(int64(-n)) < 0 {
+				return
+			}
+			for i := 0; i < n; i++ {
+				var c *class
+				if e.w.balanced {
+					c = e.w.classes[order[i]]
+				} else {
+					c = e.pickClass(rng)
+				}
+				at := next
+				// Sleep until the intended instant; if the generator is
+				// behind schedule it spawns immediately (the backlog is
+				// charged to the operation's latency via at).
+				if now := e.k.Now(); at > now {
+					gp.Sleep((at-now)/tickNs + 1)
+				}
+				seq := e.opSeq.Add(1)
+				c.issued.Add(1)
+				e.k.Spawn(c.name, func(p *kernel.Proc) {
+					c.do(p, at, seq)
+					c.completed.Add(1)
+				})
+				next += g.next()
+			}
+		}
+	})
+}
+
+// spawnClients issues closed-loop traffic: a fixed population, each
+// client running one operation at a time with exponential think time.
+// Balanced workloads issue whole cycles in fixed class order per client —
+// fixed order makes the population deadlock-free (a client blocked in
+// deposit has a personally balanced history, so all-blocked-in-deposit
+// would imply an empty buffer, contradiction; symmetrically for remove).
+func (e *engine) spawnClients() {
+	cfg := e.cfg
+	e.clients = make([]clientState, cfg.Clients)
+	for i := 0; i < cfg.Clients; i++ {
+		cl := &e.clients[i]
+		clientSeed := cfg.Seed + int64(i)*7919
+		e.k.Spawn("client", func(p *kernel.Proc) {
+			rng := rand.New(rand.NewSource(clientSeed))
+			for {
+				if e.k.Now() >= e.deadlineNs {
+					return
+				}
+				n := 1
+				if e.w.balanced {
+					n = len(e.w.classes)
+				}
+				if e.budget.Add(int64(-n)) < 0 {
+					return
+				}
+				if e.w.balanced {
+					for _, c := range e.w.classes {
+						e.runOne(c, p, cl)
+					}
+				} else {
+					e.runOne(e.pickClass(rng), p, cl)
+				}
+				if cfg.ThinkTicks > 0 {
+					p.Sleep(int64(rng.ExpFloat64() * float64(cfg.ThinkTicks)))
+				}
+			}
+		})
+	}
+}
+
+func (e *engine) runOne(c *class, p *kernel.Proc, cl *clientState) {
+	at := e.k.Now()
+	c.issued.Add(1)
+	c.do(p, at, e.opSeq.Add(1))
+	c.completed.Add(1)
+	cl.completed.Add(1)
+}
+
+// jain is the Jain fairness index of the per-client completion counts:
+// (Σx)² / (n·Σx²), 1.0 when all equal, →1/n under total starvation of
+// all but one client.
+func jain(xs []int64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		f := float64(x)
+		sum += f
+		sumSq += f * f
+	}
+	if sumSq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}

@@ -1,0 +1,338 @@
+package load
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// The load report is the subsystem's interchange format: cmd/syncload
+// emits it, cmd/benchjson ingests and archives it, CI uploads it. The
+// schema is versioned and deterministic — struct-only (no maps), fixed
+// field order — so reports diff cleanly across commits.
+
+// SchemaVersion identifies the report layout. Bump on any breaking
+// change; benchjson rejects reports from other versions.
+const SchemaVersion = "repro-load/v1"
+
+// Report is a set of load runs, typically one per mechanism × problem ×
+// arrival pairing of a matrix sweep.
+type Report struct {
+	Schema string      `json:"schema"`
+	Runs   []RunReport `json:"runs"`
+}
+
+// NewReport returns an empty report at the current schema version.
+func NewReport() *Report { return &Report{Schema: SchemaVersion} }
+
+// RunReport is one load run: the effective configuration, aggregate
+// results, and per-class measurements.
+type RunReport struct {
+	Mechanism string `json:"mechanism"`
+	Problem   string `json:"problem"`
+	Arrival   string `json:"arrival"`
+
+	RatePerSec   float64 `json:"rate_per_sec,omitempty"`
+	BurstSize    int     `json:"burst_size,omitempty"`
+	Clients      int     `json:"clients,omitempty"`
+	ThinkTicks   int64   `json:"think_ticks,omitempty"`
+	Seed         int64   `json:"seed"`
+	ReadFraction float64 `json:"read_fraction,omitempty"`
+	BufferCap    int     `json:"buffer_cap,omitempty"`
+	WorkYields   int     `json:"work_yields,omitempty"`
+
+	ElapsedNs        int64   `json:"elapsed_ns"`
+	Issued           int64   `json:"issued"`
+	Completed        int64   `json:"completed"`
+	ThroughputOpsSec float64 `json:"throughput_ops_sec"`
+
+	Classes []ClassReport `json:"classes"`
+
+	// Closed-loop fairness between identical clients.
+	ClientCompleted []int64 `json:"client_completed,omitempty"`
+	JainIndex       float64 `json:"jain_index,omitempty"`
+
+	// KernelError is set when the run's watchdog expired before all
+	// issued operations drained.
+	KernelError string `json:"kernel_error,omitempty"`
+
+	// Judged reports whether the run was traced and oracle-checked;
+	// Violations holds the findings (rendered), empty when clean.
+	Judged      bool     `json:"judged"`
+	TraceEvents int      `json:"trace_events,omitempty"`
+	Violations  []string `json:"violations,omitempty"`
+}
+
+// ClassReport is one operation class's share and latency.
+type ClassReport struct {
+	Name      string `json:"name"`
+	Issued    int64  `json:"issued"`
+	Completed int64  `json:"completed"`
+	// CompletedShare is this class's fraction of all completed
+	// operations in the run — the fairness axis: under a reader flood, a
+	// starving writer class shows a completed share far below its issued
+	// share.
+	CompletedShare float64 `json:"completed_share"`
+	IssuedShare    float64 `json:"issued_share"`
+
+	Wait  LatencySummary `json:"wait"`  // intended arrival → admission
+	Total LatencySummary `json:"total"` // intended arrival → completion
+}
+
+// LatencySummary is the exported form of a Histogram: headline quantiles
+// plus the non-zero buckets, so downstream tooling can validate the
+// quantiles against the raw counts and re-aggregate across runs.
+type LatencySummary struct {
+	Count  int64         `json:"count"`
+	P50Ns  int64         `json:"p50_ns"`
+	P90Ns  int64         `json:"p90_ns"`
+	P99Ns  int64         `json:"p99_ns"`
+	MaxNs  int64         `json:"max_ns"`
+	MeanNs float64       `json:"mean_ns"`
+	Bucket []BucketCount `json:"buckets,omitempty"`
+}
+
+// Summarize exports a histogram.
+func Summarize(h *Histogram) LatencySummary {
+	return LatencySummary{
+		Count:  h.Count(),
+		P50Ns:  h.Quantile(0.50),
+		P90Ns:  h.Quantile(0.90),
+		P99Ns:  h.Quantile(0.99),
+		MaxNs:  h.Max(),
+		MeanNs: h.Mean(),
+		Bucket: h.NonZeroBuckets(),
+	}
+}
+
+// Report converts a run result to its interchange form.
+func (r *Result) Report() RunReport {
+	cfg := &r.Config
+	rr := RunReport{
+		Mechanism:        cfg.Mechanism,
+		Problem:          cfg.Problem,
+		Arrival:          cfg.Arrival.String(),
+		Seed:             cfg.Seed,
+		WorkYields:       cfg.WorkYields,
+		ElapsedNs:        r.ElapsedNs,
+		Issued:           r.Issued,
+		Completed:        r.Completed,
+		ThroughputOpsSec: r.Throughput(),
+		ClientCompleted:  r.ClientCompleted,
+		JainIndex:        r.JainIndex,
+		Judged:           r.Judged,
+		TraceEvents:      r.TraceEvents,
+	}
+	if cfg.Arrival.Open() {
+		rr.RatePerSec = cfg.RatePerSec
+		if cfg.Arrival == ArrivalBurst {
+			rr.BurstSize = cfg.BurstSize
+		}
+	} else {
+		rr.Clients = cfg.Clients
+		rr.ThinkTicks = cfg.ThinkTicks
+	}
+	switch cfg.Problem {
+	case "bounded-buffer":
+		rr.BufferCap = cfg.BufferCap
+	case "readers-priority", "writers-priority", "fcfs-rw":
+		rr.ReadFraction = cfg.ReadFraction
+	}
+	if r.KernelErr != nil {
+		rr.KernelError = r.KernelErr.Error()
+	}
+	for _, c := range r.Classes {
+		cr := ClassReport{
+			Name:      c.Name,
+			Issued:    c.Issued,
+			Completed: c.Completed,
+			Wait:      Summarize(c.Wait),
+			Total:     Summarize(c.Total),
+		}
+		if r.Completed > 0 {
+			cr.CompletedShare = float64(c.Completed) / float64(r.Completed)
+		}
+		if r.Issued > 0 {
+			cr.IssuedShare = float64(c.Issued) / float64(r.Issued)
+		}
+		rr.Classes = append(rr.Classes, cr)
+	}
+	for _, v := range r.Violations {
+		rr.Violations = append(rr.Violations, v.String())
+	}
+	return rr
+}
+
+// Validate checks a report's internal consistency and returns the first
+// problem found as an error whose message carries the JSON path of the
+// offending field (e.g. "runs[1].classes[0].wait: ..."). It is shared by
+// cmd/syncload (sanity-check before emitting) and cmd/benchjson
+// (reject malformed input before archiving).
+func (rep *Report) Validate() error {
+	if rep.Schema != SchemaVersion {
+		return fmt.Errorf("schema: got %q, want %q", rep.Schema, SchemaVersion)
+	}
+	if len(rep.Runs) == 0 {
+		return fmt.Errorf("runs: report has no runs")
+	}
+	for i := range rep.Runs {
+		if err := rep.Runs[i].validate(); err != nil {
+			return fmt.Errorf("runs[%d].%w", i, err)
+		}
+	}
+	return nil
+}
+
+func (rr *RunReport) validate() error {
+	if rr.Mechanism == "" {
+		return fmt.Errorf("mechanism: empty")
+	}
+	if rr.Problem == "" {
+		return fmt.Errorf("problem: empty")
+	}
+	if _, err := ParseArrival(rr.Arrival); err != nil {
+		return fmt.Errorf("arrival: %v", err)
+	}
+	if rr.Issued < 0 || rr.Completed < 0 || rr.Completed > rr.Issued {
+		return fmt.Errorf("completed: %d completed vs %d issued", rr.Completed, rr.Issued)
+	}
+	if rr.ElapsedNs < 0 {
+		return fmt.Errorf("elapsed_ns: negative (%d)", rr.ElapsedNs)
+	}
+	if len(rr.Classes) == 0 {
+		return fmt.Errorf("classes: empty")
+	}
+	var sum int64
+	for j := range rr.Classes {
+		c := &rr.Classes[j]
+		if err := c.validate(); err != nil {
+			return fmt.Errorf("classes[%d].%w", j, err)
+		}
+		sum += c.Completed
+	}
+	if sum != rr.Completed {
+		return fmt.Errorf("completed: run total %d but classes sum to %d", rr.Completed, sum)
+	}
+	if rr.JainIndex < 0 || rr.JainIndex > 1.0000001 {
+		return fmt.Errorf("jain_index: %v outside [0,1]", rr.JainIndex)
+	}
+	return nil
+}
+
+func (c *ClassReport) validate() error {
+	if c.Name == "" {
+		return fmt.Errorf("name: empty")
+	}
+	if c.Issued < 0 || c.Completed < 0 || c.Completed > c.Issued {
+		return fmt.Errorf("completed: %d completed vs %d issued", c.Completed, c.Issued)
+	}
+	if bad(c.CompletedShare) || bad(c.IssuedShare) {
+		return fmt.Errorf("completed_share: shares must lie in [0,1]")
+	}
+	// Bound histogram sizes by issued, not completed: in a timed-out run
+	// an in-flight operation may have recorded its wait latency before
+	// its completion counter ticked.
+	if err := c.Wait.validate(c.Issued); err != nil {
+		return fmt.Errorf("wait: %w", err)
+	}
+	if err := c.Total.validate(c.Issued); err != nil {
+		return fmt.Errorf("total: %w", err)
+	}
+	return nil
+}
+
+func bad(share float64) bool { return share < 0 || share > 1 }
+
+// validate cross-checks a latency summary against its own buckets.
+// issued is the class's issued-operation count; a histogram cannot hold
+// more observations than operations that were issued.
+func (s *LatencySummary) validate(issued int64) error {
+	if s.Count < 0 {
+		return fmt.Errorf("negative count %d", s.Count)
+	}
+	if s.Count > issued {
+		return fmt.Errorf("count %d exceeds issued operations %d", s.Count, issued)
+	}
+	var sum uint64
+	last := -1
+	for _, b := range s.Bucket {
+		if b.Index < 0 || b.Index >= NumBuckets() {
+			return fmt.Errorf("bucket index %d outside [0,%d)", b.Index, NumBuckets())
+		}
+		if b.Index <= last {
+			return fmt.Errorf("bucket indices not strictly ascending at index %d", b.Index)
+		}
+		if b.Count == 0 {
+			return fmt.Errorf("bucket %d has zero count (must be omitted)", b.Index)
+		}
+		last = b.Index
+		sum += b.Count
+	}
+	if sum != uint64(s.Count) {
+		return fmt.Errorf("bucket counts sum to %d, count is %d", sum, s.Count)
+	}
+	if s.Count == 0 {
+		if s.P50Ns != 0 || s.P90Ns != 0 || s.P99Ns != 0 || s.MaxNs != 0 || s.MeanNs != 0 {
+			return fmt.Errorf("empty histogram with non-zero summary values")
+		}
+		return nil
+	}
+	if s.P50Ns < 0 {
+		return fmt.Errorf("negative p50 %d", s.P50Ns)
+	}
+	if !(s.P50Ns <= s.P90Ns && s.P90Ns <= s.P99Ns && s.P99Ns <= s.MaxNs) {
+		return fmt.Errorf("quantiles not monotone: p50=%d p90=%d p99=%d max=%d",
+			s.P50Ns, s.P90Ns, s.P99Ns, s.MaxNs)
+	}
+	return nil
+}
+
+// Render writes a human-readable summary of the report.
+func (rep *Report) Render(w io.Writer) {
+	for i := range rep.Runs {
+		rr := &rep.Runs[i]
+		fmt.Fprintf(w, "%s/%s %s%s: %d/%d ops in %v, %.0f ops/s%s\n",
+			rr.Mechanism, rr.Problem, rr.Arrival, trafficParams(rr),
+			rr.Completed, rr.Issued, time.Duration(rr.ElapsedNs).Round(time.Millisecond),
+			rr.ThroughputOpsSec, verdict(rr))
+		for j := range rr.Classes {
+			c := &rr.Classes[j]
+			fmt.Fprintf(w, "  %-8s n=%-6d share=%.2f  wait p50=%v p99=%v max=%v  total p50=%v p99=%v\n",
+				c.Name, c.Completed, c.CompletedShare,
+				ns(c.Wait.P50Ns), ns(c.Wait.P99Ns), ns(c.Wait.MaxNs),
+				ns(c.Total.P50Ns), ns(c.Total.P99Ns))
+		}
+		if len(rr.ClientCompleted) > 0 {
+			fmt.Fprintf(w, "  clients=%d jain=%.3f\n", len(rr.ClientCompleted), rr.JainIndex)
+		}
+		for _, v := range rr.Violations {
+			fmt.Fprintf(w, "  VIOLATION %s\n", v)
+		}
+	}
+}
+
+func trafficParams(rr *RunReport) string {
+	if rr.Clients > 0 {
+		return fmt.Sprintf(" clients=%d think=%d", rr.Clients, rr.ThinkTicks)
+	}
+	s := fmt.Sprintf(" rate=%g/s", rr.RatePerSec)
+	if rr.BurstSize > 0 {
+		s += fmt.Sprintf(" burst=%d", rr.BurstSize)
+	}
+	return s
+}
+
+func verdict(rr *RunReport) string {
+	switch {
+	case rr.KernelError != "":
+		return ", KERNEL ERROR: " + rr.KernelError
+	case !rr.Judged:
+		return ""
+	case len(rr.Violations) > 0:
+		return fmt.Sprintf(", %d ORACLE VIOLATIONS", len(rr.Violations))
+	default:
+		return fmt.Sprintf(", oracle clean (%d events)", rr.TraceEvents)
+	}
+}
+
+func ns(v int64) time.Duration { return time.Duration(v).Round(time.Microsecond) }

@@ -1,0 +1,203 @@
+package load
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/kernel"
+	"repro/internal/problems"
+	"repro/internal/solutions"
+	"repro/internal/trace"
+)
+
+// A workload binds one solution instance to a set of operation classes
+// the traffic generator can issue. Classes are the unit of measurement:
+// each has its own latency histograms and counters, so fairness between
+// request types (the writer-starvation axis of the readers–writers
+// problems) falls out of the per-class totals.
+
+// class is one operation type of a workload under measurement.
+type class struct {
+	name   string
+	weight float64 // selection probability for unbalanced workloads
+
+	wait  *Histogram // intended-arrival → admission (queueing delay)
+	total *Histogram // intended-arrival → completion
+
+	issued    atomic.Int64
+	completed atomic.Int64
+
+	// do performs one operation on behalf of p. at is the intended
+	// arrival instant on the kernel clock (the latency origin — for
+	// open-loop traffic this predates the process actually running, which
+	// is exactly the point: scheduling backlog is latency the offered
+	// traffic observed). seq is a unique operation sequence number used
+	// for item identity.
+	do func(p *kernel.Proc, at int64, seq int64)
+}
+
+// workload is the set of classes plus issuing rules.
+type workload struct {
+	classes []*class
+	// balanced workloads (bounded buffer: deposit/remove) must be issued
+	// in equal numbers or leftover operations block forever; the
+	// generators issue them in full cycles over the classes.
+	balanced bool
+	// judge maps a recorded trace to oracle findings. Only the
+	// constraints that are exact on real-kernel traces are judged:
+	// exclusion and resource-safety rules, not FCFS/priority ordering
+	// (see DESIGN.md §8 — ordering is verified exhaustively in
+	// simulation; the real-runtime leg cross-checks the safety side).
+	judge func(tr trace.Trace) []problems.Violation
+}
+
+// LoadProblems lists the problems the load subsystem can generate
+// traffic for, in evaluation order. The first three are the canonical
+// cross-mechanism comparison set; the RW variants ride along for free.
+func LoadProblems() []string {
+	return []string{
+		problems.NameBoundedBuffer,
+		problems.NameReadersPriority,
+		problems.NameFCFS,
+		problems.NameWritersPriority,
+		problems.NameFCFSRW,
+	}
+}
+
+// DefaultProblems is the canonical mechanism-comparison trio.
+func DefaultProblems() []string {
+	return []string{problems.NameBoundedBuffer, problems.NameReadersPriority, problems.NameFCFS}
+}
+
+func newClass(name string, weight float64) *class {
+	return &class{name: name, weight: weight, wait: &Histogram{}, total: &Histogram{}}
+}
+
+// yieldWork stretches an operation body, creating real contention windows
+// the oracles can observe.
+func yieldWork(p *kernel.Proc, n int) {
+	for i := 0; i < n; i++ {
+		p.Yield()
+	}
+}
+
+// runBody is every class's operation body: stamp the admission instant,
+// do the work, and — when tracing — emit the Enter/Exit pair around it.
+// The pair lives in one function so the recorded interval can never be
+// left open, whatever the caller does (synclint's bracket analyzer
+// checks exactly this).
+func runBody(rec *trace.Recorder, p *kernel.Proc, op string, arg int64, yields int, enter *int64, now func() int64) {
+	*enter = now()
+	if rec == nil {
+		yieldWork(p, yields)
+		return
+	}
+	rec.Enter(p, op, arg)
+	yieldWork(p, yields)
+	rec.Exit(p, op, arg)
+}
+
+// buildWorkload constructs the workload for cfg on kernel k, recording
+// into rec when non-nil.
+func buildWorkload(cfg *Config, s solutions.Suite, k kernel.Kernel, rec *trace.Recorder) (*workload, error) {
+	yields := cfg.WorkYields
+	now := k.Now
+	switch cfg.Problem {
+	case problems.NameBoundedBuffer:
+		bb := s.NewBoundedBuffer(k, cfg.BufferCap)
+		dep := newClass(problems.OpDeposit, 0.5)
+		rem := newClass(problems.OpRemove, 0.5)
+		dep.do = func(p *kernel.Proc, at, seq int64) {
+			if rec != nil {
+				rec.Request(p, problems.OpDeposit, seq)
+			}
+			var enter int64
+			bb.Deposit(p, seq, func() {
+				runBody(rec, p, problems.OpDeposit, seq, yields, &enter, now)
+			})
+			end := now()
+			dep.wait.Record(enter - at)
+			dep.total.Record(end - at)
+		}
+		rem.do = func(p *kernel.Proc, at, seq int64) {
+			if rec != nil {
+				rec.Request(p, problems.OpRemove, trace.NoArg)
+			}
+			var enter int64
+			bb.Remove(p, func(item int64) {
+				runBody(rec, p, problems.OpRemove, item, yields, &enter, now)
+			})
+			end := now()
+			rem.wait.Record(enter - at)
+			rem.total.Record(end - at)
+		}
+		capacity := cfg.BufferCap
+		return &workload{
+			classes:  []*class{dep, rem},
+			balanced: true,
+			judge: func(tr trace.Trace) []problems.Violation {
+				return problems.CheckBoundedBuffer(tr, capacity, 0)
+			},
+		}, nil
+
+	case problems.NameFCFS:
+		res := s.NewFCFS(k)
+		use := newClass(problems.OpUse, 1)
+		use.do = func(p *kernel.Proc, at, seq int64) {
+			if rec != nil {
+				rec.Request(p, problems.OpUse, trace.NoArg)
+			}
+			var enter int64
+			res.Use(p, func() {
+				runBody(rec, p, problems.OpUse, trace.NoArg, yields, &enter, now)
+			})
+			end := now()
+			use.wait.Record(enter - at)
+			use.total.Record(end - at)
+		}
+		return &workload{
+			classes: []*class{use},
+			judge: func(tr trace.Trace) []problems.Violation {
+				return problems.CheckFCFS(tr, false)
+			},
+		}, nil
+
+	case problems.NameReadersPriority, problems.NameWritersPriority, problems.NameFCFSRW:
+		newDB, _ := solutions.RWConstructor(s, cfg.Problem)
+		db := newDB(k)
+		rd := newClass(problems.OpRead, cfg.ReadFraction)
+		wr := newClass(problems.OpWrite, 1-cfg.ReadFraction)
+		rd.do = func(p *kernel.Proc, at, seq int64) {
+			if rec != nil {
+				rec.Request(p, problems.OpRead, trace.NoArg)
+			}
+			var enter int64
+			db.Read(p, func() {
+				runBody(rec, p, problems.OpRead, trace.NoArg, yields, &enter, now)
+			})
+			end := now()
+			rd.wait.Record(enter - at)
+			rd.total.Record(end - at)
+		}
+		wr.do = func(p *kernel.Proc, at, seq int64) {
+			if rec != nil {
+				rec.Request(p, problems.OpWrite, trace.NoArg)
+			}
+			var enter int64
+			db.Write(p, func() {
+				runBody(rec, p, problems.OpWrite, trace.NoArg, yields, &enter, now)
+			})
+			end := now()
+			wr.wait.Record(enter - at)
+			wr.total.Record(end - at)
+		}
+		problem := cfg.Problem
+		return &workload{
+			classes: []*class{rd, wr},
+			judge: func(tr trace.Trace) []problems.Violation {
+				return problems.CheckRW(problem, tr, false)
+			},
+		}, nil
+	}
+	return nil, fmt.Errorf("load: problem %q is not load-generable (supported: %v)", cfg.Problem, LoadProblems())
+}

@@ -176,6 +176,22 @@ func ByMechanism(name string) (Suite, bool) {
 	return Suite{}, false
 }
 
+// RWConstructor returns the suite's constructor for the named
+// readers–writers variant, or false for non-RW problem names. Shared by
+// the standard-workload builder and the load subsystem, which otherwise
+// would each hard-code the variant dispatch.
+func RWConstructor(s Suite, problem string) (func(kernel.Kernel) problems.RWStore, bool) {
+	switch problem {
+	case problems.NameReadersPriority:
+		return s.NewReadersPriority, true
+	case problems.NameWritersPriority:
+		return s.NewWritersPriority, true
+	case problems.NameFCFSRW:
+		return s.NewFCFSRW, true
+	}
+	return nil, false
+}
+
 // Standard workload parameters, shared by conformance tests, the
 // evaluation engine, and the benchmarks so that all of them exercise the
 // same histories.
@@ -266,13 +282,7 @@ func StandardProgram(s Suite, problem string, strict bool) (func(k kernel.Kernel
 		}
 		check = func(tr trace.Trace) []problems.Violation { return problems.CheckFCFS(tr, strict) }
 	case problems.NameReadersPriority, problems.NameWritersPriority, problems.NameFCFSRW:
-		newDB := s.NewFCFSRW
-		switch problem {
-		case problems.NameReadersPriority:
-			newDB = s.NewReadersPriority
-		case problems.NameWritersPriority:
-			newDB = s.NewWritersPriority
-		}
+		newDB, _ := RWConstructor(s, problem)
 		prog = func(k kernel.Kernel, r *trace.Recorder) {
 			_ = problems.SpawnRW(k, newDB(k), r, StdRWConfig())
 		}
