@@ -3,7 +3,7 @@
 GO        ?= go
 BENCHTIME ?= 2s
 
-.PHONY: all build test race lint bench hunt load clean
+.PHONY: all build test race lint bench bench-check hunt load clean
 
 # Load-run knobs for make load; see cmd/syncload -h for the full set.
 LOAD_RATE     ?= 2000
@@ -25,13 +25,25 @@ lint:
 	$(GO) vet ./...
 	$(GO) run ./cmd/synclint ./...
 
-# bench runs the E1 exploration-throughput benchmark (pool and prune
-# variants included) and archives the numbers — ns/op, allocs/op, and
-# schedules/sec per variant — as BENCH_explore.json. Override BENCHTIME
-# (e.g. BENCHTIME=1x) for a smoke run.
+# bench runs the E1 exploration benchmarks — throughput variants plus
+# the checkpointed-DFS pooled/stream/checkpoint column — and archives
+# the numbers (ns/op, allocs/op, schedules/sec per variant) into
+# BENCH_explore.json. The file is a committed baseline: benchjson
+# merges fresh runs into it line by line instead of overwriting, so a
+# partial -bench filter never loses the other variants. Override
+# BENCHTIME (e.g. BENCHTIME=1x) for a smoke run.
 bench:
-	$(GO) test -run '^$$' -bench BenchmarkE1ExploreThroughput -benchmem -benchtime $(BENCHTIME) -count 1 . \
+	$(GO) test -run '^$$' -bench BenchmarkE1 -benchmem -benchtime $(BENCHTIME) -count 1 . \
 		| tee /dev/stderr | $(GO) run ./cmd/benchjson -o BENCH_explore.json
+
+# bench-check regression-gates a fresh bench run against the committed
+# BENCH_explore.json baseline: any variant whose schedules/sec falls
+# below TOLERANCE × baseline fails. CI runs this after the bench smoke.
+TOLERANCE ?= 0.8
+bench-check:
+	$(GO) test -run '^$$' -bench BenchmarkE1 -benchmem -benchtime $(BENCHTIME) -count 1 . \
+		| tee /dev/stderr | $(GO) run ./cmd/benchjson -o bench-fresh.json
+	$(GO) run ./cmd/benchjson -compare -tolerance $(TOLERANCE) BENCH_explore.json bench-fresh.json
 
 # load runs the real-runtime evaluation matrix — every mechanism × the
 # canonical problem trio under Poisson open-loop and fixed-client
@@ -53,5 +65,7 @@ hunt:
 		-explore -shrink -pool -progress -save-sched figure1-found.sched -quiet
 	$(GO) run ./cmd/simtrace -replay figure1-found.sched
 
+# BENCH_explore.json is a committed baseline, not a build product, so
+# clean leaves it alone.
 clean:
-	rm -f BENCH_explore.json BENCH_load.json load-raw.json figure1-found.sched
+	rm -f BENCH_load.json load-raw.json bench-fresh.json figure1-found.sched

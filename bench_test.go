@@ -130,6 +130,72 @@ func BenchmarkE1ExploreThroughput(b *testing.B) {
 	})
 }
 
+// benchDeepDFS measures schedules/sec on a deep clean scenario — a
+// scaled-up readers–writers workload on the monitor solution (20 procs,
+// 80 intervals, no artificial yields), whose runs produce long traces
+// relative to their scheduling steps. That trace density is what deep
+// hunts look like: the per-run cost is dominated by recording and
+// judging the operation history, exactly the work that replay-from-root
+// engines redo for the shared prefix of every sibling schedule. The
+// checkpointed engine forks from a snapshot at the branch point
+// instead: prefix events are served canned from the checkpoint and the
+// per-step scheduling pipeline is skipped, so only the suffix pays full
+// freight.
+func benchDeepDFS(b *testing.B, opts explore.Options) {
+	suite, _ := solutions.ByMechanism("monitor")
+	cfg := problems.RWConfig{Readers: 12, Writers: 8, Rounds: 4}
+	prog := explore.Program(func(k kernel.Kernel, r *trace.Recorder) {
+		_ = problems.SpawnRW(k, suite.NewReadersPriority(k), r, cfg)
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	total := 0
+	var last explore.StatsCore
+	for i := 0; i < b.N; i++ {
+		res := explore.Run(prog, problems.CheckReadersPriority, opts)
+		if res.Found {
+			b.Fatal("unexpected finding")
+		}
+		total += res.Runs
+		last = res.Stats
+	}
+	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "schedules/sec")
+	if opts.Checkpoint {
+		b.ReportMetric(float64(last.CheckpointForks), "forks/hunt")
+		b.ReportMetric(float64(last.SavedSteps), "saved-steps/hunt")
+		b.ReportMetric(float64(last.ReplayedSteps), "replayed-steps/hunt")
+	}
+}
+
+// BenchmarkE1CheckpointDFS compares checkpointed DFS against the
+// replay-from-root engines it is byte-identical to (see
+// TestCheckpointMatchesReplay): `pooled` is the PR 3 baseline (run
+// recycling only), `pooled-stream` adds incremental judging, and
+// `checkpoint` adds prefix sharing on top of both. All three execute
+// the same schedule budget and return the same Result.
+func BenchmarkE1CheckpointDFS(b *testing.B) {
+	const budget = 64
+	inc, ok := problems.IncrementalOracleFor(problems.NameReadersPriority)
+	if !ok {
+		b.Fatal("no incremental oracle for readers-priority")
+	}
+	base := explore.Options{RandomRuns: -1, DFSRuns: budget, DFSDepth: 48, Workers: 1, Pool: true}
+	b.Run("pooled", func(b *testing.B) {
+		benchDeepDFS(b, base)
+	})
+	b.Run("pooled-stream", func(b *testing.B) {
+		opts := base
+		opts.Stream = inc.New
+		benchDeepDFS(b, opts)
+	})
+	b.Run("checkpoint", func(b *testing.B) {
+		opts := base
+		opts.Stream = inc.New
+		opts.Checkpoint = true
+		benchDeepDFS(b, opts)
+	})
+}
+
 // ---- T1: expressive-power matrix ----
 
 // BenchmarkT1PowerVerification measures the full matrix verification

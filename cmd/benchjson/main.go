@@ -10,10 +10,23 @@
 // (JSON syntax/type errors) or a field-path diagnostic (semantic errors
 // like a histogram whose buckets disagree with its count).
 //
+// When -o names an existing report, the new results are merged into it
+// rather than replacing it: benchmarks with the same name and cpu count
+// are updated in place, everything else is preserved. A partial bench
+// run (say, one -bench filter out of several) therefore refreshes its
+// own lines in a committed baseline without discarding the rest.
+//
+// With -compare it gates instead of archiving: given a baseline report
+// and a fresh one, every benchmark present in both is checked on the
+// schedules/sec metric, and the run exits non-zero if any fresh value
+// fell below tolerance × baseline. CI runs this after the bench smoke so
+// an exploration-engine throughput regression fails the build.
+//
 // Usage:
 //
-//	go test -run '^$' -bench BenchmarkE1ExploreThroughput -benchmem . | benchjson -o BENCH_explore.json
+//	go test -run '^$' -bench BenchmarkE1 -benchmem . | benchjson -o BENCH_explore.json
 //	syncload -json | benchjson -load -o BENCH_load.json
+//	benchjson -compare -tolerance 0.8 BENCH_explore.json fresh.json
 //
 // Input lines it understands (everything else passes through untouched):
 //
@@ -57,16 +70,34 @@ type Report struct {
 }
 
 func main() {
-	out := flag.String("o", "", "write JSON here instead of stdout")
+	out := flag.String("o", "", "write JSON here instead of stdout; an existing bench report is merged into, not overwritten")
 	loadMode := flag.Bool("load", false, "ingest a syncload report instead of bench output")
+	compareMode := flag.Bool("compare", false, "compare two reports (baseline.json fresh.json) on the schedules/sec metric; exit non-zero on regression")
+	tolerance := flag.Float64("tolerance", 0.8, "with -compare, minimum acceptable fresh/baseline schedules-per-second ratio")
 	flag.Parse()
+
+	if *compareMode {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare wants exactly two arguments: baseline.json fresh.json")
+			os.Exit(2)
+		}
+		ok, err := compareReports(flag.Arg(0), flag.Arg(1), *tolerance, os.Stdout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		if !ok {
+			os.Exit(1)
+		}
+		return
+	}
 
 	var buf []byte
 	var err error
 	if *loadMode {
 		buf, err = ingestLoad(os.Stdin)
 	} else {
-		buf, err = ingestBench(os.Stdin)
+		buf, err = ingestBench(os.Stdin, *out)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -83,7 +114,11 @@ func main() {
 }
 
 // ingestBench is the original mode: bench text in, JSON document out.
-func ingestBench(r io.Reader) ([]byte, error) {
+// When dest names an existing report, the parsed results are merged
+// into it (mergeReports); a corrupt existing report is an error rather
+// than something to silently overwrite — baselines are committed
+// artifacts.
+func ingestBench(r io.Reader, dest string) ([]byte, error) {
 	report, err := parse(bufio.NewScanner(r))
 	if err != nil {
 		return nil, err
@@ -91,7 +126,124 @@ func ingestBench(r io.Reader) ([]byte, error) {
 	if len(report.Benchmarks) == 0 {
 		return nil, fmt.Errorf("no benchmark lines on stdin (did the bench run produce output?)")
 	}
+	if dest != "" {
+		if data, err := os.ReadFile(dest); err == nil {
+			var base Report
+			if err := json.Unmarshal(data, &base); err != nil {
+				return nil, fmt.Errorf("existing report %s: %v (refusing to overwrite; delete it to start fresh)", dest, err)
+			}
+			report = mergeReports(base, report)
+		}
+	}
 	return marshal(report)
+}
+
+// mergeReports folds the fresh run into the baseline: benchmarks with
+// the same name and cpu count are replaced in place (keeping the
+// baseline's ordering), new ones are appended, and untouched baseline
+// lines survive. Header fields follow the fresh run, which describes
+// the machine that produced the newest numbers.
+func mergeReports(base, fresh Report) Report {
+	type key struct {
+		name string
+		cpus int
+	}
+	replaced := make(map[key]bool, len(fresh.Benchmarks))
+	byKey := make(map[key]Benchmark, len(fresh.Benchmarks))
+	for _, b := range fresh.Benchmarks {
+		byKey[key{b.Name, b.CPUs}] = b
+	}
+	merged := fresh
+	merged.Benchmarks = nil
+	for _, b := range base.Benchmarks {
+		k := key{b.Name, b.CPUs}
+		if nb, ok := byKey[k]; ok {
+			merged.Benchmarks = append(merged.Benchmarks, nb)
+			replaced[k] = true
+			continue
+		}
+		merged.Benchmarks = append(merged.Benchmarks, b)
+	}
+	for _, b := range fresh.Benchmarks {
+		if !replaced[key{b.Name, b.CPUs}] {
+			merged.Benchmarks = append(merged.Benchmarks, b)
+		}
+	}
+	return merged
+}
+
+// compareMetric is the throughput metric the -compare gate guards: the
+// exploration engine's schedules/sec (see BenchmarkE1* in the repo
+// root). ns/op is deliberately not gated — wall-clock per hunt moves
+// with budget choices, while schedules/sec is the engine's figure of
+// merit.
+const compareMetric = "schedules/sec"
+
+// compareReports checks every benchmark present in both reports on the
+// schedules/sec metric, writing one verdict line each, and reports
+// whether the fresh run passed (no metric below tolerance × baseline).
+// Benchmarks only one side knows are listed but never fail the gate, so
+// a baseline carrying extra suites does not break a narrower CI smoke.
+func compareReports(basePath, freshPath string, tolerance float64, w io.Writer) (bool, error) {
+	base, err := readReport(basePath)
+	if err != nil {
+		return false, err
+	}
+	fresh, err := readReport(freshPath)
+	if err != nil {
+		return false, err
+	}
+	type key struct {
+		name string
+		cpus int
+	}
+	freshBy := make(map[key]Benchmark, len(fresh.Benchmarks))
+	for _, b := range fresh.Benchmarks {
+		freshBy[key{b.Name, b.CPUs}] = b
+	}
+	ok, compared := true, 0
+	for _, b := range base.Benchmarks {
+		old, has := b.Metrics[compareMetric]
+		if !has || old <= 0 {
+			continue
+		}
+		nb, found := freshBy[key{b.Name, b.CPUs}]
+		if !found {
+			fmt.Fprintf(w, "SKIP %s: not in %s\n", b.Name, freshPath)
+			continue
+		}
+		now, has := nb.Metrics[compareMetric]
+		if !has {
+			fmt.Fprintf(w, "SKIP %s: no %s metric in %s\n", b.Name, compareMetric, freshPath)
+			continue
+		}
+		compared++
+		ratio := now / old
+		verdict := "ok"
+		if ratio < tolerance {
+			verdict = "REGRESSION"
+			ok = false
+		}
+		fmt.Fprintf(w, "%-10s %s: %.0f -> %.0f %s (%.2fx, floor %.2fx)\n",
+			verdict, b.Name, old, now, compareMetric, ratio, tolerance)
+	}
+	if compared == 0 {
+		return false, fmt.Errorf("no benchmarks with a %s metric in common between %s and %s", compareMetric, basePath, freshPath)
+	}
+	return ok, nil
+}
+
+// readReport loads a JSON report written by this tool.
+func readReport(path string) (Report, error) {
+	var r Report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("%s: %v", path, err)
+	}
+	return r, nil
 }
 
 // ingestLoad validates a syncload report and re-emits it normalized.

@@ -2,6 +2,8 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
+	"os"
 	"strings"
 	"testing"
 )
@@ -95,6 +97,129 @@ func TestSplitCPUSuffix(t *testing.T) {
 		if name, cpus := splitCPUSuffix(c.in); name != c.name || cpus != c.cpus {
 			t.Fatalf("splitCPUSuffix(%q) = %q, %d; want %q, %d", c.in, name, cpus, c.name, c.cpus)
 		}
+	}
+}
+
+// Merging a fresh run into a baseline replaces matching lines in place,
+// appends new ones, and keeps everything the fresh run did not touch.
+func TestMergeReports(t *testing.T) {
+	base := Report{
+		GoOS: "linux", CPU: "old-cpu",
+		Benchmarks: []Benchmark{
+			{Name: "BenchmarkA", CPUs: 8, Iterations: 10, Metrics: map[string]float64{"schedules/sec": 100}},
+			{Name: "BenchmarkB", CPUs: 8, Iterations: 20, Metrics: map[string]float64{"schedules/sec": 200}},
+		},
+	}
+	fresh := Report{
+		GoOS: "linux", CPU: "new-cpu",
+		Benchmarks: []Benchmark{
+			{Name: "BenchmarkB", CPUs: 8, Iterations: 30, Metrics: map[string]float64{"schedules/sec": 250}},
+			{Name: "BenchmarkC", CPUs: 8, Iterations: 40, Metrics: map[string]float64{"schedules/sec": 300}},
+		},
+	}
+	m := mergeReports(base, fresh)
+	if m.CPU != "new-cpu" {
+		t.Fatalf("header should follow the fresh run: %+v", m)
+	}
+	names := make([]string, len(m.Benchmarks))
+	for i, b := range m.Benchmarks {
+		names[i] = b.Name
+	}
+	if got, want := strings.Join(names, ","), "BenchmarkA,BenchmarkB,BenchmarkC"; got != want {
+		t.Fatalf("merged order = %s, want %s", got, want)
+	}
+	if m.Benchmarks[1].Iterations != 30 || m.Benchmarks[1].Metrics["schedules/sec"] != 250 {
+		t.Fatalf("BenchmarkB not replaced by the fresh run: %+v", m.Benchmarks[1])
+	}
+	if m.Benchmarks[0].Metrics["schedules/sec"] != 100 {
+		t.Fatalf("BenchmarkA (untouched) changed: %+v", m.Benchmarks[0])
+	}
+}
+
+// The -compare gate: within tolerance passes, a drop below tolerance
+// fails, benchmarks on one side only are skipped without failing, and
+// zero comparable benchmarks is a configuration error.
+func TestCompareReports(t *testing.T) {
+	write := func(t *testing.T, name string, r Report) string {
+		t.Helper()
+		buf, err := marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := t.TempDir() + "/" + name
+		if err := os.WriteFile(p, buf, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	bench := func(name string, v float64) Benchmark {
+		return Benchmark{Name: name, Iterations: 1, Metrics: map[string]float64{"schedules/sec": v}}
+	}
+	base := write(t, "base.json", Report{Benchmarks: []Benchmark{
+		bench("BenchmarkA", 1000), bench("BenchmarkOnlyInBase", 500),
+	}})
+
+	var out strings.Builder
+	ok, err := compareReports(base, write(t, "good.json", Report{
+		Benchmarks: []Benchmark{bench("BenchmarkA", 900)},
+	}), 0.8, &out)
+	if err != nil || !ok {
+		t.Fatalf("within tolerance: ok=%v err=%v\n%s", ok, err, out.String())
+	}
+	if !strings.Contains(out.String(), "SKIP BenchmarkOnlyInBase") {
+		t.Fatalf("missing skip line:\n%s", out.String())
+	}
+
+	out.Reset()
+	ok, err = compareReports(base, write(t, "bad.json", Report{
+		Benchmarks: []Benchmark{bench("BenchmarkA", 700)},
+	}), 0.8, &out)
+	if err != nil || ok {
+		t.Fatalf("regression not caught: ok=%v err=%v\n%s", ok, err, out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION BenchmarkA") {
+		t.Fatalf("missing regression line:\n%s", out.String())
+	}
+
+	if _, err = compareReports(base, write(t, "none.json", Report{
+		Benchmarks: []Benchmark{{Name: "BenchmarkUnrelated", Iterations: 1, Metrics: map[string]float64{"ns/op": 1}}},
+	}), 0.8, &out); err == nil {
+		t.Fatal("zero comparable benchmarks should be an error")
+	}
+}
+
+// ingestBench with an existing destination merges rather than clobbers,
+// and refuses to proceed over a corrupt baseline.
+func TestIngestBenchMerges(t *testing.T) {
+	dir := t.TempDir()
+	dest := dir + "/BENCH.json"
+	buf, err := marshal(Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkKeep", Iterations: 5, Metrics: map[string]float64{"ns/op": 42}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dest, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ingestBench(strings.NewReader("BenchmarkNew 7 99 ns/op\n"), dest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var merged Report
+	if err := json.Unmarshal(out, &merged); err != nil {
+		t.Fatal(err)
+	}
+	if len(merged.Benchmarks) != 2 || merged.Benchmarks[0].Name != "BenchmarkKeep" || merged.Benchmarks[1].Name != "BenchmarkNew" {
+		t.Fatalf("merged = %+v", merged.Benchmarks)
+	}
+
+	if err := os.WriteFile(dest, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ingestBench(strings.NewReader("BenchmarkNew 7 99 ns/op\n"), dest); err == nil ||
+		!strings.Contains(err.Error(), "refusing to overwrite") {
+		t.Fatalf("corrupt baseline: err = %v", err)
 	}
 }
 

@@ -50,6 +50,7 @@ func main() {
 	pool := flag.Bool("pool", false, "recycle kernels/recorders across exploration runs (throughput only; identical results)")
 	prune := flag.Bool("prune", false, "prune schedule exploration via state fingerprints (reaches findings in fewer runs, so reported run counts shrink)")
 	shrink := flag.Bool("shrink", false, "minimize every exploration finding by delta debugging (adds a shrunk-schedule line to F1)")
+	checkpoint := flag.Bool("checkpoint", false, "fork exploration DFS runs from kernel snapshots at their branch point (throughput only; identical results)")
 	progress := flag.Bool("progress", false, "print a one-line live exploration status to stderr")
 	saveSched := flag.String("save-sched", "", "write the F1 anomaly (shrunk when -shrink) to this path as a replayable .sched artifact")
 	flag.Parse()
@@ -57,6 +58,7 @@ func main() {
 	eval.ExplorePool = *pool
 	eval.ExplorePrune = *prune
 	eval.ExploreShrink = *shrink
+	eval.ExploreCheckpoint = *checkpoint
 	if *progress {
 		eval.ExploreProgress = progressLine()
 	}

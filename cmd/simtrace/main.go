@@ -40,6 +40,7 @@ func main() {
 	workers := flag.Int("workers", 0, "goroutines for -explore (0 = all cores; results are identical for any value)")
 	prune := flag.Bool("prune", false, "prune the -explore DFS via state fingerprints (fewer schedules to a finding)")
 	pool := flag.Bool("pool", false, "recycle kernels and recorders across -explore runs (higher throughput)")
+	checkpoint := flag.Bool("checkpoint", false, "fork -explore DFS runs from kernel snapshots at their branch point instead of replaying the prefix from the root")
 	shrink := flag.Bool("shrink", false, "minimize the -explore finding by delta debugging (1-minimal schedule)")
 	progress := flag.Bool("progress", false, "print a one-line live exploration status to stderr")
 	saveSched := flag.String("save-sched", "", "write the -explore finding to this path as a replayable .sched artifact")
@@ -96,6 +97,7 @@ func main() {
 		opts := explore.Options{
 			RandomRuns: 300, DFSRuns: 600,
 			Workers: *workers, Prune: *prune, Pool: *pool, Shrink: *shrink,
+			Checkpoint: *checkpoint,
 		}
 		if *progress {
 			opts.Progress = progressLine()

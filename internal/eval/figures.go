@@ -46,6 +46,14 @@ var ExplorePrune bool
 // MinSchedule/ShrinkRuns are added to the outcome.
 var ExploreShrink bool
 
+// ExploreCheckpoint enables checkpointed DFS in every anomaly search
+// (explore.Options.Checkpoint): sibling schedules fork from kernel
+// snapshots at their branch point instead of replaying the shared
+// prefix from the root. Settable from the evalsync -checkpoint flag.
+// Results are byte-identical either way, apart from the checkpoint
+// counters in Result.Stats.
+var ExploreCheckpoint bool
+
 // ExploreProgress, when non-nil, receives live progress snapshots from
 // every anomaly search (explore.Options.Progress), settable from the
 // evalsync -progress flag. Observes only; results are unchanged.
@@ -57,6 +65,7 @@ func exploreOpts(base explore.Options) explore.Options {
 	base.Pool = ExplorePool
 	base.Prune = ExplorePrune
 	base.Shrink = ExploreShrink
+	base.Checkpoint = ExploreCheckpoint
 	base.Progress = ExploreProgress
 	return base
 }

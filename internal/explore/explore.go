@@ -80,10 +80,15 @@ type Result struct {
 	// replays are not counted in Runs, so enabling Shrink changes neither
 	// Runs nor anything else about how the finding was reached.
 	ShrinkRuns int
-	// Stats is the final progress snapshot: deterministic counters only
-	// (the wall-clock and pool fields are zeroed), so it is byte-identical
-	// across Workers settings like the rest of the Result.
-	Stats Stats
+	// Stats is the deterministic counter core of the final progress
+	// snapshot, byte-identical across Workers settings like the rest of
+	// the Result. The live observability fields (wall clock, throughput,
+	// pool occupancy) exist only in the Stats snapshots delivered to
+	// Options.Progress. With Options.Checkpoint the CheckpointForks,
+	// SavedSteps, and ReplayedSteps counters quantify prefix sharing;
+	// they are the one part of a Result that legitimately differs
+	// between the checkpointed and replay-from-root engines.
+	Stats StatsCore
 	// Err is set when the finding is a kernel error (deadlock, livelock)
 	// rather than an oracle violation, or when a PruneAudit cross-check
 	// failed.
@@ -135,6 +140,24 @@ type Options struct {
 	// the batch oracle entirely. The checker must agree with the oracle
 	// on complete traces.
 	Stream func() problems.StreamChecker
+	// Checkpoint enables prefix-sharing DFS: after each clean run the
+	// engine captures a kernel snapshot at every decision point it
+	// branched from (kernel.SnapshotAt), and sibling schedules fork from
+	// the checkpoint (kernel.WithRestore) instead of replaying their
+	// whole prefix from the root — the re-driven prefix skips the
+	// scheduler's per-step pipeline and the recorder serves prefix
+	// events from the snapshot. Composes with Prune, Pool, Stream, and
+	// Shrink. The Result is byte-identical to the replay-from-root
+	// engine at every Workers count, apart from the
+	// CheckpointForks/SavedSteps/ReplayedSteps counters in Result.Stats
+	// that quantify the sharing.
+	Checkpoint bool
+	// CheckpointBudget bounds the number of live checkpoints (each holds
+	// copies of its prefix's schedule, per-step artifacts, and trace
+	// events). Over budget, the least valuable checkpoint is evicted:
+	// fewest pending sibling schedules first — LRU weighted by remaining
+	// subtree size — with ties broken least-recently-forked. Default 256.
+	CheckpointBudget int
 	// Shrink minimizes the finding's schedule by delta debugging before
 	// Run returns: chunks of choices are removed and remaining choices
 	// substituted with the FIFO default, re-running each candidate under
@@ -173,6 +196,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.PruneAudit {
 		o.Prune = true
+	}
+	if o.CheckpointBudget == 0 {
+		o.CheckpointBudget = 256
 	}
 	return o
 }
@@ -227,7 +253,7 @@ func Run(prog Program, oracle Oracle, opts Options) Result {
 		shrinkResult(e, prog, oracle, opts, &res, t)
 	}
 	res.Stats = t.deterministic(&res)
-	t.st = res.Stats
+	t.st.StatsCore = res.Stats
 	t.emit()
 	return res
 }

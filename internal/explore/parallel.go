@@ -64,9 +64,10 @@ type runSlot struct {
 // optionally attaching a streaming checker (Options.Stream). It is safe
 // for concurrent use; each run executes on a private slot.
 type executor struct {
-	maxSteps  int64
-	newStream func() problems.StreamChecker
-	pooled    bool
+	maxSteps   int64
+	newStream  func() problems.StreamChecker
+	pooled     bool
+	checkpoint bool
 
 	// slots counts runSlots ever created; reuses counts runs served by a
 	// recycled slot. Atomics because helpers acquire concurrently; they
@@ -81,7 +82,12 @@ type executor struct {
 }
 
 func newExecutor(opts Options) *executor {
-	return &executor{maxSteps: opts.MaxSteps, newStream: opts.Stream, pooled: opts.Pool}
+	return &executor{
+		maxSteps:   opts.MaxSteps,
+		newStream:  opts.Stream,
+		pooled:     opts.Pool,
+		checkpoint: opts.Checkpoint,
+	}
 }
 
 // poolStats reports (slots created, runs served by a recycled slot) for
@@ -110,6 +116,11 @@ func (e *executor) acquire() *runSlot {
 	}
 	s := &runSlot{k: kernel.NewSim(kopts...)}
 	s.r = trace.NewRecorder(s.k)
+	if e.checkpoint {
+		// Sample the recorder position at every decision point so the
+		// driver can capture snapshots from this slot (kernel.SnapshotAt).
+		s.k.SetDecisionMark(s.r.LenCooperative)
+	}
 	if e.pooled {
 		e.mu.Lock()
 		e.all = append(e.all, s)
@@ -157,6 +168,44 @@ func (e *executor) run(prog Program, policy kernel.Policy) runOut {
 	if s.stream != nil {
 		s.stream.Reset()
 		s.vs = s.vs[:0]
+	}
+	prog(s.k, s.r)
+	err := s.k.Run()
+	return runOut{
+		schedule: s.k.ChoicesView(),
+		tr:       s.r.Snapshot(),
+		err:      err,
+		fps:      s.k.StepFingerprints(),
+		visible:  s.k.StepVisibility(),
+		streamVs: s.vs,
+		streamed: s.stream != nil,
+		slot:     s,
+	}
+}
+
+// runFrom executes prog resuming from a checkpoint: the kernel re-drives
+// the snapshot's choice prefix in restore mode (per-step pipeline
+// skipped), the recorder serves the prefix events from the snapshot, and
+// the streaming checker, if any, is brought to the fork point by
+// re-feeding it the prefix. tail schedules the decisions past the
+// snapshot. By determinism the outcome is byte-identical to running the
+// full schedule by replay from the root; only the cost differs.
+func (e *executor) runFrom(prog Program, snap *kernel.Snapshot, prefix trace.Trace, tail kernel.Policy) runOut {
+	s := e.acquire()
+	s.k.Reset(kernel.WithPolicy(tail), kernel.WithRestore(snap))
+	s.r.Reset()
+	s.r.ResumeFrom(prefix)
+	if s.stream != nil {
+		s.stream.Reset()
+		s.vs = s.vs[:0]
+		for _, ev := range prefix {
+			// Checkpoints are only registered from violation-free runs,
+			// so re-feeding cannot fire the checker; collect defensively
+			// anyway rather than dropping a finding.
+			if vs := s.stream.Observe(ev); len(vs) > 0 {
+				s.vs = append(s.vs, vs...)
+			}
+		}
 	}
 	prog(s.k, s.r)
 	err := s.k.Run()
@@ -371,6 +420,12 @@ func dfsScan(e *executor, prog Program, oracle Oracle, opts Options, t *tracker,
 	if prune {
 		expanded = map[uint64]bool{}
 	}
+	// The checkpoint registry (Options.Checkpoint) is per-scan, so the
+	// audit's reference pass shares nothing with the pruned pass.
+	var reg *ckptRegistry
+	if opts.Checkpoint {
+		reg = newCkptRegistry(opts.CheckpointBudget)
+	}
 	pruned := 0
 	var keyBuf []byte
 	var first Result
@@ -386,7 +441,24 @@ func dfsScan(e *executor, prog Program, oracle Oracle, opts Options, t *tracker,
 		t.st.Frontier = len(st.stack)
 		st.mu.Unlock()
 
-		keyBuf = appendScheduleKey(keyBuf[:0], node.prefix)
+		// Build the node's binary key so that its branch-point prefix —
+		// the node minus its final (branching) choice — is the leading
+		// keyBuf[:branchEnd] bytes: appendScheduleKey is concatenative.
+		n := len(node.prefix)
+		keyBuf = keyBuf[:0]
+		branchEnd := 0
+		if n > 0 {
+			keyBuf = appendScheduleKey(keyBuf, node.prefix[:n-1])
+			branchEnd = len(keyBuf)
+			keyBuf = appendScheduleKey(keyBuf, node.prefix[n-1:])
+		}
+		// Consume the node's checkpoint slot before the dedup check:
+		// duplicate prefixes were counted as pending siblings when their
+		// parent registered, so every pop pays one slot either way.
+		var ent *ckptEntry
+		if reg != nil && n > 0 {
+			ent = reg.take(keyBuf[:branchEnd])
+		}
 		if seen[string(keyBuf)] {
 			continue
 		}
@@ -394,15 +466,30 @@ func dfsScan(e *executor, prog Program, oracle Oracle, opts Options, t *tracker,
 
 		var out runOut
 		if node.claimed.CompareAndSwap(false, true) {
-			out = e.run(prog, kernel.Replay(node.prefix))
+			if ent != nil {
+				out = e.runFrom(prog, ent.snap, ent.events, kernel.Replay(node.prefix[ent.depth:]))
+			} else {
+				out = e.run(prog, kernel.Replay(node.prefix))
+			}
 		} else {
 			<-node.done // claimed by a helper; adopt its outcome
 			out = node.out
 		}
 		dfsRuns++
+		if reg != nil {
+			// Canonical accounting: a helper may have executed this run
+			// by full replay, but the counters follow the driver's fork
+			// decision so they are identical for every worker count.
+			if ent != nil {
+				t.forked(ent.depth, n-ent.depth)
+			} else {
+				t.replayed(n)
+			}
+		}
 		t.st.Pruned = pruned
 		t.ran()
-		if res, isFinding := judge(out, oracle, opts, t.st.Runs); isFinding {
+		res, isFinding := judge(out, oracle, opts, t.st.Runs)
+		if isFinding {
 			if !collect {
 				res.Pruned = pruned
 				return res, found
@@ -418,6 +505,9 @@ func dfsScan(e *executor, prog Program, oracle Oracle, opts Options, t *tracker,
 		// prefix), schedule the alternatives not taken. Push order matches
 		// the sequential engine, so LIFO pops explore the same tree.
 		children := expandDFS(node.prefix, out, opts.DFSDepth, helpers > 0, expanded, &pruned)
+		if reg != nil && !isFinding && out.err == nil {
+			reg.registerRun(out, children)
+		}
 		e.release(out)
 		if len(children) > 0 {
 			st.mu.Lock()

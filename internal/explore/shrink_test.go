@@ -141,7 +141,7 @@ func TestShrinkWorkersDeterministic(t *testing.T) {
 func TestResultStatsDeterministic(t *testing.T) {
 	res := Run(figure1Program(), problems.CheckReadersPriority,
 		Options{RandomRuns: 300, DFSRuns: 600, Shrink: true, Pool: true})
-	want := Stats{
+	want := StatsCore{
 		Phase:      "done",
 		Runs:       res.Runs,
 		Pruned:     res.Pruned,

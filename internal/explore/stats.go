@@ -2,18 +2,13 @@ package explore
 
 import "time"
 
-// Stats is a snapshot of the exploration engine's progress, delivered to
-// Options.Progress as the driver judges runs and stamped (deterministic
-// fields only) into Result.Stats when Run returns.
-//
-// The fields split into two groups. The counters — Phase, Runs, Pruned,
-// Frontier, ShrinkRuns, ShrinkLen — are driver-side bookkeeping and are
-// byte-identical for every Options.Workers setting, like everything else
-// in a Result. The observability fields — Elapsed, RunsPerSec, PoolSlots,
-// PoolReuses — depend on wall clock and worker count; they are populated
-// in Progress snapshots for live rendering but zeroed in Result.Stats so
-// results stay reproducible.
-type Stats struct {
+// StatsCore is the deterministic core of the exploration engine's
+// progress: driver-side counters that are byte-identical for every
+// Options.Workers setting, like everything else in a Result. It is what
+// Run stamps into Result.Stats — the wall-clock and pool observability
+// fields live in Stats, the live view delivered to Options.Progress, and
+// never reach a Result.
+type StatsCore struct {
 	// Phase is the engine's current phase: "baseline", "random", "dfs",
 	// "shrink", or "done".
 	Phase string
@@ -30,16 +25,44 @@ type Stats struct {
 	// ShrinkLen is the length of the best minimized schedule so far; 0
 	// until the shrink phase starts.
 	ShrinkLen int
+	// CheckpointForks is the number of DFS runs that forked from a
+	// checkpoint instead of replaying their prefix from the root
+	// (Options.Checkpoint). Counted canonically on the driver, so it is
+	// Workers-independent even though helper workers always execute by
+	// full replay.
+	CheckpointForks int
+	// SavedSteps counts prefix steps served from a checkpoint across all
+	// forked runs: steps the scheduler re-drove with the per-step
+	// pipeline — policy consultation, choice/fingerprint/visibility/mark
+	// recording, trace appends — skipped.
+	SavedSteps int64
+	// ReplayedSteps counts prefix steps executed through the full
+	// pipeline: the whole prefix of DFS runs that found no usable
+	// checkpoint, plus the post-checkpoint suffix of the prefix of
+	// forked runs. Dense checkpoint hits show up as SavedSteps >>
+	// ReplayedSteps. Zero (like CheckpointForks and SavedSteps) unless
+	// Options.Checkpoint.
+	ReplayedSteps int64
+}
+
+// Stats is a snapshot of the exploration engine's progress, delivered to
+// Options.Progress as the driver judges runs. It embeds the
+// deterministic StatsCore and adds observability fields — wall clock,
+// throughput, pool occupancy — that depend on the machine and worker
+// count; only the StatsCore part is stamped into Result.Stats, so
+// results stay reproducible.
+type Stats struct {
+	StatsCore
 
 	// Elapsed is the wall-clock time since Run started. Observability
-	// only: zero in Result.Stats.
+	// only: never part of Result.Stats.
 	Elapsed time.Duration
 	// RunsPerSec is the judged-run throughput (including shrink replays).
-	// Observability only: zero in Result.Stats.
+	// Observability only: never part of Result.Stats.
 	RunsPerSec float64
 	// PoolSlots is the number of kernel slots the executor has created;
 	// PoolReuses the number of runs served by a recycled slot. Both are
-	// worker-dependent; observability only, zero in Result.Stats.
+	// worker-dependent; observability only, never part of Result.Stats.
 	PoolSlots  int
 	PoolReuses int
 }
@@ -85,6 +108,21 @@ func (t *tracker) shrank(bestLen int) {
 	t.emit()
 }
 
+// forked records one DFS run that forked from a checkpoint: saved prefix
+// steps were served from the snapshot, replayed steps ran the full
+// pipeline.
+func (t *tracker) forked(saved, replayed int) {
+	t.st.CheckpointForks++
+	t.st.SavedSteps += int64(saved)
+	t.st.ReplayedSteps += int64(replayed)
+}
+
+// replayed records one DFS run that replayed its whole prefix from the
+// root (no usable checkpoint).
+func (t *tracker) replayed(prefix int) {
+	t.st.ReplayedSteps += int64(prefix)
+}
+
 func (t *tracker) emit() {
 	if t.progress == nil {
 		return
@@ -98,14 +136,17 @@ func (t *tracker) emit() {
 	t.progress(s)
 }
 
-// deterministic returns the final Stats for a Result: counters only, with
-// the wall-clock and worker-dependent fields zeroed.
-func (t *tracker) deterministic(res *Result) Stats {
-	return Stats{
-		Phase:      "done",
-		Runs:       res.Runs,
-		Pruned:     res.Pruned,
-		ShrinkRuns: res.ShrinkRuns,
-		ShrinkLen:  len(res.MinSchedule),
+// deterministic returns the final StatsCore for a Result: the driver's
+// canonical counters, with the live-only fields left behind in Stats.
+func (t *tracker) deterministic(res *Result) StatsCore {
+	return StatsCore{
+		Phase:           "done",
+		Runs:            res.Runs,
+		Pruned:          res.Pruned,
+		ShrinkRuns:      res.ShrinkRuns,
+		ShrinkLen:       len(res.MinSchedule),
+		CheckpointForks: t.st.CheckpointForks,
+		SavedSteps:      t.st.SavedSteps,
+		ReplayedSteps:   t.st.ReplayedSteps,
 	}
 }

@@ -1,0 +1,179 @@
+package kernel
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// snapProgram spawns a small interleaving-rich program: three processes
+// yielding, parking, and sleeping. events collects the observable
+// execution order; marker is sampled at every decision point so
+// SnapshotAt works.
+func snapProgram(k *SimKernel, events *[]string) {
+	mark := func(p *Proc, what string) { *events = append(*events, p.Name()+":"+what) }
+	var waiter *Proc
+	waiter = k.Spawn("waiter", func(p *Proc) {
+		mark(p, "park")
+		p.Park()
+		mark(p, "woke")
+	})
+	k.Spawn("worker", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			mark(p, "step")
+			p.Yield()
+		}
+		waiter.Unpark()
+		mark(p, "unparked")
+	})
+	k.Spawn("sleeper", func(p *Proc) {
+		p.Sleep(5)
+		mark(p, "awake")
+	})
+}
+
+// runSnapProgram executes snapProgram under policy and returns the
+// observable event order, the recorded schedule, and the run fingerprint.
+func runSnapProgram(t *testing.T, k *SimKernel, policy Policy) ([]string, []Choice, uint64) {
+	t.Helper()
+	var events []string
+	k.Reset(WithPolicy(policy))
+	k.SetDecisionMark(func() int { return len(events) })
+	snapProgram(k, &events)
+	if err := k.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return events, k.Choices(), k.RunFingerprint()
+}
+
+// A restored run must reproduce the source run exactly: same observable
+// event order, same choices, same run fingerprint — at every checkpoint
+// depth.
+func TestSimSnapshotRestoreEveryDepth(t *testing.T) {
+	k := NewSim()
+	baseEvents, schedule, baseFp := runSnapProgram(t, k, Random(42))
+	if len(schedule) < 4 {
+		t.Fatalf("scenario too shallow: %d decisions", len(schedule))
+	}
+	for depth := 0; depth < len(schedule); depth++ {
+		snap, err := k.SnapshotAt(depth)
+		if err != nil {
+			t.Fatalf("SnapshotAt(%d): %v", depth, err)
+		}
+		k2 := NewSim()
+		var events []string
+		k2.Restore(snap, WithPolicy(Replay(schedule[depth:])))
+		k2.SetDecisionMark(func() int { return len(events) })
+		snapProgram(k2, &events)
+		if err := k2.Run(); err != nil {
+			t.Fatalf("depth %d: restored run: %v", depth, err)
+		}
+		if !reflect.DeepEqual(events, baseEvents) {
+			t.Fatalf("depth %d: events diverged:\nbase:     %v\nrestored: %v", depth, baseEvents, events)
+		}
+		if !reflect.DeepEqual(k2.Choices(), schedule) {
+			t.Fatalf("depth %d: choices diverged", depth)
+		}
+		if fp := k2.RunFingerprint(); fp != baseFp {
+			t.Fatalf("depth %d: run fingerprint %#x, want %#x", depth, fp, baseFp)
+		}
+		// The per-step artifact views must match too: the restored run's
+		// pre-filled prefix plus its live suffix equals the source run's.
+		if !reflect.DeepEqual(k2.StepFingerprints(), k.StepFingerprints()) {
+			t.Fatalf("depth %d: step fingerprints diverged", depth)
+		}
+		if !reflect.DeepEqual(k2.StepVisibility(), k.StepVisibility()) {
+			t.Fatalf("depth %d: step visibility diverged", depth)
+		}
+		// Re-snapshot the stale source kernel next iteration: views are
+		// still valid because k has not been Reset.
+	}
+}
+
+// Restoring on the same recycled kernel (the exploration pool's path)
+// must behave identically to restoring on a fresh one.
+func TestSimSnapshotRestoreRecycled(t *testing.T) {
+	k := NewSim(WithRecycle())
+	defer k.Close()
+	baseEvents, schedule, baseFp := runSnapProgram(t, k, Random(7))
+	snap, err := k.SnapshotAt(len(schedule) / 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []string
+	k.Reset(WithPolicy(Replay(schedule[snap.Depth:])), WithRestore(snap))
+	k.SetDecisionMark(func() int { return len(events) })
+	snapProgram(k, &events)
+	if err := k.Run(); err != nil {
+		t.Fatalf("restored run: %v", err)
+	}
+	if !reflect.DeepEqual(events, baseEvents) {
+		t.Fatalf("events diverged:\nbase:     %v\nrestored: %v", baseEvents, events)
+	}
+	if fp := k.RunFingerprint(); fp != baseFp {
+		t.Fatalf("run fingerprint %#x, want %#x", fp, baseFp)
+	}
+}
+
+// A snapshot restored against a program that diverges from the one it
+// was captured from must fail loudly, not silently explore a different
+// interleaving.
+func TestSimSnapshotRestoreDivergenceDetected(t *testing.T) {
+	k := NewSim()
+	_, schedule, _ := runSnapProgram(t, k, Random(3))
+	snap, err := k.SnapshotAt(len(schedule) - 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the capture-point fingerprint: the re-drive itself still
+	// succeeds (the program really does follow the prefix), but the
+	// validation at the fork point must reject the snapshot.
+	snap.Fp ^= 0xdeadbeef
+	k2 := NewSim()
+	var events []string
+	k2.Restore(snap, WithPolicy(Replay(schedule[snap.Depth:])))
+	k2.SetDecisionMark(func() int { return len(events) })
+	snapProgram(k2, &events)
+	err = k2.Run()
+	if err == nil || !strings.Contains(err.Error(), "restore diverged") {
+		t.Fatalf("corrupted snapshot: err = %v, want restore-divergence error", err)
+	}
+
+	// A prefix whose choices do not fit the program diverges at re-drive.
+	k3 := NewSim()
+	snap2, err := k.SnapshotAt(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap2.Choices[1].Ready = 99
+	k3.Restore(snap2)
+	k3.SetDecisionMark(func() int { return 0 })
+	var sink []string
+	snapProgram(k3, &sink)
+	err = k3.Run()
+	if err == nil || !strings.Contains(err.Error(), "restore diverged") {
+		t.Fatalf("corrupted prefix: err = %v, want restore-divergence error", err)
+	}
+}
+
+// SnapshotAt guards its preconditions: decision marks must be enabled
+// and the depth must be a decision point the run actually reached.
+func TestSimSnapshotAtErrors(t *testing.T) {
+	k := NewSim()
+	k.Spawn("a", func(p *Proc) { p.Yield() })
+	k.Spawn("b", func(p *Proc) { p.Yield() })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.SnapshotAt(0); err == nil {
+		t.Fatal("SnapshotAt without decision marks should fail")
+	}
+	k.SetDecisionMark(func() int { return 0 })
+	_, schedule, _ := runSnapProgram(t, k, FIFO())
+	if _, err := k.SnapshotAt(len(schedule)); err == nil {
+		t.Fatal("SnapshotAt(len(schedule)) should be out of range")
+	}
+	if _, err := k.SnapshotAt(-1); err == nil {
+		t.Fatal("SnapshotAt(-1) should be out of range")
+	}
+}
