@@ -3,7 +3,7 @@
 GO        ?= go
 BENCHTIME ?= 2s
 
-.PHONY: all build test race lint bench bench-check hunt load clean
+.PHONY: all build test race lint bench bench-check hunt load xcheck clean
 
 # Load-run knobs for make load; see cmd/syncload -h for the full set.
 LOAD_RATE     ?= 2000
@@ -64,6 +64,16 @@ hunt:
 	-$(GO) run ./cmd/simtrace -mech pathexpr -problem readers-priority \
 		-explore -shrink -pool -progress -save-sched figure1-found.sched -quiet
 	$(GO) run ./cmd/simtrace -replay figure1-found.sched
+
+# xcheck runs the static/dynamic cross-validation gate in both
+# directions: -hunt tries to realize every lockorder/lostwakeup finding
+# by schedule exploration (exit 0 — confirmed findings on the seeded
+# fixture are the expected outcome, reported per row), and -audit
+# replays the sealed counterexample corpus against the static pass,
+# failing on any deadlock lockorder no longer flags.
+xcheck:
+	$(GO) run ./cmd/synclint -hunt
+	$(GO) run ./cmd/synclint -audit internal/explore/testdata
 
 # BENCH_explore.json is a committed baseline, not a build product, so
 # clean leaves it alone.

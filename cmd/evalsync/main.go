@@ -4,7 +4,7 @@
 // Usage:
 //
 //	evalsync                  # run everything
-//	evalsync -experiment F1   # one experiment: F1 F2 T1 T2 T3 T4 T5 T6
+//	evalsync -experiment F1   # one experiment: F1 F2 T1 T2 T3 T4 T5 T6 T7
 //	evalsync -detail          # include per-declaration similarity detail
 //
 // Experiments (see DESIGN.md §3 and EXPERIMENTS.md):
@@ -17,6 +17,8 @@
 //	T4  test-set coverage of the information types
 //	T5  the monitor request-type/request-time queue conflict
 //	T6  CSP evaluated with the same methodology (the paper's §6)
+//	T7  static lockorder/lostwakeup findings cross-validated by
+//	    schedule exploration (the synclint xcheck gate)
 //	E1  mechanism evolution: the numeric path operator fixes the
 //	    weakness T1 predicts (Flon–Habermann, discussed in §5.1)
 //	E2  starvation: the admissible-starvation profile of each variant
@@ -41,10 +43,11 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/problems"
 	"repro/internal/solutions"
+	"repro/internal/synclint/xcheck"
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "experiment id (F1 F2 T1 T2 T3 T4 T5 T6 E1 E2 B2) or all")
+	experiment := flag.String("experiment", "all", "experiment id (F1 F2 T1 T2 T3 T4 T5 T6 T7 E1 E2 B2) or all")
 	detail := flag.Bool("detail", false, "include per-declaration similarity detail in T2")
 	workers := flag.Int("workers", 0, "goroutines per schedule exploration (0 = all cores; results are identical for any value)")
 	pool := flag.Bool("pool", false, "recycle kernels/recorders across exploration runs (throughput only; identical results)")
@@ -202,6 +205,31 @@ func writeReport(w io.Writer, experiment string, detail bool) ([]string, error) 
 		fmt.Fprint(w, out)
 		for _, f := range failures {
 			contradict("T6: csp %s", f)
+		}
+	}
+	if run("T7") {
+		ran = true
+		fmt.Fprintln(w)
+		rows, err := eval.RunCrossCheck()
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprint(w, eval.RenderCrossCheck(rows))
+		fixtureConfirmed := false
+		for _, r := range rows {
+			switch {
+			case r.Status == "unmapped":
+				contradict("T7: finding at %s:%d has no standard workload to hunt on",
+					r.Finding.Pos.Filename, r.Finding.Pos.Line)
+			case r.Mechanism == xcheck.FixtureMechanism && r.Status == "confirmed":
+				fixtureConfirmed = true
+			case r.Mechanism != xcheck.FixtureMechanism && r.Status == "confirmed":
+				contradict("T7: allow-reasoned finding at %s:%d was realized as a %s/%s hazard — its suppression is wrong",
+					r.Finding.Pos.Filename, r.Finding.Pos.Line, r.Mechanism, r.Problem)
+			}
+		}
+		if !fixtureConfirmed {
+			contradict("T7: the hunt failed to realize the seeded cyclic-wait fixture")
 		}
 	}
 	if run("E1") {

@@ -10,14 +10,14 @@ import (
 
 var update = flag.Bool("update", false, "rewrite the golden report")
 
-// TestReportGolden locks the T1–T6 text report byte for byte: every
+// TestReportGolden locks the T1–T7 text report byte for byte: every
 // table, rating, and measured number in the deterministic part of the
 // report is part of the reproduction's contract. Regenerate with
 //
 //	go test ./cmd/evalsync -run TestReportGolden -update
 func TestReportGolden(t *testing.T) {
 	var buf bytes.Buffer
-	for _, id := range []string{"T1", "T2", "T3", "T4", "T5", "T6"} {
+	for _, id := range []string{"T1", "T2", "T3", "T4", "T5", "T6", "T7"} {
 		contradictions, err := writeReport(&buf, id, false)
 		if err != nil {
 			t.Fatalf("%s: %v", id, err)

@@ -27,6 +27,8 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/problems"
 	"repro/internal/solutions"
+	"repro/internal/synclint/xcheck"
+	"repro/internal/synclint/xcheck/cyclicfix"
 	"repro/internal/trace"
 )
 
@@ -203,6 +205,11 @@ func figureProgram(suite solutions.Suite, problem string) (explore.Program, expl
 // schedProgram rebuilds the program and oracle a schedule file was saved
 // against, from its mechanism/problem/scenario fields.
 func schedProgram(f *explore.SchedFile) (explore.Program, explore.Oracle, error) {
+	if f.Scenario == xcheck.FixtureScenario {
+		// The synclint cross-validation fixture is its own program; no
+		// mechanism suite to resolve.
+		return cyclicfix.Program, func(trace.Trace) []problems.Violation { return nil }, nil
+	}
 	suite, ok := solutions.ByMechanism(f.Mechanism)
 	if !ok {
 		return nil, nil, fmt.Errorf("schedule file names unknown mechanism %q", f.Mechanism)

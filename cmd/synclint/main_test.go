@@ -1,0 +1,75 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/synclint"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden file")
+
+// TestJSONGolden pins the -json output — findings and their global
+// order (file, line, column, analyzer) — over a fixture package with
+// one deliberate violation per layer. Regenerate with:
+//
+//	go test ./cmd/synclint -run JSONGolden -update
+func TestJSONGolden(t *testing.T) {
+	dirs, err := expandPatterns([]string{filepath.Join("testdata", "src", "demo")})
+	if err != nil {
+		t.Fatalf("expand: %v", err)
+	}
+	all, err := lintPackages(dirs, synclint.Analyzers())
+	if err != nil {
+		t.Fatalf("lint: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := printFindings(&buf, all, true); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+
+	golden := filepath.Join("testdata", "findings.golden")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatalf("update golden: %v", err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("findings drifted from golden (re-run with -update if intended)\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestFindingOrderDeterministic runs the same lint twice and across a
+// permuted dir list: identical output both times.
+func TestFindingOrderDeterministic(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "demo")
+	a, err := lintPackages([]string{dir}, synclint.Analyzers())
+	if err != nil {
+		t.Fatalf("lint: %v", err)
+	}
+	b, err := lintPackages([]string{dir}, synclint.Analyzers())
+	if err != nil {
+		t.Fatalf("lint: %v", err)
+	}
+	if len(a) == 0 {
+		t.Fatalf("fixture produced no findings")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("order drifted between runs: %v vs %v", a[i], b[i])
+		}
+	}
+	for i := 1; i < len(a); i++ {
+		prev, cur := a[i-1], a[i]
+		if prev.Pos.Filename > cur.Pos.Filename {
+			t.Fatalf("findings not sorted by file: %v before %v", prev, cur)
+		}
+	}
+}

@@ -1,0 +1,26 @@
+// Package demo is the golden-test fixture for cmd/synclint: a small
+// package with one deliberate finding per layer — a bracket leak, a
+// nested-monitor hold, an ABBA lock-order cycle split across two files,
+// and a reason-less suppression. The golden file pins both the findings
+// and their global ordering (file, line, column, analyzer).
+package demo
+
+type Desks struct {
+	left  *Monitor
+	right *Monitor
+}
+
+func (d *Desks) Leak(p *Proc, urgent bool) {
+	d.left.Enter(p)
+	if urgent {
+		return
+	}
+	d.left.Exit(p)
+}
+
+func (d *Desks) Forward(p *Proc) {
+	d.left.Enter(p)
+	d.right.Enter(p)
+	d.right.Exit(p)
+	d.left.Exit(p)
+}

@@ -1,0 +1,14 @@
+package demo
+
+func (d *Desks) Backward(p *Proc) {
+	d.right.Enter(p)
+	d.left.Enter(p)
+	d.left.Exit(p)
+	d.right.Exit(p)
+}
+
+func (d *Desks) Quiet(p *Proc) {
+	//synclint:allow holdwait
+	d.left.Enter(p)
+	d.left.Exit(p)
+}

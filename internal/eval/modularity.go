@@ -74,7 +74,7 @@ type NestedMonitorOutcome struct {
 // fine... the deadlock is on the OUTER monitor: the producer's delivery
 // path also goes through the outer monitor).
 //
-//synclint:allow holdwait -- the nested-monitor hazard is the experiment
+//synclint:allow holdwait: the nested-monitor hazard is the experiment
 func nestedScenario(holdOuterAcrossInner bool) error {
 	k := kernel.NewSim()
 

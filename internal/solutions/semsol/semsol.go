@@ -101,7 +101,7 @@ func (d *ReadersPriority) Read(p *kernel.Proc, body func()) {
 	d.mutex.Lock(p)
 	d.rc++
 	if d.rc == 1 {
-		//synclint:allow holdwait -- CHP problem 1 blocks on w under the count mutex
+		//synclint:allow holdwait,lockorder: CHP problem 1 blocks on w under the count mutex; the w/mutex inversion is guarded by rc — only the first reader parks on w, so no w-holder ever waits for mutex
 		d.w.P(p) // first reader locks out writers
 	}
 	d.mutex.Unlock(p)
@@ -149,13 +149,14 @@ func NewWritersPriority() *WritersPriority {
 
 // Read implements problems.RWStore.
 //
-//synclint:allow holdwait -- CHP problem 2 as published: readers thread the r/mutex1 gauntlet while mutex3 serializes arrivals
+//synclint:allow holdwait: CHP problem 2 as published: readers thread the r/mutex1 gauntlet while mutex3 serializes arrivals
 func (d *WritersPriority) Read(p *kernel.Proc, body func()) {
 	d.mutex3.Lock(p)
 	d.r.P(p)
 	d.mutex1.Lock(p)
 	d.rc++
 	if d.rc == 1 {
+		//synclint:allow lockorder: first-reader convention — rc==1 guarantees no reader holds w, so the blocking w-holder is a writer, which never takes mutex1
 		d.w.P(p)
 	}
 	d.mutex1.Unlock(p)
@@ -174,11 +175,12 @@ func (d *WritersPriority) Read(p *kernel.Proc, body func()) {
 
 // Write implements problems.RWStore.
 //
-//synclint:allow holdwait -- CHP problem 2: the first writer bars new readers while holding the writer-count mutex
+//synclint:allow holdwait: CHP problem 2: the first writer bars new readers while holding the writer-count mutex
 func (d *WritersPriority) Write(p *kernel.Proc, body func()) {
 	d.mutex2.Lock(p)
 	d.wc++
 	if d.wc == 1 {
+		//synclint:allow lockorder: first-writer convention — wc==1 guarantees no writer holds r, so the blocking r-holder is a reader, which never takes mutex2
 		d.r.P(p) // first writer bars new readers
 	}
 	d.mutex2.Unlock(p)
@@ -216,12 +218,13 @@ func NewFCFSRW() *FCFSRW {
 
 // Read implements problems.RWStore.
 //
-//synclint:allow holdwait -- first reader blocks on w inside the FCFS entry gate
+//synclint:allow holdwait: first reader blocks on w inside the FCFS entry gate
 func (d *FCFSRW) Read(p *kernel.Proc, body func()) {
 	d.entry.P(p)
 	d.mutex.Lock(p)
 	d.rc++
 	if d.rc == 1 {
+		//synclint:allow lockorder: first-reader convention — rc==1 guarantees no reader holds w, so the blocking w-holder is a writer, which never takes mutex
 		d.w.P(p)
 	}
 	d.mutex.Unlock(p)

@@ -1,0 +1,225 @@
+package synclint
+
+import (
+	"go/ast"
+	"sort"
+	"strings"
+)
+
+// LostWakeupAnalyzer flags wait-side lost-wakeup hazards, complementing
+// signalstate's signal-side hygiene. Two patterns:
+//
+//  1. Broadcast if-wait. Under Hoare signal-and-urgent-wait semantics a
+//     plain Signal hands the monitor directly to the one waiter it
+//     wakes, so `if !ok { c.Wait(p) }` is correct — the guard holds by
+//     the signaller's invariant when the waiter resumes. SignalAll has
+//     no such contract: it drains the condition, and every waiter after
+//     the first re-acquires the monitor later, against state the
+//     earlier ones may have consumed. A wait on a condition that is
+//     broadcast anywhere in the package must therefore re-check its
+//     guard in a loop; an if-guarded wait with no enclosing loop is a
+//     lost wakeup waiting to happen.
+//
+//  2. Check-then-park window. A condition wait (or queue enqueue, crowd
+//     join) reached while its owning monitor/serializer is not held:
+//     the guard check and the park are not atomic, so the wakeup can
+//     fire in the window between them and be lost. Held context is the
+//     interprocedural summary replay, so an Enter in the caller covers
+//     a wait in a helper; the check runs on call-graph roots, where the
+//     full context is visible.
+var LostWakeupAnalyzer = &Analyzer{
+	Name: "lostwakeup",
+	Doc:  "if-guarded wait on a broadcast condition, or a park outside its owning monitor",
+	run:  runLostWakeup,
+}
+
+func runLostWakeup(pass *Pass) {
+	m := pass.Model
+
+	var fnKeys []string
+	for k, fn := range m.Funcs {
+		if fn.Decl.Body != nil {
+			fnKeys = append(fnKeys, k)
+		}
+	}
+	sort.Strings(fnKeys)
+
+	// Pass 1: conditions broadcast anywhere in the package, by lock key.
+	broadcast := map[string]bool{}
+	for _, key := range fnKeys {
+		fn := m.Funcs[key]
+		r := newRefResolver(m, fn)
+		ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "SignalAll" {
+				return true
+			}
+			op := classifyCall(call)
+			if op.Class != OpSignal || !m.isMechOp(op, fn) {
+				return true
+			}
+			if ref := r.ref(op.Recv); ref.valid() {
+				broadcast[ref.Key] = true
+			}
+			return true
+		})
+	}
+
+	// Pass 2: if-guarded waits on broadcast conditions.
+	for _, key := range fnKeys {
+		fn := m.Funcs[key]
+		r := newRefResolver(m, fn)
+		var inIf, inLoop int
+		var walk func(n ast.Node)
+		walk = func(n ast.Node) {
+			switch x := n.(type) {
+			case nil:
+				return
+			case *ast.IfStmt:
+				walk(x.Init)
+				walk(x.Cond)
+				inIf++
+				walk(x.Body)
+				inIf--
+				walk(x.Else)
+				return
+			case *ast.ForStmt, *ast.RangeStmt:
+				inLoop++
+				defer func() { inLoop-- }()
+			case *ast.CallExpr:
+				op := classifyCall(x)
+				if op.Class == OpWait && m.isMechOp(op, fn) && inIf > 0 && inLoop == 0 {
+					if ref := r.ref(op.Recv); ref.valid() && broadcast[ref.Key] {
+						pass.reportf(x.Pos(),
+							"%s waits on %s under an 'if' but the condition is broadcast with SignalAll — re-check the guard in a loop",
+							key, ref.Disp)
+					}
+				}
+			}
+			for _, c := range childNodes(n) {
+				walk(c)
+			}
+		}
+		walk(fn.Decl.Body)
+	}
+
+	// Pass 3: parks outside the owning monitor, checked at call-graph
+	// roots where the full held context is visible.
+	isCallee := map[string]bool{}
+	for _, events := range m.events {
+		for _, ev := range events {
+			if ev.kind == evCall {
+				isCallee[ev.callKey] = true
+			}
+		}
+	}
+	for _, fnKey := range fnKeys {
+		if isCallee[fnKey] {
+			continue
+		}
+		checkParkContext(pass, fnKey)
+	}
+}
+
+// ownerKey resolves the owning lock of a component ref ("field:T.cond" →
+// "field:T.mon" via the struct model), or "" when unknown.
+func (m *Model) ownerKey(ref LockRef) string {
+	rest, ok := strings.CutPrefix(ref.Key, "field:")
+	if !ok {
+		return ""
+	}
+	typ, field, ok := strings.Cut(rest, ".")
+	if !ok {
+		return ""
+	}
+	si := m.Structs[typ]
+	if si == nil {
+		return ""
+	}
+	fi := si.Fields[field]
+	if fi == nil || fi.Owner == "" {
+		return ""
+	}
+	return "field:" + typ + "." + fi.Owner
+}
+
+// checkParkContext replays one root function's events with a held stack
+// (mirroring the lockorder replay) and reports parks whose owning lock
+// is not held at the park point.
+func checkParkContext(pass *Pass, fnKey string) {
+	m := pass.Model
+	var held []LockRef
+	heldKey := func(key string) bool {
+		for _, h := range held {
+			if h.Key == key {
+				return true
+			}
+		}
+		return false
+	}
+	popMatch := func(key string) {
+		for i := len(held) - 1; i >= 0; i-- {
+			if held[i].Key == key {
+				held = append(held[:i], held[i+1:]...)
+				return
+			}
+		}
+	}
+	report := func(site AcqSite) {
+		// Only components with possession semantics: a condition wait,
+		// queue enqueue, or crowd join presumes its owner is held. CSP
+		// channels also record an owning Net, but channel ops are the
+		// mechanism's whole protocol — there is nothing to hold.
+		switch site.Ref.Class {
+		case "condition", "queue", "crowd":
+		default:
+			return
+		}
+		owner := m.ownerKey(site.Ref)
+		if owner == "" || heldKey(owner) {
+			return
+		}
+		msg := "%s parks on %s without holding its owner %s — the guard check and the park are not atomic (check-then-park window)"
+		if len(site.Path) > 0 {
+			msg += " via " + strings.Join(site.Path, " → ")
+		}
+		pass.reportf(site.Pos, msg, fnKey, lockDisp(site.Ref), lockDisp(LockRef{Key: owner}))
+	}
+	for _, ev := range m.events[fnKey] {
+		switch ev.kind {
+		case evAcquire:
+			held = append(held, qualifyRef(ev.ref, fnKey))
+		case evRelease:
+			popMatch(qualifyRef(ev.ref, fnKey).Key)
+		case evPark:
+			report(AcqSite{Ref: qualifyRef(ev.ref, fnKey), Pos: ev.pos})
+		case evCall:
+			callee := m.Summaries[ev.callKey]
+			if callee == nil {
+				continue
+			}
+			step := ev.callKey
+			for _, a := range callee.Parks {
+				if site, ok := substitute(a, ev, step); ok {
+					site.Ref = qualifyRef(site.Ref, fnKey)
+					site.Pos = ev.pos
+					report(site)
+				}
+			}
+			for _, a := range callee.NetReleased {
+				if site, ok := substitute(a, ev, step); ok {
+					popMatch(qualifyRef(site.Ref, fnKey).Key)
+				}
+			}
+			for _, a := range callee.NetHeld {
+				if site, ok := substitute(a, ev, step); ok {
+					held = append(held, qualifyRef(site.Ref, fnKey))
+				}
+			}
+		}
+	}
+}

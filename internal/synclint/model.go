@@ -230,6 +230,16 @@ type Model struct {
 	Pkg     *Package
 	Structs map[string]*StructInfo
 	Funcs   map[string]*FuncInfo
+	// Types is the lenient go/types view (typed.go); always non-nil, but
+	// possibly partial — consumers fall back to name/arity resolution
+	// wherever an object did not resolve.
+	Types *TypeInfo
+	// Summaries are the interprocedural acquire/park summaries
+	// (summary.go), keyed like Funcs.
+	Summaries map[string]*FuncSummary
+	// events are the per-function direct event streams the summaries are
+	// folded from; the lockorder walk replays them with a held stack.
+	events map[string][]summaryEvent
 	// UsesMechanisms: the package imports at least one substrate package.
 	UsesMechanisms bool
 	// constructorResults maps function names to the struct they return
@@ -277,11 +287,13 @@ func buildModel(pkg *Package) *Model {
 			}
 		}
 	}
+	m.Types = typecheck(pkg)
 	m.collectStructs(pkg)
 	m.collectFuncs(pkg)
 	m.collectComponents(pkg)
 	m.collectMutability()
 	m.summarize()
+	m.Summaries = buildSummaries(m)
 	return m
 }
 
@@ -551,6 +563,11 @@ func (m *Model) summarize() {
 				return true
 			}
 			op := classifyCall(call)
+			if !m.isMechOp(op, fi) {
+				// Typed veto: the receiver's type is known and is not a
+				// substrate type, so the name/arity match was spurious.
+				op = Op{Class: OpNone, Call: call}
+			}
 			switch op.Class {
 			case OpNone:
 				if key := m.resolveCall(fi, localTypes, call); key != "" {
@@ -621,8 +638,13 @@ func (m *Model) localTypes(fi *FuncInfo) map[string]string {
 	return out
 }
 
-// resolveCall maps a call expression to a FuncInfo key, or "".
+// resolveCall maps a call expression to a FuncInfo key, or "". Typed
+// resolution goes first — it sees through aliasing and differently named
+// receivers — with the PR 2 syntactic inference as the fallback.
 func (m *Model) resolveCall(fi *FuncInfo, localTypes map[string]string, call *ast.CallExpr) string {
+	if key := m.resolveCallTyped(call); key != "" {
+		return key
+	}
 	switch fun := call.Fun.(type) {
 	case *ast.Ident:
 		if m.Funcs[fun.Name] != nil {

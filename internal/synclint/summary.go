@@ -1,0 +1,487 @@
+package synclint
+
+// Interprocedural acquire/park summaries. Every declared function gets a
+// summary of the synchronization objects it may acquire (exclusion
+// brackets, split-semaphore P's, region/path entries) and the points at
+// which it may park, transitively through same-package callees. Lock
+// identities are canonical keys from the typed layer — a field object,
+// a package-level variable, a parameter position — so the same monitor
+// reached through differently spelled expressions is one node, and a
+// helper that locks "whatever it is handed" (a parameter) is
+// instantiated at each call site with the caller's actual lock.
+//
+// Summaries propagate to a fixed point over the package call graph, so a
+// chain Request → lockPair → lockOne attributes lockOne's acquisition to
+// Request with the full call path preserved for diagnostics. The
+// lockorder and lostwakeup analyzers consume them; holdwait's per-
+// function Blocks bit (model.go) is the coarse ancestor of this.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// LockRef identifies one synchronization object as canonically as the
+// available information allows. Keys are prefixed by provenance:
+//
+//	field:<Type>.<field>   a struct field (typed or receiver-inferred)
+//	global:<name>          a package-level variable
+//	param:<i>              the i'th parameter of the summarized function
+//	local:<fn>.<name>      a function-local binding
+//	expr:<text>            fallback: the rendered expression
+type LockRef struct {
+	Key   string
+	Class string // "monitor", "serializer", "mutex", "semaphore", "region", "path", ...
+	Disp  string // human-readable spelling at the reference site
+}
+
+func (r LockRef) valid() bool { return r.Key != "" }
+
+// isParam reports whether the ref is an unsubstituted parameter, and its
+// index.
+func (r LockRef) isParam() (int, bool) {
+	rest, ok := strings.CutPrefix(r.Key, "param:")
+	if !ok {
+		return 0, false
+	}
+	i, err := strconv.Atoi(rest)
+	return i, err == nil
+}
+
+// AcqSite is one (possibly transitive) acquisition or park performed by a
+// function.
+type AcqSite struct {
+	Ref LockRef
+	// Pos is the position of the operation itself (in the summarized
+	// package).
+	Pos token.Pos
+	// Path is the call chain from the summarized function to the
+	// operation, empty for direct operations; each element is rendered
+	// "callee (file:line of the call)".
+	Path []string
+}
+
+// FuncSummary is the interprocedural synchronization footprint of one
+// declared function.
+type FuncSummary struct {
+	// Acquires lists locks the function may acquire at some point while
+	// running (deduped by key, syntactic order).
+	Acquires []AcqSite
+	// Parks lists blocking non-bracket operations — condition waits,
+	// queue enqueues, crowd joins, channel operations — the function may
+	// reach.
+	Parks []AcqSite
+	// NetHeld lists locks still held when the function returns on its
+	// straight-line path (the `lock` half of a lock/unlock helper pair).
+	NetHeld []AcqSite
+	// NetReleased lists locks released without a matching acquire (the
+	// `unlock` half); callers pop these from their held context.
+	NetReleased []AcqSite
+}
+
+// refResolver resolves lock expressions inside one function.
+type refResolver struct {
+	m          *Model
+	fn         *FuncInfo
+	fnKey      string
+	paramIdx   map[string]int       // by name (untyped fallback)
+	paramObj   map[types.Object]int // by object (typed)
+	localTypes map[string]string
+}
+
+func newRefResolver(m *Model, fn *FuncInfo) *refResolver {
+	r := &refResolver{
+		m:        m,
+		fn:       fn,
+		fnKey:    fn.Name,
+		paramIdx: map[string]int{},
+		paramObj: map[types.Object]int{},
+	}
+	r.localTypes = m.localTypes(fn)
+	if fn.Decl.Type.Params != nil {
+		i := 0
+		for _, f := range fn.Decl.Type.Params.List {
+			for _, id := range f.Names {
+				r.paramIdx[id.Name] = i
+				if m.Types != nil && m.Types.Info != nil {
+					if obj := m.Types.Info.Defs[id]; obj != nil {
+						r.paramObj[obj] = i
+					}
+				}
+				i++
+			}
+		}
+	}
+	return r
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// ref resolves e to a lock identity, typed first, syntactic second.
+func (r *refResolver) ref(e ast.Expr) LockRef {
+	if e == nil {
+		return LockRef{}
+	}
+	e = unparen(e)
+	out := LockRef{
+		Disp:  exprText(r.m.Pkg.Fset, e),
+		Class: r.m.mechClassOf(e, r.fn),
+	}
+	if key := r.typedKey(e); key != "" {
+		out.Key = key
+		return out
+	}
+	out.Key = r.syntacticKey(e)
+	return out
+}
+
+func (r *refResolver) typedKey(e ast.Expr) string {
+	ti := r.m.Types
+	if ti == nil || ti.Info == nil {
+		return ""
+	}
+	switch x := e.(type) {
+	case *ast.SelectorExpr:
+		if sel := ti.Info.Selections[x]; sel != nil && sel.Kind() == types.FieldVal {
+			if n := namedOf(sel.Recv()); n != nil {
+				return "field:" + n.Obj().Name() + "." + sel.Obj().Name()
+			}
+		}
+		// Qualified package-level variable (pkg.Var).
+		if obj, ok := ti.Info.Uses[x.Sel].(*types.Var); ok && obj.Pkg() != nil &&
+			obj.Parent() == obj.Pkg().Scope() {
+			return "global:" + obj.Name()
+		}
+	case *ast.Ident:
+		obj, ok := ti.Info.Uses[x].(*types.Var)
+		if !ok {
+			return ""
+		}
+		if i, isParam := r.paramObj[obj]; isParam {
+			return "param:" + strconv.Itoa(i)
+		}
+		if obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+			return "global:" + obj.Name()
+		}
+		return "local:" + r.fnKey + "." + obj.Name()
+	}
+	return ""
+}
+
+func (r *refResolver) syntacticKey(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.SelectorExpr:
+		if base, ok := x.X.(*ast.Ident); ok {
+			if si := r.m.structOfIdent(base, r.fn); si != nil {
+				if si.Fields[x.Sel.Name] != nil {
+					return "field:" + si.Name + "." + x.Sel.Name
+				}
+			}
+		}
+	case *ast.Ident:
+		if i, ok := r.paramIdx[x.Name]; ok {
+			return "param:" + strconv.Itoa(i)
+		}
+		return "local:" + r.fnKey + "." + x.Name
+	}
+	return "expr:" + exprText(r.m.Pkg.Fset, e)
+}
+
+// summaryEvent is one direct operation or call site found in a body.
+type summaryEvent struct {
+	kind    int // evAcquire, evPark, evCall
+	ref     LockRef
+	pos     token.Pos
+	callKey string    // evCall: resolved callee
+	argRefs []LockRef // evCall: lock refs of the arguments
+}
+
+const (
+	evAcquire = iota
+	evRelease
+	evPark
+	evCall
+)
+
+// acquireLike classifies ops that take possession of a synchronization
+// object until an explicit release: exclusion brackets and the P half of
+// a split semaphore.
+func acquireLike(c OpClass) bool {
+	switch c {
+	case OpAcquire, OpSemP:
+		return true
+	}
+	return false
+}
+
+// bracketedBody classifies ops that acquire, run a closure argument, and
+// release on their own: Do, CCR Execute, path Exec.
+func bracketedBody(c OpClass) bool {
+	switch c {
+	case OpDo, OpExecute, OpExec:
+		return true
+	}
+	return false
+}
+
+// releaseLike classifies explicit releases: Exit/Unlock and the V half
+// of a split semaphore.
+func releaseLike(c OpClass) bool {
+	switch c {
+	case OpRelease, OpSemV:
+		return true
+	}
+	return false
+}
+
+// parkLike classifies blocking waits that do not take possession.
+func parkLike(c OpClass) bool {
+	switch c {
+	case OpWait, OpEnqueue, OpJoin, OpAwait, OpChanOp:
+		return true
+	}
+	return false
+}
+
+func defaultClass(c OpClass) string {
+	switch c {
+	case OpSemP:
+		return "semaphore"
+	case OpExecute, OpAwait:
+		return "region"
+	case OpExec:
+		return "path"
+	case OpWait:
+		return "condition"
+	case OpEnqueue:
+		return "queue"
+	case OpJoin:
+		return "crowd"
+	case OpChanOp:
+		return "channel"
+	}
+	return "lock"
+}
+
+// collectEvents walks one function body (closures inlined, except bodies
+// that run in another process) and returns its direct events in
+// syntactic order.
+func collectEvents(m *Model, fn *FuncInfo) []summaryEvent {
+	var events []summaryEvent
+	r := newRefResolver(m, fn)
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		switch x := n.(type) {
+		case nil:
+			return
+		case *ast.CallExpr:
+			op := classifyCall(x)
+			if !m.isMechOp(op, fn) {
+				op = Op{Class: OpNone, Call: x}
+			}
+			mechRef := func() LockRef {
+				ref := r.ref(op.Recv)
+				if ref.Class == "" {
+					ref.Class = defaultClass(op.Class)
+				}
+				return ref
+			}
+			switch {
+			case op.Class == OpSpawn:
+				// The spawned body runs in another process; its footprint
+				// is not this function's. Walk non-closure args only.
+				for _, a := range x.Args {
+					if _, ok := a.(*ast.FuncLit); !ok {
+						walk(a)
+					}
+				}
+				return
+			case acquireLike(op.Class):
+				if ref := mechRef(); ref.valid() {
+					events = append(events, summaryEvent{kind: evAcquire, ref: ref, pos: x.Pos()})
+				}
+			case releaseLike(op.Class):
+				if ref := mechRef(); ref.valid() {
+					events = append(events, summaryEvent{kind: evRelease, ref: ref, pos: x.Pos()})
+				}
+			case bracketedBody(op.Class):
+				// Acquire, walk the protected body, release — the op
+				// brackets its closure argument by construction.
+				ref := mechRef()
+				if ref.valid() {
+					events = append(events, summaryEvent{kind: evAcquire, ref: ref, pos: x.Pos()})
+				}
+				for _, a := range x.Args {
+					walk(a)
+				}
+				if ref.valid() {
+					events = append(events, summaryEvent{kind: evRelease, ref: ref, pos: x.End()})
+				}
+				return
+			case parkLike(op.Class):
+				if ref := mechRef(); ref.valid() {
+					events = append(events, summaryEvent{kind: evPark, ref: ref, pos: x.Pos()})
+				}
+			case op.Class == OpNone:
+				if key := m.resolveCall(fn, r.localTypes, x); key != "" {
+					ev := summaryEvent{kind: evCall, callKey: key, pos: x.Pos()}
+					for _, a := range x.Args {
+						ev.argRefs = append(ev.argRefs, r.ref(a))
+					}
+					events = append(events, ev)
+				}
+			}
+		}
+		for _, c := range childNodes(n) {
+			walk(c)
+		}
+	}
+	walk(fn.Decl.Body)
+	return events
+}
+
+// buildSummaries computes the package's summaries to a fixed point and
+// stashes the per-function direct event streams on the model for the
+// lockorder walk.
+func buildSummaries(m *Model) map[string]*FuncSummary {
+	m.events = map[string][]summaryEvent{}
+	for key, fn := range m.Funcs {
+		if fn.Decl.Body == nil {
+			continue
+		}
+		m.events[key] = collectEvents(m, fn)
+	}
+	sums := map[string]*FuncSummary{}
+	for key := range m.events {
+		sums[key] = &FuncSummary{}
+	}
+	// Fixed point: incorporate callee summaries with parameter
+	// substitution until no summary grows. Bounded by the total number
+	// of distinct (function, lock) pairs.
+	for changed := true; changed; {
+		changed = false
+		for key, events := range m.events {
+			s := summarizeEvents(m, events, sums)
+			old := sums[key]
+			if len(s.Acquires) != len(old.Acquires) || len(s.Parks) != len(old.Parks) ||
+				len(s.NetHeld) != len(old.NetHeld) || len(s.NetReleased) != len(old.NetReleased) {
+				changed = true
+			}
+			sums[key] = s
+		}
+	}
+	return sums
+}
+
+// summarizeEvents folds one event stream into a summary, consulting the
+// current summaries for call sites.
+func summarizeEvents(m *Model, events []summaryEvent, sums map[string]*FuncSummary) *FuncSummary {
+	s := &FuncSummary{}
+	var stack []AcqSite // net-held simulation
+	popMatch := func(key string) bool {
+		for i := len(stack) - 1; i >= 0; i-- {
+			if stack[i].Ref.Key == key {
+				stack = append(stack[:i], stack[i+1:]...)
+				return true
+			}
+		}
+		return false
+	}
+	for _, ev := range events {
+		switch ev.kind {
+		case evAcquire:
+			s.add(&s.Acquires, AcqSite{Ref: ev.ref, Pos: ev.pos})
+			stack = append(stack, AcqSite{Ref: ev.ref, Pos: ev.pos})
+		case evRelease:
+			if !popMatch(ev.ref.Key) {
+				s.add(&s.NetReleased, AcqSite{Ref: ev.ref, Pos: ev.pos})
+			}
+		case evPark:
+			s.add(&s.Parks, AcqSite{Ref: ev.ref, Pos: ev.pos})
+		case evCall:
+			callee := sums[ev.callKey]
+			if callee == nil {
+				continue
+			}
+			step := fmt.Sprintf("%s (%s)", ev.callKey, shortPos(m.Pkg.Fset, ev.pos))
+			for _, a := range callee.Acquires {
+				if site, ok := substitute(a, ev, step); ok {
+					s.add(&s.Acquires, site)
+				}
+			}
+			for _, a := range callee.Parks {
+				if site, ok := substitute(a, ev, step); ok {
+					s.add(&s.Parks, site)
+				}
+			}
+			for _, a := range callee.NetReleased {
+				if site, ok := substitute(a, ev, step); ok {
+					if !popMatch(site.Ref.Key) {
+						s.add(&s.NetReleased, site)
+					}
+				}
+			}
+			for _, a := range callee.NetHeld {
+				if site, ok := substitute(a, ev, step); ok {
+					site.Pos = ev.pos
+					stack = append(stack, site)
+				}
+			}
+		}
+	}
+	for _, h := range stack {
+		s.add(&s.NetHeld, h)
+	}
+	return s
+}
+
+// add appends site unless a site with the same key is already recorded.
+func (s *FuncSummary) add(dst *[]AcqSite, site AcqSite) {
+	for _, have := range *dst {
+		if have.Ref.Key == site.Ref.Key {
+			return
+		}
+	}
+	*dst = append(*dst, site)
+}
+
+// substitute maps one callee summary entry into the caller's frame:
+// parameter refs are replaced by the caller's argument refs, and the
+// call step is prepended to the path. Entries whose parameter argument
+// is not a lock-shaped expression are dropped.
+func substitute(site AcqSite, call summaryEvent, step string) (AcqSite, bool) {
+	out := site
+	out.Path = append([]string{step}, site.Path...)
+	if i, ok := site.Ref.isParam(); ok {
+		if i >= len(call.argRefs) || !call.argRefs[i].valid() {
+			return out, false
+		}
+		arg := call.argRefs[i]
+		out.Ref = LockRef{Key: arg.Key, Class: site.Ref.Class, Disp: arg.Disp}
+		if arg.Class != "" {
+			out.Ref.Class = arg.Class
+		}
+	}
+	return out, true
+}
+
+func shortPos(fset *token.FileSet, pos token.Pos) string {
+	p := fset.Position(pos)
+	file := p.Filename
+	if i := strings.LastIndexByte(file, '/'); i >= 0 {
+		file = file[i+1:]
+	}
+	return fmt.Sprintf("%s:%d", file, p.Line)
+}

@@ -17,12 +17,15 @@
 //
 // Deliberate violations are suppressed with an allow-annotation:
 //
-//	//synclint:allow <analyzer>[,<analyzer>] [-- reason]
+//	//synclint:allow <analyzer>[,<analyzer>]: <reason>
 //
 // placed on the offending line, on the line above it, or in the doc
 // comment of the enclosing function (covering the whole function). The
 // analyzer list may be the word "all". A file-wide suppression uses
-// //synclint:allow-file with the same syntax.
+// //synclint:allow-file with the same syntax. The reason is mandatory:
+// an allow without one still suppresses its target but is itself
+// reported as an `allow` finding, so unexplained suppressions cannot
+// accumulate silently.
 package synclint
 
 import (
@@ -154,6 +157,8 @@ func Analyzers() []*Analyzer {
 		EscapeAnalyzer,
 		SignalStateAnalyzer,
 		KernelAPIAnalyzer,
+		LockOrderAnalyzer,
+		LostWakeupAnalyzer,
 	}
 }
 
@@ -183,7 +188,8 @@ func (p *Pass) reportf(pos token.Pos, format string, args ...any) {
 }
 
 // Run applies the analyzers to the package, drops findings covered by
-// allow-annotations, and returns the remainder sorted by position. The
+// allow-annotations, and returns the remainder sorted by position —
+// plus one `allow` finding per annotation that lacks a reason. The
 // second result counts the suppressed findings.
 func Run(pkg *Package, analyzers []*Analyzer) ([]Finding, int) {
 	model := buildModel(pkg)
@@ -191,9 +197,7 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Finding, int) {
 	var out []Finding
 	suppressed := 0
 	for _, a := range analyzers {
-		pass := &Pass{Pkg: pkg, Model: model, analyzer: a}
-		a.run(pass)
-		for _, f := range pass.findings {
+		for _, f := range runOnePass(pkg, model, a) {
 			if allow.allows(a.Name, f.Pos) {
 				suppressed++
 				continue
@@ -201,6 +205,37 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Finding, int) {
 			out = append(out, f)
 		}
 	}
+	// Bare allows are findings in their own right, and deliberately not
+	// subject to suppression — a reason-less allow cannot excuse itself.
+	out = append(out, allow.bare...)
+	SortFindings(out)
+	return out, suppressed
+}
+
+// RunAll applies the analyzers with allow-annotations ignored, returning
+// every raw finding. The xcheck gate uses it to seed hunts from fixture
+// sources whose findings are deliberately annotated so the repo's own
+// lint stays clean.
+func RunAll(pkg *Package, analyzers []*Analyzer) []Finding {
+	model := buildModel(pkg)
+	var out []Finding
+	for _, a := range analyzers {
+		out = append(out, runOnePass(pkg, model, a)...)
+	}
+	SortFindings(out)
+	return out
+}
+
+func runOnePass(pkg *Package, model *Model, a *Analyzer) []Finding {
+	pass := &Pass{Pkg: pkg, Model: model, analyzer: a}
+	a.run(pass)
+	return pass.findings
+}
+
+// SortFindings orders findings by file, line, column, analyzer — the
+// deterministic order every front end (CLI JSON, eval tables, goldens)
+// presents.
+func SortFindings(out []Finding) {
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -214,7 +249,6 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Finding, int) {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return out, suppressed
 }
 
 // exprText renders an expression as compact source text; analyzers use it
@@ -253,6 +287,8 @@ type allowIndex struct {
 	lines map[string]map[int]map[string]bool
 	// ranges are function-granularity and file-granularity suppressions.
 	ranges []allowRange
+	// bare are findings for annotations that carried no reason.
+	bare []Finding
 }
 
 type allowRange struct {
@@ -261,23 +297,55 @@ type allowRange struct {
 	names      map[string]bool
 }
 
-func parseAllowNames(text, marker string) map[string]bool {
-	i := strings.Index(text, marker)
-	if i < 0 {
-		return nil
+// parseAllow splits an annotation into its analyzer names and reason:
+//
+//	//synclint:allow <names>: <reason>
+//
+// The legacy `-- reason` delimiter is still understood. An empty name
+// list means "all"; an empty reason is the caller's cue to report the
+// annotation itself.
+func parseAllow(text, marker string) (names map[string]bool, reason string, ok bool) {
+	// Directive comments only: the marker must open the comment
+	// (`//synclint:allow ...`), so prose that merely mentions the
+	// annotation never parses as one.
+	rest, ok := strings.CutPrefix(text, "//"+marker)
+	if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t' && rest[0] != ':') {
+		return nil, "", false
 	}
-	rest := text[i+len(marker):]
-	if j := strings.Index(rest, "--"); j >= 0 {
-		rest = rest[:j]
+	dash, colon := strings.Index(rest, "--"), strings.Index(rest, ":")
+	switch {
+	case colon >= 0 && (dash < 0 || colon < dash):
+		rest, reason = rest[:colon], rest[colon+1:]
+	case dash >= 0:
+		rest, reason = rest[:dash], rest[dash+2:]
 	}
-	names := map[string]bool{}
+	names = map[string]bool{}
 	for _, f := range strings.FieldsFunc(rest, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' }) {
 		names[f] = true
 	}
 	if len(names) == 0 {
 		names["all"] = true
 	}
-	return names
+	return names, strings.TrimSpace(reason), true
+}
+
+// noteAllow validates one annotation's reason, recording a finding for
+// bare allows.
+func (idx *allowIndex) noteAllow(pkg *Package, c *ast.Comment, names map[string]bool, reason string) {
+	if reason != "" {
+		return
+	}
+	var list []string
+	for n := range names {
+		list = append(list, n)
+	}
+	sort.Strings(list)
+	idx.bare = append(idx.bare, Finding{
+		Analyzer: "allow",
+		Pos:      pkg.Fset.Position(c.Pos()),
+		Message: fmt.Sprintf("suppression of %s lacks a reason — write //synclint:allow <analyzer>: <reason>",
+			strings.Join(list, ",")),
+	})
 }
 
 func collectAllows(pkg *Package) *allowIndex {
@@ -285,15 +353,17 @@ func collectAllows(pkg *Package) *allowIndex {
 	for _, file := range pkg.Files {
 		for _, cg := range file.Comments {
 			for _, c := range cg.List {
-				if names := parseAllowNames(c.Text, "synclint:allow-file"); names != nil {
+				if names, reason, ok := parseAllow(c.Text, "synclint:allow-file"); ok {
 					pos := pkg.Fset.Position(c.Pos())
 					idx.ranges = append(idx.ranges, allowRange{file: pos.Filename, start: 0, end: 1 << 30, names: names})
+					idx.noteAllow(pkg, c, names, reason)
 					continue
 				}
-				names := parseAllowNames(c.Text, "synclint:allow")
-				if names == nil {
+				names, reason, ok := parseAllow(c.Text, "synclint:allow")
+				if !ok {
 					continue
 				}
+				idx.noteAllow(pkg, c, names, reason)
 				pos := pkg.Fset.Position(c.Pos())
 				byLine := idx.lines[pos.Filename]
 				if byLine == nil {
@@ -318,7 +388,9 @@ func collectAllows(pkg *Package) *allowIndex {
 				continue
 			}
 			for _, c := range fn.Doc.List {
-				if names := parseAllowNames(c.Text, "synclint:allow"); names != nil {
+				// The reason was already validated in the comment sweep
+				// above; this loop only widens coverage to the function.
+				if names, _, ok := parseAllow(c.Text, "synclint:allow"); ok {
 					start := pkg.Fset.Position(fn.Pos())
 					end := pkg.Fset.Position(fn.End())
 					idx.ranges = append(idx.ranges, allowRange{file: start.Filename, start: start.Line, end: end.Line, names: names})

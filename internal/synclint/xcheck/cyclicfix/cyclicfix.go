@@ -1,0 +1,83 @@
+// Package cyclicfix is the seeded cyclic-wait fixture the
+// cross-validation gate proves itself on: Transfer locks monitor ma
+// then mb, Audit locks mb then ma — the textbook ABBA inversion. The
+// lockorder analyzer must flag the cycle from this source alone, and
+// the xcheck hunt must realize it as a kernel deadlock and seal a
+// replayable schedule, closing the static/dynamic loop end to end.
+//
+// The findings are deliberately allow-annotated (with reasons) so the
+// repository's own lint run stays clean; the gate analyzes the package
+// with suppressions ignored.
+package cyclicfix
+
+import (
+	"embed"
+
+	"repro/internal/kernel"
+	"repro/internal/monitor"
+	"repro/internal/trace"
+)
+
+// Source embeds this package's own text so the static pass analyzes
+// exactly the code the hunt executes.
+//
+//go:embed cyclicfix.go
+var Source embed.FS
+
+// Accounts guards two balances with one monitor each, a design whose
+// only composition discipline is "lock what you touch" — which is
+// exactly how the two methods end up disagreeing on order.
+type Accounts struct {
+	ma, mb *monitor.Monitor
+	a, b   int
+}
+
+// New returns the two-monitor account pair.
+func New() *Accounts {
+	return &Accounts{ma: monitor.New("ma"), mb: monitor.New("mb"), a: 10, b: 10}
+}
+
+// Transfer moves one unit from a to b under both monitors, ma first.
+// The yield between the two Enters is the deadlock window: a
+// cooperative kernel only switches at park/yield points, so without it
+// the inversion would be unrealizable even though the order is wrong.
+func (x *Accounts) Transfer(p *kernel.Proc) {
+	x.ma.Enter(p)
+	p.Yield()
+	//synclint:allow holdwait,lockorder: seeded ABBA inversion — the xcheck hunt must realize this cycle
+	x.mb.Enter(p)
+	x.a--
+	x.b++
+	x.mb.Exit(p)
+	x.ma.Exit(p)
+}
+
+// Audit reads both balances under both monitors, mb first. The leading
+// yield staggers it off the transferrer, so the default FIFO schedule
+// completes cleanly — the deadlock exists only on the interleaving
+// where Audit claims mb inside Transfer's window, which the hunt has to
+// find.
+func (x *Accounts) Audit(p *kernel.Proc) int {
+	p.Yield()
+	x.mb.Enter(p)
+	p.Yield()
+	//synclint:allow holdwait: second half of the seeded inversion (lockorder reports the cycle once, at Transfer)
+	x.ma.Enter(p)
+	total := x.a + x.b
+	x.ma.Exit(p)
+	x.mb.Exit(p)
+	return total
+}
+
+// Program spawns one transferrer and one auditor — the minimal
+// population that can realize the cycle. Used by the hunt and by
+// schedule replay, which must agree exactly.
+func Program(k kernel.Kernel, r *trace.Recorder) {
+	x := New()
+	k.Spawn("transfer", func(p *kernel.Proc) {
+		x.Transfer(p)
+	})
+	k.Spawn("audit", func(p *kernel.Proc) {
+		_ = x.Audit(p)
+	})
+}
