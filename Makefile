@@ -3,7 +3,7 @@
 GO        ?= go
 BENCHTIME ?= 2s
 
-.PHONY: all build test race lint bench bench-check hunt load xcheck clean
+.PHONY: all build test race lint bench bench-check hunt load xcheck dpor-audit clean
 
 # Load-run knobs for make load; see cmd/syncload -h for the full set.
 LOAD_RATE     ?= 2000
@@ -25,9 +25,11 @@ lint:
 	$(GO) vet ./...
 	$(GO) run ./cmd/synclint ./...
 
-# bench runs the E1 exploration benchmarks — throughput variants plus
-# the checkpointed-DFS pooled/stream/checkpoint column — and archives
-# the numbers (ns/op, allocs/op, schedules/sec per variant) into
+# bench runs the E1 exploration benchmarks — throughput variants, the
+# checkpointed-DFS pooled/stream/checkpoint column, and the DPOR
+# schedules-to-finding/-exhaustion hunts — and archives the numbers
+# (ns/op, allocs/op, schedules/sec, schedules-to-finding,
+# schedules-to-exhaustion, explored-fraction per variant) into
 # BENCH_explore.json. The file is a committed baseline: benchjson
 # merges fresh runs into it line by line instead of overwriting, so a
 # partial -bench filter never loses the other variants. Override
@@ -37,8 +39,12 @@ bench:
 		| tee /dev/stderr | $(GO) run ./cmd/benchjson -o BENCH_explore.json
 
 # bench-check regression-gates a fresh bench run against the committed
-# BENCH_explore.json baseline: any variant whose schedules/sec falls
-# below TOLERANCE × baseline fails. CI runs this after the bench smoke.
+# BENCH_explore.json baseline: any variant whose goodness ratio on a
+# gated metric (schedules/sec and explored-fraction up,
+# schedules-to-finding and schedules-to-exhaustion down) falls below
+# TOLERANCE fails. Metrics the baseline predates are skipped, so a
+# pre-DPOR baseline never fails a post-DPOR run. CI runs this after
+# the bench smoke.
 TOLERANCE ?= 0.8
 bench-check:
 	$(GO) test -run '^$$' -bench BenchmarkE1 -benchmem -benchtime $(BENCHTIME) -count 1 . \
@@ -65,7 +71,16 @@ hunt:
 		-explore -shrink -pool -progress -save-sched figure1-found.sched -quiet
 	$(GO) run ./cmd/simtrace -replay figure1-found.sched
 
-# xcheck runs the static/dynamic cross-validation gate in both
+# dpor-audit proves the partial-order reduction sound on this tree: the
+# full T4 conformance matrix runs with every search doubled — reduced,
+# then unreduced at the same budget — and fails if the reduction missed
+# any violation rule, then the per-scenario coverage table (T8) reports
+# how much of each schedule space the reduced search proved covered.
+dpor-audit:
+	$(GO) test -run TestDPORMatchesFull ./internal/explore/
+	$(GO) run ./cmd/evalsync -experiment T8
+
+
 # directions: -hunt tries to realize every lockorder/lostwakeup finding
 # by schedule exploration (exit 0 — confirmed findings on the seeded
 # fixture are the expected outcome, reported per row), and -audit

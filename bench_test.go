@@ -196,6 +196,100 @@ func BenchmarkE1CheckpointDFS(b *testing.B) {
 	})
 }
 
+// benchSchedulesToFinding hunts the Figure-1 anomaly in a scaled
+// workload — the path-expression readers-priority solution under a
+// readers–writers scenario deep enough (long writes, arrival gaps)
+// that the anomaly hides in a ~2^36 schedule space — and reports how
+// many schedules the search judged before finding it. Unlike the
+// throughput benches above, fewer is better here: this is the metric
+// partial-order reduction exists to shrink. With DPOR on, the
+// analytically covered fraction of the schedule space rides along.
+func benchSchedulesToFinding(b *testing.B, opts explore.Options) {
+	suite, _ := solutions.ByMechanism("pathexpr")
+	cfg := problems.RWConfig{Readers: 3, Writers: 2, Rounds: 1,
+		WriteYields: 6, ReadYields: 1, GapYields: 1}
+	prog := explore.Program(func(k kernel.Kernel, r *trace.Recorder) {
+		_ = problems.SpawnRW(k, suite.NewReadersPriority(k), r, cfg)
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	total := 0
+	var last explore.Result
+	for i := 0; i < b.N; i++ {
+		res := explore.Run(prog, problems.CheckReadersPriority, opts)
+		if !res.Found {
+			b.Fatalf("anomaly not found in %d runs", res.Runs)
+		}
+		total += res.Runs
+		last = res
+	}
+	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "schedules/sec")
+	b.ReportMetric(float64(last.Runs), "schedules-to-finding")
+}
+
+// benchSchedulesToExhaustion explores the clean footnote-3 scenario (the
+// monitor readers-priority solution, which has no anomaly) until the DFS
+// frontier empties, and reports how many schedules that took. This is
+// the repo's first schedules-to-exhaustion number: before DPOR the
+// search had no way to know it was done with the space, only with its
+// budget. The explored fraction is 1 by definition at exhaustion — the
+// metric line pins that the engine still proves full coverage.
+func benchSchedulesToExhaustion(b *testing.B, opts explore.Options) {
+	suite, _ := solutions.ByMechanism("monitor")
+	prog := explore.Program(func(k kernel.Kernel, r *trace.Recorder) {
+		eval.FigureScenario(suite.NewReadersPriority(k))(k, r)
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	total := 0
+	var last explore.Result
+	for i := 0; i < b.N; i++ {
+		res := explore.Run(prog, problems.CheckReadersPriority, opts)
+		if res.Found {
+			b.Fatal("unexpected finding")
+		}
+		if !res.Stats.Exhausted {
+			b.Fatalf("budget %d too small: frontier not exhausted after %d runs", opts.DFSRuns, res.Runs)
+		}
+		total += res.Runs
+		last = res
+	}
+	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "schedules/sec")
+	b.ReportMetric(float64(last.Runs), "schedules-to-exhaustion")
+	if opts.DPOR {
+		b.ReportMetric(last.Stats.ExploredFraction, "explored-fraction")
+	}
+}
+
+// BenchmarkE1SchedulesToFinding compares how many schedules fingerprint
+// pruning alone versus pruning plus dynamic partial-order reduction
+// needs to reach the deep Figure-1 finding, and — on the clean scenario
+// — to prove the whole schedule space covered (the searches are
+// deterministic, so the counts are exact, not sampled). The committed
+// baseline archives all four lines; `make bench-check` gates
+// schedules-to-finding and schedules-to-exhaustion downward and
+// explored-fraction upward.
+func BenchmarkE1SchedulesToFinding(b *testing.B) {
+	base := explore.Options{RandomRuns: -1, DFSRuns: 200000, DFSDepth: 48, Workers: 1, Pool: true, Prune: true}
+	b.Run("prune", func(b *testing.B) {
+		benchSchedulesToFinding(b, base)
+	})
+	b.Run("dpor-prune", func(b *testing.B) {
+		opts := base
+		opts.DPOR = true
+		benchSchedulesToFinding(b, opts)
+	})
+	exhaust := explore.Options{RandomRuns: -1, DFSRuns: 500000, Workers: 1, Pool: true, Prune: true}
+	b.Run("exhaust-prune", func(b *testing.B) {
+		benchSchedulesToExhaustion(b, exhaust)
+	})
+	b.Run("exhaust-dpor-prune", func(b *testing.B) {
+		opts := exhaust
+		opts.DPOR = true
+		benchSchedulesToExhaustion(b, opts)
+	})
+}
+
 // ---- T1: expressive-power matrix ----
 
 // BenchmarkT1PowerVerification measures the full matrix verification

@@ -18,9 +18,12 @@
 //
 // With -compare it gates instead of archiving: given a baseline report
 // and a fresh one, every benchmark present in both is checked on the
-// schedules/sec metric, and the run exits non-zero if any fresh value
-// fell below tolerance × baseline. CI runs this after the bench smoke so
-// an exploration-engine throughput regression fails the build.
+// gated metrics — schedules/sec and explored-fraction (higher is
+// better), schedules-to-finding (lower is better) — and the run exits
+// non-zero if any goodness ratio fell below tolerance. Metrics the
+// baseline predates (pre-DPOR reports have no schedules-to-finding)
+// are skipped, not failed. CI runs this after the bench smoke so an
+// exploration-engine regression fails the build.
 //
 // Usage:
 //
@@ -72,8 +75,8 @@ type Report struct {
 func main() {
 	out := flag.String("o", "", "write JSON here instead of stdout; an existing bench report is merged into, not overwritten")
 	loadMode := flag.Bool("load", false, "ingest a syncload report instead of bench output")
-	compareMode := flag.Bool("compare", false, "compare two reports (baseline.json fresh.json) on the schedules/sec metric; exit non-zero on regression")
-	tolerance := flag.Float64("tolerance", 0.8, "with -compare, minimum acceptable fresh/baseline schedules-per-second ratio")
+	compareMode := flag.Bool("compare", false, "compare two reports (baseline.json fresh.json) on the gated metrics (schedules/sec, schedules-to-finding, explored-fraction); exit non-zero on regression")
+	tolerance := flag.Float64("tolerance", 0.8, "with -compare, minimum acceptable goodness ratio (fresh/baseline, inverted for lower-is-better metrics)")
 	flag.Parse()
 
 	if *compareMode {
@@ -172,18 +175,32 @@ func mergeReports(base, fresh Report) Report {
 	return merged
 }
 
-// compareMetric is the throughput metric the -compare gate guards: the
-// exploration engine's schedules/sec (see BenchmarkE1* in the repo
-// root). ns/op is deliberately not gated — wall-clock per hunt moves
-// with budget choices, while schedules/sec is the engine's figure of
-// merit.
-const compareMetric = "schedules/sec"
+// gatedMetrics are the metrics the -compare gate guards, each with the
+// direction that counts as better. schedules/sec is the engine's raw
+// throughput; schedules-to-finding is how many schedules the reduced
+// search judges before the Figure-1 anomaly (fewer is the whole point
+// of DPOR); explored-fraction is the analytically covered share of the
+// schedule space. ns/op is deliberately not gated — wall-clock per
+// hunt moves with budget choices, while these are figures of merit.
+var gatedMetrics = []struct {
+	unit         string
+	higherBetter bool
+}{
+	{"schedules/sec", true},
+	{"schedules-to-finding", false},
+	{"schedules-to-exhaustion", false},
+	{"explored-fraction", true},
+}
 
-// compareReports checks every benchmark present in both reports on the
-// schedules/sec metric, writing one verdict line each, and reports
-// whether the fresh run passed (no metric below tolerance × baseline).
-// Benchmarks only one side knows are listed but never fail the gate, so
-// a baseline carrying extra suites does not break a narrower CI smoke.
+// compareReports checks every benchmark present in both reports on each
+// gated metric, writing one verdict line per comparison, and reports
+// whether the fresh run passed: no goodness ratio (fresh/base for
+// higher-is-better metrics, base/fresh for lower-is-better ones) below
+// tolerance. Benchmarks or metrics only one side knows are listed as
+// SKIP but never fail the gate — so a baseline carrying extra suites
+// does not break a narrower CI smoke, and a baseline archived before a
+// metric existed (e.g. pre-DPOR reports without schedules-to-finding)
+// does not fail a fresh run that reports it.
 func compareReports(basePath, freshPath string, tolerance float64, w io.Writer) (bool, error) {
 	base, err := readReport(basePath)
 	if err != nil {
@@ -203,32 +220,42 @@ func compareReports(basePath, freshPath string, tolerance float64, w io.Writer) 
 	}
 	ok, compared := true, 0
 	for _, b := range base.Benchmarks {
-		old, has := b.Metrics[compareMetric]
-		if !has || old <= 0 {
-			continue
-		}
 		nb, found := freshBy[key{b.Name, b.CPUs}]
-		if !found {
-			fmt.Fprintf(w, "SKIP %s: not in %s\n", b.Name, freshPath)
-			continue
+		for _, m := range gatedMetrics {
+			old, has := b.Metrics[m.unit]
+			if !has || old <= 0 {
+				if found {
+					if now, hasNew := nb.Metrics[m.unit]; hasNew && now > 0 {
+						fmt.Fprintf(w, "SKIP %s: baseline %s predates the %s metric\n", b.Name, basePath, m.unit)
+					}
+				}
+				continue
+			}
+			if !found {
+				fmt.Fprintf(w, "SKIP %s: not in %s\n", b.Name, freshPath)
+				continue
+			}
+			now, has := nb.Metrics[m.unit]
+			if !has {
+				fmt.Fprintf(w, "SKIP %s: no %s metric in %s\n", b.Name, m.unit, freshPath)
+				continue
+			}
+			compared++
+			ratio := now / old
+			if !m.higherBetter {
+				ratio = old / now
+			}
+			verdict := "ok"
+			if ratio < tolerance {
+				verdict = "REGRESSION"
+				ok = false
+			}
+			fmt.Fprintf(w, "%-10s %s: %.4g -> %.4g %s (%.2fx, floor %.2fx)\n",
+				verdict, b.Name, old, now, m.unit, ratio, tolerance)
 		}
-		now, has := nb.Metrics[compareMetric]
-		if !has {
-			fmt.Fprintf(w, "SKIP %s: no %s metric in %s\n", b.Name, compareMetric, freshPath)
-			continue
-		}
-		compared++
-		ratio := now / old
-		verdict := "ok"
-		if ratio < tolerance {
-			verdict = "REGRESSION"
-			ok = false
-		}
-		fmt.Fprintf(w, "%-10s %s: %.0f -> %.0f %s (%.2fx, floor %.2fx)\n",
-			verdict, b.Name, old, now, compareMetric, ratio, tolerance)
 	}
 	if compared == 0 {
-		return false, fmt.Errorf("no benchmarks with a %s metric in common between %s and %s", compareMetric, basePath, freshPath)
+		return false, fmt.Errorf("no benchmarks with a gated metric in common between %s and %s", basePath, freshPath)
 	}
 	return ok, nil
 }

@@ -188,6 +188,79 @@ func TestCompareReports(t *testing.T) {
 	}
 }
 
+// Direction-aware gating: schedules-to-finding regresses when it grows,
+// explored-fraction when it shrinks, and a baseline that predates a
+// metric (pre-DPOR reports) skips that metric instead of failing.
+func TestCompareReportsDirectionAware(t *testing.T) {
+	write := func(t *testing.T, name string, r Report) string {
+		t.Helper()
+		buf, err := marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := t.TempDir() + "/" + name
+		if err := os.WriteFile(p, buf, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	bench := func(m map[string]float64) Benchmark {
+		return Benchmark{Name: "BenchmarkE1SchedulesToFinding/dpor-prune", Iterations: 1, Metrics: m}
+	}
+	base := write(t, "base.json", Report{Benchmarks: []Benchmark{bench(map[string]float64{
+		"schedules-to-finding": 100, "explored-fraction": 0.5,
+	})}})
+
+	// Fewer schedules to the finding and a larger covered fraction both
+	// count as improvements.
+	var out strings.Builder
+	ok, err := compareReports(base, write(t, "better.json", Report{Benchmarks: []Benchmark{
+		bench(map[string]float64{"schedules-to-finding": 40, "explored-fraction": 0.9}),
+	}}), 0.8, &out)
+	if err != nil || !ok {
+		t.Fatalf("improvement flagged: ok=%v err=%v\n%s", ok, err, out.String())
+	}
+
+	// Needing more schedules is a regression even though the number went up.
+	out.Reset()
+	ok, err = compareReports(base, write(t, "slower.json", Report{Benchmarks: []Benchmark{
+		bench(map[string]float64{"schedules-to-finding": 200, "explored-fraction": 0.5}),
+	}}), 0.8, &out)
+	if err != nil || ok {
+		t.Fatalf("schedules-to-finding growth not caught: ok=%v err=%v\n%s", ok, err, out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION") || !strings.Contains(out.String(), "schedules-to-finding") {
+		t.Fatalf("missing regression line:\n%s", out.String())
+	}
+
+	// A shrinking explored fraction is a regression too.
+	out.Reset()
+	ok, err = compareReports(base, write(t, "thinner.json", Report{Benchmarks: []Benchmark{
+		bench(map[string]float64{"schedules-to-finding": 100, "explored-fraction": 0.1}),
+	}}), 0.8, &out)
+	if err != nil || ok {
+		t.Fatalf("explored-fraction drop not caught: ok=%v err=%v\n%s", ok, err, out.String())
+	}
+
+	// A pre-DPOR baseline knows only schedules/sec: the new metrics are
+	// SKIPped, the old gate still runs, and nothing fails.
+	preDPOR := write(t, "predpor.json", Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkE1SchedulesToFinding/dpor-prune", Iterations: 1,
+			Metrics: map[string]float64{"schedules/sec": 1000}},
+	}})
+	out.Reset()
+	ok, err = compareReports(preDPOR, write(t, "post.json", Report{Benchmarks: []Benchmark{
+		bench(map[string]float64{"schedules/sec": 950, "schedules-to-finding": 40, "explored-fraction": 0.9}),
+	}}), 0.8, &out)
+	if err != nil || !ok {
+		t.Fatalf("pre-DPOR baseline should pass: ok=%v err=%v\n%s", ok, err, out.String())
+	}
+	if !strings.Contains(out.String(), "predates the schedules-to-finding metric") ||
+		!strings.Contains(out.String(), "predates the explored-fraction metric") {
+		t.Fatalf("missing pre-DPOR skip lines:\n%s", out.String())
+	}
+}
+
 // ingestBench with an existing destination merges rather than clobbers,
 // and refuses to proceed over a corrupt baseline.
 func TestIngestBenchMerges(t *testing.T) {

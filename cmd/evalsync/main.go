@@ -19,6 +19,8 @@
 //	T6  CSP evaluated with the same methodology (the paper's §6)
 //	T7  static lockorder/lostwakeup findings cross-validated by
 //	    schedule exploration (the synclint xcheck gate)
+//	T8  schedule-space coverage under partial-order reduction, one row
+//	    per T4 pairing (opt-in: runs only as -experiment T8, never in all)
 //	E1  mechanism evolution: the numeric path operator fixes the
 //	    weakness T1 predicts (Flon–Habermann, discussed in §5.1)
 //	E2  starvation: the admissible-starvation profile of each variant
@@ -47,13 +49,15 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "experiment id (F1 F2 T1 T2 T3 T4 T5 T6 T7 E1 E2 B2) or all")
+	experiment := flag.String("experiment", "all", "experiment id (F1 F2 T1 T2 T3 T4 T5 T6 T7 E1 E2 B2) or all; T8 (DPOR coverage table) runs only when named explicitly")
 	detail := flag.Bool("detail", false, "include per-declaration similarity detail in T2")
 	workers := flag.Int("workers", 0, "goroutines per schedule exploration (0 = all cores; results are identical for any value)")
 	pool := flag.Bool("pool", false, "recycle kernels/recorders across exploration runs (throughput only; identical results)")
 	prune := flag.Bool("prune", false, "prune schedule exploration via state fingerprints (reaches findings in fewer runs, so reported run counts shrink)")
 	shrink := flag.Bool("shrink", false, "minimize every exploration finding by delta debugging (adds a shrunk-schedule line to F1)")
 	checkpoint := flag.Bool("checkpoint", false, "fork exploration DFS runs from kernel snapshots at their branch point (throughput only; identical results)")
+	dpor := flag.Bool("dpor", false, "reduce schedule exploration by dynamic partial-order reduction (fewer runs to the same findings; adds coverage stats)")
+	dporAudit := flag.Bool("dpor-audit", false, "run every exploration reduced and unreduced and fail on any missed violation rule (implies -dpor)")
 	progress := flag.Bool("progress", false, "print a one-line live exploration status to stderr")
 	saveSched := flag.String("save-sched", "", "write the F1 anomaly (shrunk when -shrink) to this path as a replayable .sched artifact")
 	flag.Parse()
@@ -62,6 +66,8 @@ func main() {
 	eval.ExplorePrune = *prune
 	eval.ExploreShrink = *shrink
 	eval.ExploreCheckpoint = *checkpoint
+	eval.ExploreDPOR = *dpor
+	eval.ExploreDPORAudit = *dporAudit
 	if *progress {
 		eval.ExploreProgress = progressLine()
 	}
@@ -230,6 +236,23 @@ func writeReport(w io.Writer, experiment string, detail bool) ([]string, error) 
 		}
 		if !fixtureConfirmed {
 			contradict("T7: the hunt failed to realize the seeded cyclic-wait fixture")
+		}
+	}
+	// T8 is opt-in (never part of "all"): it runs 36 reduced explorations
+	// and reports coverage, which is diagnostic detail rather than part
+	// of the paper's reproduction.
+	if experiment == "T8" {
+		ran = true
+		fmt.Fprintln(w)
+		rows, err := eval.RunDPORCoverage()
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprint(w, eval.RenderDPORCoverage(rows))
+		for _, r := range rows {
+			if r.Explored <= 0 || r.Explored > 1 {
+				contradict("T8: %s/%s explored fraction %v out of (0, 1]", r.Mechanism, r.Problem, r.Explored)
+			}
 		}
 	}
 	if run("E1") {

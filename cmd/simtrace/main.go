@@ -43,6 +43,8 @@ func main() {
 	prune := flag.Bool("prune", false, "prune the -explore DFS via state fingerprints (fewer schedules to a finding)")
 	pool := flag.Bool("pool", false, "recycle kernels and recorders across -explore runs (higher throughput)")
 	checkpoint := flag.Bool("checkpoint", false, "fork -explore DFS runs from kernel snapshots at their branch point instead of replaying the prefix from the root")
+	dpor := flag.Bool("dpor", false, "reduce the -explore DFS by dynamic partial-order reduction (backtrack only where happens-before analysis demands; reports schedule-space coverage)")
+	dporAudit := flag.Bool("dpor-audit", false, "run the -explore search reduced and unreduced and fail if the reduction missed a violation rule (implies -dpor)")
 	shrink := flag.Bool("shrink", false, "minimize the -explore finding by delta debugging (1-minimal schedule)")
 	progress := flag.Bool("progress", false, "print a one-line live exploration status to stderr")
 	saveSched := flag.String("save-sched", "", "write the -explore finding to this path as a replayable .sched artifact")
@@ -86,6 +88,9 @@ func main() {
 		if *exploreFlag {
 			fatal(fmt.Errorf("-explore needs the deterministic kernel (drop -kernel=real)"))
 		}
+		if *dpor || *dporAudit {
+			fatal(fmt.Errorf("-dpor needs the deterministic kernel's dependency trace (drop -kernel=real)"))
+		}
 		if *policy != "fifo" {
 			fatal(fmt.Errorf("-policy has no effect on the real kernel (goroutines schedule themselves)"))
 		}
@@ -99,7 +104,7 @@ func main() {
 		opts := explore.Options{
 			RandomRuns: 300, DFSRuns: 600,
 			Workers: *workers, Prune: *prune, Pool: *pool, Shrink: *shrink,
-			Checkpoint: *checkpoint,
+			Checkpoint: *checkpoint, DPOR: *dpor, DPORAudit: *dporAudit,
 		}
 		if *progress {
 			opts.Progress = progressLine()
@@ -290,6 +295,15 @@ func runExplore(suite solutions.Suite, problem string, quiet bool, saveSched str
 		fmt.Printf("explored %d schedules (pruned %d)\n", res.Runs, res.Pruned)
 	} else {
 		fmt.Printf("explored %d schedules\n", res.Runs)
+	}
+	if opts.DPOR || opts.DPORAudit {
+		approx := "exactly "
+		if !res.Stats.ScheduleSpaceExact {
+			approx = "at most "
+		}
+		fmt.Printf("schedule space: %s2^%.1f interleavings; explored %.3g (backtracks %d, commuting siblings skipped %d)\n",
+			approx, res.Stats.ScheduleSpaceLog2, res.Stats.ExploredFraction,
+			res.Stats.BacktrackPoints, res.Stats.DPORBlocked)
 	}
 	if !res.Found {
 		fmt.Println("no violation found")

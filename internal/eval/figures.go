@@ -54,6 +54,20 @@ var ExploreShrink bool
 // counters in Result.Stats.
 var ExploreCheckpoint bool
 
+// ExploreDPOR enables dynamic partial-order reduction in every anomaly
+// search (explore.Options.DPOR): the DFS backtracks only where the
+// happens-before analysis of completed runs demands it, and Result.Stats
+// gains the schedule-space coverage fields. Settable from the evalsync
+// -dpor flag. Like pruning it changes reported run counts, so the
+// default report keeps it off.
+var ExploreDPOR bool
+
+// ExploreDPORAudit runs every anomaly search twice — reduced and fully
+// unreduced at the same budget — and fails the search if the reduction
+// missed any violation rule (explore.Options.DPORAudit; implies
+// ExploreDPOR). Settable from the evalsync -dpor-audit flag.
+var ExploreDPORAudit bool
+
 // ExploreProgress, when non-nil, receives live progress snapshots from
 // every anomaly search (explore.Options.Progress), settable from the
 // evalsync -progress flag. Observes only; results are unchanged.
@@ -66,6 +80,8 @@ func exploreOpts(base explore.Options) explore.Options {
 	base.Prune = ExplorePrune
 	base.Shrink = ExploreShrink
 	base.Checkpoint = ExploreCheckpoint
+	base.DPOR = ExploreDPOR
+	base.DPORAudit = ExploreDPORAudit
 	base.Progress = ExploreProgress
 	return base
 }

@@ -32,7 +32,7 @@ func TestSnapshotRestoreTracesIdentical(t *testing.T) {
 			}
 			rng := rand.New(rand.NewSource(int64(len(suite.Mechanism) + 31*len(problem))))
 			for _, seed := range []int64{1, 2, 7, 42} {
-				base := kernel.NewSim(kernel.WithPolicy(kernel.Random(seed)))
+				base := kernel.NewSim(kernel.WithPolicy(kernel.Random(seed)), kernel.WithDepTrace())
 				br := trace.NewRecorder(base)
 				base.SetDecisionMark(br.LenCooperative)
 				prog(base, br)
@@ -58,7 +58,7 @@ func TestSnapshotRestoreTracesIdentical(t *testing.T) {
 				}
 				baseTrace := br.Events()
 
-				restored := kernel.NewSim()
+				restored := kernel.NewSim(kernel.WithDepTrace())
 				rr := trace.NewRecorder(restored)
 				restored.SetDecisionMark(rr.LenCooperative)
 				restored.Restore(snap, kernel.WithPolicy(kernel.Replay(schedule[depth:])))
@@ -77,6 +77,22 @@ func TestSnapshotRestoreTracesIdentical(t *testing.T) {
 				if got, want := restored.RunFingerprint(), base.RunFingerprint(); got != want {
 					t.Fatalf("%s/%s seed %d depth %d: run fingerprint %#x, want %#x",
 						suite.Mechanism, problem, seed, depth, got, want)
+				}
+				// The dependency trace DPOR consumes must be equally
+				// stable across snapshot/restore: prefix records served
+				// from the snapshot, suffix re-recorded live, byte-equal
+				// to the uncheckpointed run's.
+				if got, want := restored.DepAccesses(), base.DepAccesses(); !reflect.DeepEqual(got, want) {
+					t.Fatalf("%s/%s seed %d depth %d: restored dependency trace diverged\nbase: %v\nrestored: %v",
+						suite.Mechanism, problem, seed, depth, want, got)
+				}
+				if got, want := restored.ReadySetIDs(), base.ReadySetIDs(); !reflect.DeepEqual(got, want) {
+					t.Fatalf("%s/%s seed %d depth %d: restored ready-set ids diverged",
+						suite.Mechanism, problem, seed, depth)
+				}
+				if got, want := restored.ReadyCauses(), base.ReadyCauses(); !reflect.DeepEqual(got, want) {
+					t.Fatalf("%s/%s seed %d depth %d: restored ready causes diverged",
+						suite.Mechanism, problem, seed, depth)
 				}
 			}
 		}
@@ -185,7 +201,7 @@ func TestResultStatsBytesIdentical(t *testing.T) {
 		rwScenario(monitorsol.NewReadersPriority())(k, r)
 	})
 	opts := Options{RandomRuns: 20, DFSRuns: 100, Prune: true, Pool: true,
-		Checkpoint: true, Shrink: true}
+		Checkpoint: true, Shrink: true, DPOR: true}
 	a := Run(prog, problems.CheckReadersPriority, opts)
 	b := Run(prog, problems.CheckReadersPriority, opts)
 	if a.Stats != b.Stats {

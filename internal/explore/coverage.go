@@ -1,0 +1,231 @@
+// Analytic schedule-space coverage (Options.DPOR).
+//
+// The baseline run's dependency trace induces a partial order on its
+// steps — the same happens-before relation DPOR backtracks on — and the
+// scenario's interleavings are exactly that order's linear extensions.
+// Counting them follows the "Combinatorics of Barrier Synchronization"
+// program: per-process step chains plus cross-process constraint edges
+// form a DAG whose linear-extension count is computed by dynamic
+// programming over down-sets. The per-proc chain structure keeps the
+// down-set lattice small — a down-set is a vector of chain positions, so
+// the state space is Π(n_p + 1), not 2^S — and when even that is too
+// large the multinomial bound S! / Π n_p! (all constraints dropped)
+// still upper-bounds the count, flagged inexact.
+//
+// The DAG deliberately uses only the *synchronization* edges of the
+// dependency trace — readying causes and per-process cells (park/unpark,
+// grants, hand-offs) — and drops the global trace-cell conflicts
+// (kernel.DepObjTrace). Those conflicts exist to make the race detection
+// conservative about oracle order-sensitivity; folding them into the
+// denominator would serialize every recording step and collapse the
+// count toward 1, understating the space the search actually ranges
+// over.
+package explore
+
+import (
+	"math"
+
+	"repro/internal/kernel"
+)
+
+// maxCovStates caps the down-set DP's state space (product of per-proc
+// chain lengths + 1). ~2M float64 memo entries ≈ 16 MB, transient.
+const maxCovStates = 1 << 21
+
+// coverageOf measures the schedule space of the scenario from a
+// completed baseline run: log2 of the number of linear extensions of the
+// run's happens-before order, and whether the count is exact or the
+// multinomial upper bound.
+func coverageOf(out runOut) (log2 float64, exact bool) {
+	schedule := out.schedule
+	steps := len(schedule)
+	if steps > dporAnalysisCap {
+		steps = dporAnalysisCap
+	}
+	if steps == 0 {
+		return 0, true
+	}
+
+	// Flattened ready-set offsets and the executing process per step.
+	off := make([]int, len(schedule))
+	o := 0
+	for i, c := range schedule {
+		off[i] = o
+		o += c.Ready
+	}
+	if o > len(out.readyIDs) || len(out.causes) < len(schedule) {
+		return 0, false // no dependency records; nothing to count
+	}
+	var maxID int32
+	for _, p := range out.readyIDs {
+		if p > maxID {
+			maxID = p
+		}
+	}
+	nProcs := int(maxID) + 1
+	stepProc := make([]int32, steps)
+	for i := 0; i < steps; i++ {
+		stepProc[i] = out.readyIDs[off[i]+schedule[i].Picked]
+	}
+
+	// Chain position of each step within its process.
+	count := make([]int, nProcs) // steps per process
+	pos := make([]int32, steps)
+	for i := 0; i < steps; i++ {
+		pos[i] = int32(count[stepProc[i]])
+		count[stepProc[i]]++
+	}
+
+	// Cross-process predecessor edges: readying causes plus same-object
+	// last-access adjacency (transitively sufficient — each step need
+	// only wait for the latest prior access of each object it touches).
+	type pred struct{ proc, pos int32 }
+	preds := make([][]pred, steps)
+	addPred := func(j, i int) {
+		if i < 0 || i >= j || stepProc[i] == stepProc[j] {
+			return // same-chain edges are implied by chain order
+		}
+		p := pred{proc: stepProc[i], pos: pos[i]}
+		for _, q := range preds[j] {
+			if q == p {
+				return
+			}
+		}
+		preds[j] = append(preds[j], p)
+	}
+	lastAcc := map[uint64]int32{}
+	di := 0
+	deps := out.deps
+	for di < len(deps) && deps[di].Step < 0 {
+		di++
+	}
+	for j := 0; j < steps; j++ {
+		if c := out.causes[j]; c >= 0 {
+			addPred(j, int(c))
+		}
+		start := di
+		for di < len(deps) && deps[di].Step == int32(j) {
+			if obj := deps[di].Obj; obj != kernel.DepObjTrace {
+				if i, ok := lastAcc[obj]; ok {
+					addPred(j, int(i))
+				}
+			}
+			di++
+		}
+		for k := start; k < di; k++ {
+			if obj := deps[k].Obj; obj != kernel.DepObjTrace {
+				lastAcc[obj] = int32(j)
+			}
+		}
+	}
+
+	// Upper bound, always available: drop every cross edge and count the
+	// interleavings of free chains, S! / Π n_p!.
+	bound := lgamma(float64(steps) + 1)
+	states := 1
+	overflow := false
+	for _, n := range count {
+		bound -= lgamma(float64(n) + 1)
+		if !overflow {
+			states *= n + 1
+			if states > maxCovStates {
+				overflow = true
+			}
+		}
+	}
+	bound /= math.Ln2
+
+	if overflow {
+		return bound, false
+	}
+
+	// Exact count: memoized top-down DP over down-sets. A state is the
+	// per-process vector of completed chain positions, encoded in mixed
+	// radix; f(state) is the number of linear extensions of the remaining
+	// steps. A process's next step is schedulable when every cross
+	// predecessor (pp, pos) is already done: c[pp] > pos.
+	stride := make([]int, nProcs)
+	s := 1
+	for p := 0; p < nProcs; p++ {
+		stride[p] = s
+		s *= count[p] + 1
+	}
+	// Step lookup: stepAt[p][n] = global index of process p's n-th step.
+	stepAt := make([][]int32, nProcs)
+	for p := range stepAt {
+		stepAt[p] = make([]int32, 0, count[p])
+	}
+	for i := 0; i < steps; i++ {
+		stepAt[stepProc[i]] = append(stepAt[stepProc[i]], int32(i))
+	}
+	memo := make([]float64, s)
+	for i := range memo {
+		memo[i] = -1
+	}
+	done := make([]int32, nProcs)
+	var f func(idx int) float64
+	f = func(idx int) float64 {
+		if v := memo[idx]; v >= 0 {
+			return v
+		}
+		total := 0.0
+		complete := true
+		for p := 0; p < nProcs; p++ {
+			if int(done[p]) >= count[p] {
+				continue
+			}
+			complete = false
+			j := stepAt[p][done[p]]
+			ok := true
+			for _, q := range preds[j] {
+				if done[q.proc] <= q.pos {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			done[p]++
+			total += f(idx + stride[p])
+			done[p]--
+			if math.IsInf(total, 1) {
+				break
+			}
+		}
+		if complete {
+			total = 1
+		}
+		memo[idx] = total
+		return total
+	}
+	n := f(0)
+	if math.IsInf(n, 1) || n <= 0 {
+		return bound, false
+	}
+	return math.Log2(n), true
+}
+
+// lgamma is math.Lgamma without the sign (arguments here are ≥ 1).
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// exploredFraction is the judged share of the schedule space: runs out
+// of 2^log2Total, clamped to 1, and exactly 1 when the DFS frontier was
+// exhausted — a reduced search that empties its frontier has covered
+// every happens-before equivalence class regardless of raw run count.
+func exploredFraction(runs int, exhausted bool, log2Total float64) float64 {
+	if exhausted {
+		return 1
+	}
+	if runs <= 0 {
+		return 0
+	}
+	f := math.Exp2(math.Log2(float64(runs)) - log2Total)
+	if f > 1 {
+		return 1
+	}
+	return f
+}

@@ -140,6 +140,29 @@ type Options struct {
 	// the batch oracle entirely. The checker must agree with the oracle
 	// on complete traces.
 	Stream func() problems.StreamChecker
+	// DPOR enables dynamic partial-order reduction in the DFS phase: the
+	// kernel records which shared objects every scheduling step accessed
+	// (kernel.WithDepTrace), and instead of branching at every visible
+	// decision point the driver walks each completed run's dependency
+	// trace, detects pairs of conflicting steps not ordered by
+	// happens-before, and pushes a backtrack point at the earlier step's
+	// branch group only (persistent sets). A sleep-set memory suppresses
+	// re-proposing a process already scheduled from the same branch
+	// group. The reduction composes with Prune (proposal points are
+	// fingerprint-deduped), Pool, Stream, Shrink, and Checkpoint
+	// (backtrack points register against checkpoint branch groups), and
+	// all decisions are made on the driver in canonical order, so the
+	// Result stays byte-identical at every Workers count. Like Prune the
+	// dependency relation is a conservative heuristic; DPORAudit is the
+	// cross-check. Result.Stats reports BacktrackPoints, DPORBlocked,
+	// and the analytic ExploredFraction (see coverage.go).
+	DPOR bool
+	// DPORAudit runs the DFS budget twice — reduced and fully unreduced,
+	// both to completion — and reports an error finding if the unreduced
+	// frontier surfaced any violation rule the reduced search missed. It
+	// implies DPOR for the reported Result. Meant for test suites and CI,
+	// not hunting.
+	DPORAudit bool
 	// Checkpoint enables prefix-sharing DFS: after each clean run the
 	// engine captures a kernel snapshot at every decision point it
 	// branched from (kernel.SnapshotAt), and sibling schedules fork from
@@ -196,6 +219,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.PruneAudit {
 		o.Prune = true
+	}
+	if o.DPORAudit {
+		o.DPOR = true
 	}
 	if o.CheckpointBudget == 0 {
 		o.CheckpointBudget = 256
@@ -264,6 +290,13 @@ func runPhases(e *executor, prog Program, oracle Oracle, opts Options, t *tracke
 	// Phase 0: the deterministic FIFO baseline.
 	t.phase("baseline")
 	out := e.run(prog, kernel.FIFO())
+	if opts.DPOR {
+		// The baseline run's happens-before order is the analytic
+		// denominator: its linear-extension count is the scenario's total
+		// interleaving count (see coverage.go).
+		log2, exact := coverageOf(out)
+		t.noteCoverage(log2, exact)
+	}
 	t.ran()
 	if res, found := judge(out, oracle, opts, t.st.Runs); found {
 		return res

@@ -44,6 +44,12 @@ type runOut struct {
 	err      error
 	fps      []uint64 // state fingerprint at each decision point
 	visible  []bool   // per-step visibility (false = pure yield)
+	// Dependency-trace views (empty unless Options.DPOR): per-step object
+	// accesses, the flattened ready-set ids per decision, and the readying
+	// step of each pick. See kernel/deps.go.
+	deps     []kernel.DepAccess
+	readyIDs []int32
+	causes   []int32
 	streamVs []problems.Violation
 	streamed bool // a streaming checker judged this run
 	slot     *runSlot
@@ -68,6 +74,7 @@ type executor struct {
 	newStream  func() problems.StreamChecker
 	pooled     bool
 	checkpoint bool
+	dpor       bool
 
 	// slots counts runSlots ever created; reuses counts runs served by a
 	// recycled slot. Atomics because helpers acquire concurrently; they
@@ -87,6 +94,7 @@ func newExecutor(opts Options) *executor {
 		newStream:  opts.Stream,
 		pooled:     opts.Pool,
 		checkpoint: opts.Checkpoint,
+		dpor:       opts.DPOR,
 	}
 }
 
@@ -113,6 +121,9 @@ func (e *executor) acquire() *runSlot {
 	kopts := []kernel.SimOption{kernel.WithMaxSteps(e.maxSteps)}
 	if e.pooled {
 		kopts = append(kopts, kernel.WithRecycle())
+	}
+	if e.dpor {
+		kopts = append(kopts, kernel.WithDepTrace())
 	}
 	s := &runSlot{k: kernel.NewSim(kopts...)}
 	s.r = trace.NewRecorder(s.k)
@@ -177,6 +188,9 @@ func (e *executor) run(prog Program, policy kernel.Policy) runOut {
 		err:      err,
 		fps:      s.k.StepFingerprints(),
 		visible:  s.k.StepVisibility(),
+		deps:     s.k.DepAccesses(),
+		readyIDs: s.k.ReadySetIDs(),
+		causes:   s.k.ReadyCauses(),
 		streamVs: s.vs,
 		streamed: s.stream != nil,
 		slot:     s,
@@ -215,6 +229,9 @@ func (e *executor) runFrom(prog Program, snap *kernel.Snapshot, prefix trace.Tra
 		err:      err,
 		fps:      s.k.StepFingerprints(),
 		visible:  s.k.StepVisibility(),
+		deps:     s.k.DepAccesses(),
+		readyIDs: s.k.ReadySetIDs(),
+		causes:   s.k.ReadyCauses(),
 		streamVs: s.vs,
 		streamed: s.stream != nil,
 		slot:     s,
@@ -345,24 +362,25 @@ func (s auditSet) addRun(out runOut, oracle Oracle, opts Options) {
 // requested.
 func dfsPhase(e *executor, prog Program, oracle Oracle, opts Options, t *tracker) Result {
 	t.phase("dfs")
-	if opts.PruneAudit {
+	if opts.PruneAudit || opts.DPORAudit {
 		return dfsAudit(e, prog, oracle, opts, t)
 	}
-	res, _ := dfsScan(e, prog, oracle, opts, t, opts.Prune, false)
+	res, _ := dfsScan(e, prog, oracle, opts, t, opts.Prune, opts.DPOR, false)
 	return res
 }
 
-// dfsAudit cross-checks pruning: it runs the DFS budget twice in collect
-// mode — once pruned, once unpruned — and fails if the unpruned frontier
-// surfaced any violation rule the pruned search missed. On success the
-// result is exactly what a plain pruned DFS would have reported (collect
-// mode behaves identically up to the first finding).
+// dfsAudit cross-checks reduction: it runs the DFS budget twice in
+// collect mode — once with the configured reductions (Prune and/or
+// DPOR), once fully unreduced — and fails if the unreduced frontier
+// surfaced any violation rule the reduced search missed. On success the
+// result is exactly what a plain reduced DFS would have reported
+// (collect mode behaves identically up to the first finding).
 func dfsAudit(e *executor, prog Program, oracle Oracle, opts Options, t *tracker) Result {
 	// The reference pass uses a silent tracker: its runs are not part of
 	// the canonical counter stream the Result (and Progress) reports.
 	ref0 := t.silent()
-	res, got := dfsScan(e, prog, oracle, opts, t, true, true)
-	_, ref := dfsScan(e, prog, oracle, opts, ref0, false, true)
+	res, got := dfsScan(e, prog, oracle, opts, t, opts.Prune, opts.DPOR, true)
+	_, ref := dfsScan(e, prog, oracle, opts, ref0, false, false, true)
 	var missing []string
 	for rule := range ref {
 		if !got[rule] {
@@ -372,18 +390,25 @@ func dfsAudit(e *executor, prog Program, oracle Oracle, opts Options, t *tracker
 	if len(missing) > 0 {
 		sort.Strings(missing)
 		res.Found = true
-		res.Err = fmt.Errorf("explore: prune audit failed: pruned search missed %s",
-			strings.Join(missing, ", "))
+		if opts.DPORAudit {
+			res.Err = fmt.Errorf("explore: dpor audit failed: reduced search missed %s",
+				strings.Join(missing, ", "))
+		} else {
+			res.Err = fmt.Errorf("explore: prune audit failed: pruned search missed %s",
+				strings.Join(missing, ", "))
+		}
 	}
 	return res
 }
 
 // dfsScan is the DFS engine. prune enables fingerprint-based subtree
-// skipping; collect runs the full budget recording every finding's rule
-// (for the audit) instead of returning at the first one. The returned
-// Result is the first finding either way, so collect=false and
-// collect=true agree on everything a caller of Run can observe.
-func dfsScan(e *executor, prog Program, oracle Oracle, opts Options, t *tracker, prune, collect bool) (Result, auditSet) {
+// skipping; dpor replaces exhaustive branching with happens-before
+// driven backtrack points (see dpor.go); collect runs the full budget
+// recording every finding's rule (for the audit) instead of returning
+// at the first one. The returned Result is the first finding either
+// way, so collect=false and collect=true agree on everything a caller
+// of Run can observe.
+func dfsScan(e *executor, prog Program, oracle Oracle, opts Options, t *tracker, prune, dpor, collect bool) (Result, auditSet) {
 	found := auditSet{}
 	if opts.DFSRuns <= 0 {
 		return Result{Runs: t.st.Runs}, found
@@ -419,6 +444,13 @@ func dfsScan(e *executor, prog Program, oracle Oracle, opts Options, t *tracker,
 	var expanded map[uint64]bool
 	if prune {
 		expanded = map[uint64]bool{}
+	}
+	// The DPOR state (sleep-set memory and analysis scratch) is per-scan
+	// like the pruner's maps, so the audit's reference pass shares nothing
+	// with the reduced pass.
+	var dp *dporState
+	if dpor {
+		dp = newDPORState()
 	}
 	// The checkpoint registry (Options.Checkpoint) is per-scan, so the
 	// audit's reference pass shares nothing with the pruned pass.
@@ -502,9 +534,19 @@ func dfsScan(e *executor, prog Program, oracle Oracle, opts Options, t *tracker,
 		}
 
 		// Branch: for each decision point within depth (at or beyond the
-		// prefix), schedule the alternatives not taken. Push order matches
-		// the sequential engine, so LIFO pops explore the same tree.
-		children := expandDFS(node.prefix, out, opts.DFSDepth, helpers > 0, expanded, &pruned)
+		// prefix), schedule the alternatives not taken — or, with DPOR,
+		// only the backtrack points the run's dependency trace demands.
+		// Push order matches the sequential engine, so LIFO pops explore
+		// the same tree.
+		var children []*dfsNode
+		if dp != nil {
+			var blocked int
+			children, blocked = dp.expand(node.prefix, out, opts.DFSDepth, helpers > 0, expanded, &pruned)
+			t.st.BacktrackPoints += len(children)
+			t.st.DPORBlocked += blocked
+		} else {
+			children = expandDFS(node.prefix, out, opts.DFSDepth, helpers > 0, expanded, &pruned)
+		}
 		if reg != nil && !isFinding && out.err == nil {
 			reg.registerRun(out, children)
 		}
@@ -518,6 +560,13 @@ func dfsScan(e *executor, prog Program, oracle Oracle, opts Options, t *tracker,
 		}
 	}
 	t.st.Frontier = 0
+	st.mu.Lock()
+	if len(st.stack) == 0 {
+		// The frontier emptied before the budget ran out: every schedule
+		// the (possibly reduced) search wanted to run has been run.
+		t.st.Exhausted = true
+	}
+	st.mu.Unlock()
 	if !first.Found {
 		first.Runs = t.st.Runs
 		first.Pruned = pruned

@@ -43,6 +43,32 @@ type StatsCore struct {
 	// ReplayedSteps. Zero (like CheckpointForks and SavedSteps) unless
 	// Options.Checkpoint.
 	ReplayedSteps int64
+	// BacktrackPoints counts the backtrack nodes partial-order reduction
+	// pushed onto the DFS frontier: the persistent-set branches the
+	// happens-before analysis demanded. Zero unless Options.DPOR.
+	BacktrackPoints int
+	// DPORBlocked counts sibling alternatives that plain DFS branching
+	// would have pushed and partial-order reduction did not — the
+	// schedules proven commuting with an explored one. Zero unless
+	// Options.DPOR.
+	DPORBlocked int
+	// Exhausted reports that the DFS frontier emptied before the run
+	// budget did: every schedule the (possibly reduced) search considers
+	// distinct has been judged.
+	Exhausted bool
+	// ScheduleSpaceLog2 is log2 of the total number of interleavings of
+	// the scenario, computed from the baseline run's happens-before order
+	// by linear-extension counting. Zero unless Options.DPOR.
+	ScheduleSpaceLog2 float64
+	// ScheduleSpaceExact reports whether ScheduleSpaceLog2 is an exact
+	// linear-extension count (dynamic programming over the step DAG) or
+	// the multinomial upper bound used when the DAG is too large.
+	ScheduleSpaceExact bool
+	// ExploredFraction is the judged fraction of the schedule space:
+	// Runs / 2^ScheduleSpaceLog2, clamped to 1, and exactly 1 when
+	// Exhausted (the reduced search covers every equivalence class even
+	// though it ran far fewer schedules). Zero unless Options.DPOR.
+	ExploredFraction float64
 }
 
 // Stats is a snapshot of the exploration engine's progress, delivered to
@@ -76,6 +102,12 @@ type tracker struct {
 	progress func(Stats)
 	start    time.Time
 	st       Stats
+
+	// Schedule-space coverage, noted once from the baseline run when
+	// Options.DPOR is on (see coverage.go).
+	covered  bool
+	covLog2  float64
+	covExact bool
 }
 
 func newTracker(e *executor, opts Options) *tracker {
@@ -123,6 +155,16 @@ func (t *tracker) replayed(prefix int) {
 	t.st.ReplayedSteps += int64(prefix)
 }
 
+// noteCoverage records the scenario's schedule-space size, measured once
+// from the baseline run's happens-before order.
+func (t *tracker) noteCoverage(log2 float64, exact bool) {
+	t.covered = true
+	t.covLog2 = log2
+	t.covExact = exact
+	t.st.ScheduleSpaceLog2 = log2
+	t.st.ScheduleSpaceExact = exact
+}
+
 func (t *tracker) emit() {
 	if t.progress == nil {
 		return
@@ -139,7 +181,7 @@ func (t *tracker) emit() {
 // deterministic returns the final StatsCore for a Result: the driver's
 // canonical counters, with the live-only fields left behind in Stats.
 func (t *tracker) deterministic(res *Result) StatsCore {
-	return StatsCore{
+	st := StatsCore{
 		Phase:           "done",
 		Runs:            res.Runs,
 		Pruned:          res.Pruned,
@@ -148,5 +190,14 @@ func (t *tracker) deterministic(res *Result) StatsCore {
 		CheckpointForks: t.st.CheckpointForks,
 		SavedSteps:      t.st.SavedSteps,
 		ReplayedSteps:   t.st.ReplayedSteps,
+		BacktrackPoints: t.st.BacktrackPoints,
+		DPORBlocked:     t.st.DPORBlocked,
+		Exhausted:       t.st.Exhausted,
 	}
+	if t.covered {
+		st.ScheduleSpaceLog2 = t.covLog2
+		st.ScheduleSpaceExact = t.covExact
+		st.ExploredFraction = exploredFraction(res.Runs, t.st.Exhausted, t.covLog2)
+	}
+	return st
 }

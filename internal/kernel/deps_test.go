@@ -1,0 +1,177 @@
+package kernel
+
+import (
+	"reflect"
+	"testing"
+)
+
+// collectDeps runs snapProgram under policy with dependency tracing and
+// returns the recorded artifacts.
+func collectDeps(t *testing.T, policy Policy) ([]DepAccess, []int32, []int32, []Choice) {
+	t.Helper()
+	k := NewSim(WithPolicy(policy), WithDepTrace())
+	var events []string
+	snapProgram(k, &events)
+	if err := k.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return append([]DepAccess(nil), k.DepAccesses()...),
+		append([]int32(nil), k.ReadySetIDs()...),
+		append([]int32(nil), k.ReadyCauses()...),
+		k.Choices()
+}
+
+// The dependency relation DPOR consumes — steps i and j are dependent
+// iff they access a common object — must be symmetric and irreflexive by
+// construction, and the records it is derived from must be well-formed:
+// nondecreasing step order, steps within the run, adjacent duplicates
+// collapsed, ready-set ids and causes aligned with the choices.
+func TestDepTraceRelationProperties(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42, 1979} {
+		deps, readyIDs, causes, choices := collectDeps(t, Random(seed))
+		if len(deps) == 0 {
+			t.Fatalf("seed %d: no dependency accesses recorded", seed)
+		}
+
+		// Record well-formedness.
+		total := 0
+		for i, c := range choices {
+			if c.Ready < 1 || c.Picked < 0 || c.Picked >= c.Ready {
+				t.Fatalf("seed %d: malformed choice %d: %+v", seed, i, c)
+			}
+			total += c.Ready
+		}
+		if len(readyIDs) != total {
+			t.Fatalf("seed %d: %d ready-set ids, want %d", seed, len(readyIDs), total)
+		}
+		if len(causes) != len(choices) {
+			t.Fatalf("seed %d: %d causes, want %d", seed, len(causes), len(choices))
+		}
+		for i, c := range causes {
+			if int(c) >= i {
+				t.Fatalf("seed %d: cause of step %d is %d, not an earlier step", seed, i, c)
+			}
+		}
+		for i := 1; i < len(deps); i++ {
+			if deps[i].Step < deps[i-1].Step {
+				t.Fatalf("seed %d: dependency trace out of order at %d: %v after %v",
+					seed, i, deps[i], deps[i-1])
+			}
+			if deps[i] == deps[i-1] {
+				t.Fatalf("seed %d: adjacent duplicate access %v", seed, deps[i])
+			}
+		}
+		for _, d := range deps {
+			if int(d.Step) >= len(choices) {
+				t.Fatalf("seed %d: access %v beyond the run's %d steps", seed, d, len(choices))
+			}
+		}
+
+		// The induced relation: dep(i, j) iff distinct steps share an
+		// object. Symmetry and irreflexivity fall out of the definition;
+		// exercise it as DPOR does, over the materialized pair set.
+		objs := map[int32]map[uint64]bool{}
+		for _, d := range deps {
+			if d.Step < 0 {
+				continue
+			}
+			if objs[d.Step] == nil {
+				objs[d.Step] = map[uint64]bool{}
+			}
+			objs[d.Step][d.Obj] = true
+		}
+		dependent := func(i, j int32) bool {
+			if i == j {
+				return false
+			}
+			for o := range objs[i] {
+				if objs[j][o] {
+					return true
+				}
+			}
+			return false
+		}
+		pairs := 0
+		for i := range objs {
+			for j := range objs {
+				if dependent(i, j) {
+					pairs++
+					if !dependent(j, i) {
+						t.Fatalf("seed %d: relation not symmetric at (%d, %d)", seed, i, j)
+					}
+				}
+				if i == j && dependent(i, j) {
+					t.Fatalf("seed %d: relation not irreflexive at %d", seed, i)
+				}
+			}
+		}
+		if pairs == 0 {
+			t.Fatalf("seed %d: no dependent pairs in a program with unpark edges", seed)
+		}
+	}
+}
+
+// The same schedule must produce the same dependency trace no matter how
+// it is driven — replayed from the root or restored from a snapshot at
+// any depth. This is the stability DPOR's driver-side analysis relies on
+// when checkpointed forks skip prefix replay.
+func TestDepTraceStableAcrossSnapshotRestore(t *testing.T) {
+	k := NewSim(WithPolicy(Random(42)), WithDepTrace())
+	var events []string
+	k.SetDecisionMark(func() int { return len(events) })
+	snapProgram(k, &events)
+	if err := k.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	schedule := k.Choices()
+	baseDeps := append([]DepAccess(nil), k.DepAccesses()...)
+	baseReady := append([]int32(nil), k.ReadySetIDs()...)
+	baseCauses := append([]int32(nil), k.ReadyCauses()...)
+
+	for depth := 1; depth < len(schedule); depth++ {
+		snap, err := k.SnapshotAt(depth)
+		if err != nil {
+			t.Fatalf("SnapshotAt(%d): %v", depth, err)
+		}
+		k2 := NewSim(WithDepTrace())
+		var events2 []string
+		k2.Restore(snap, WithPolicy(Replay(schedule[depth:])))
+		k2.SetDecisionMark(func() int { return len(events2) })
+		snapProgram(k2, &events2)
+		if err := k2.Run(); err != nil {
+			t.Fatalf("depth %d: restored run: %v", depth, err)
+		}
+		if got := k2.DepAccesses(); !reflect.DeepEqual(got, baseDeps) {
+			t.Fatalf("depth %d: dependency trace diverged\nbase:     %v\nrestored: %v", depth, baseDeps, got)
+		}
+		if got := k2.ReadySetIDs(); !reflect.DeepEqual(got, baseReady) {
+			t.Fatalf("depth %d: ready-set ids diverged", depth)
+		}
+		if got := k2.ReadyCauses(); !reflect.DeepEqual(got, baseCauses) {
+			t.Fatalf("depth %d: ready causes diverged", depth)
+		}
+	}
+}
+
+// Dependency tracing is opt-in and absent by default: without
+// WithDepTrace the accessors stay empty and the snapshot carries no
+// dependency payload.
+func TestDepTraceOptIn(t *testing.T) {
+	k := NewSim(WithPolicy(FIFO()))
+	var events []string
+	k.SetDecisionMark(func() int { return len(events) })
+	snapProgram(k, &events)
+	if err := k.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(k.DepAccesses()) != 0 || len(k.ReadySetIDs()) != 0 || len(k.ReadyCauses()) != 0 {
+		t.Fatalf("dependency records present without WithDepTrace")
+	}
+	snap, err := k.SnapshotAt(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.ReadyIDs != nil || snap.Causes != nil || snap.Deps != nil {
+		t.Fatalf("snapshot carries dependency payload without WithDepTrace")
+	}
+}

@@ -192,6 +192,15 @@ type SimKernel struct {
 	markFn func() int
 	marks  []int
 
+	// depTrace enables dependency-trace recording (WithDepTrace): deps
+	// holds the per-step object accesses, readyIDs the flattened ready
+	// set at each decision, and causes the readying step of each pick
+	// (see deps.go).
+	depTrace bool
+	deps     []DepAccess
+	readyIDs []int32
+	causes   []int32
+
 	// wg counts live process executions; Reset waits on it so a recycled
 	// kernel never shares state with stragglers from the previous run.
 	wg sync.WaitGroup
@@ -262,6 +271,7 @@ type simProc struct {
 	permit       bool
 	wakeAt       int64  // valid when sleeping
 	readyAt      int64  // readiness stamp for deterministic ordering
+	readyCause   int32  // step that readied this process; -1 if none (see deps.go)
 	schedCount   uint64 // completed scheduling steps (fingerprint PC proxy)
 	fpContrib    uint64 // cached fingerprint contribution
 	resume       chan struct{}
@@ -372,6 +382,7 @@ func (k *SimKernel) spawn(name string, fn func(p *Proc), daemon bool) *Proc {
 	}
 	k.procs = append(k.procs, sp)
 	k.stepVisible = true // the spawning step changed the ready set
+	k.noteDepLocked(objProc(id))
 	k.markReadyLocked(sp)
 	k.wg.Add(1)
 	if k.recycle {
@@ -414,6 +425,7 @@ func (k *SimKernel) markReadyLocked(sp *simProc) {
 	sp.state = stateRunnable
 	k.readySeq++
 	sp.readyAt = k.readySeq
+	sp.readyCause = int32(k.steps) - 1
 	k.ready = append(k.ready, sp)
 	k.touchFPLocked(sp)
 }
@@ -521,6 +533,9 @@ func (k *SimKernel) Reset(opts ...SimOption) {
 	k.visible = k.visible[:0]
 	k.restore = nil
 	k.marks = k.marks[:0]
+	k.deps = k.deps[:0]
+	k.readyIDs = k.readyIDs[:0]
+	k.causes = k.causes[:0]
 	k.started = false
 	k.finished = false
 	k.stopRequested = false
@@ -689,6 +704,11 @@ func (k *SimKernel) schedule(self *simProc) (next *simProc, fin bool, err error)
 	if k.markFn != nil {
 		k.marks = append(k.marks, k.markFn())
 	}
+	if k.depTrace {
+		for _, sp := range k.ready {
+			k.readyIDs = append(k.readyIDs, int32(sp.proc.id))
+		}
+	}
 	idx := k.policy.Pick(readyProcs)
 	if idx < 0 || idx >= len(k.ready) {
 		k.finishLocked()
@@ -698,6 +718,9 @@ func (k *SimKernel) schedule(self *simProc) (next *simProc, fin bool, err error)
 	k.choices = append(k.choices, Choice{Ready: len(readyProcs), Picked: idx})
 	k.steps++
 	next = k.ready[idx]
+	if k.depTrace {
+		k.causes = append(k.causes, next.readyCause)
+	}
 	k.ready = append(k.ready[:idx], k.ready[idx+1:]...)
 	next.state = stateRunning
 	next.schedCount++
@@ -749,6 +772,7 @@ func (k *SimKernel) wakeSleepersLocked() bool {
 	for _, sp := range k.procs {
 		if sp.state == stateSleeping && sp.wakeAt <= k.now {
 			k.markReadyLocked(sp)
+			sp.readyCause = -1 // woken by the clock, not by a step
 		}
 	}
 	return true
@@ -801,6 +825,7 @@ func (sp *simProc) park() {
 	k.mu.Lock()
 	k.checkLiveLocked()
 	k.stepVisible = true
+	k.noteDepLocked(objProc(sp.proc.id))
 	if sp.permit {
 		sp.permit = false
 		k.touchFPLocked(sp)
@@ -821,6 +846,7 @@ func (sp *simProc) unpark() {
 		return
 	}
 	k.stepVisible = true
+	k.noteDepLocked(objProc(sp.proc.id))
 	switch sp.state {
 	case stateParked:
 		k.markReadyLocked(sp)
@@ -849,6 +875,7 @@ func (sp *simProc) sleep(ticks int64) {
 	k.mu.Lock()
 	k.checkLiveLocked()
 	k.stepVisible = true
+	k.noteDepLocked(objProc(sp.proc.id))
 	sp.state = stateSleeping
 	sp.wakeAt = k.now + ticks
 	k.touchFPLocked(sp)
@@ -861,6 +888,7 @@ func (sp *simProc) exited() {
 	k.mu.Lock()
 	sp.state = stateDead
 	k.stepVisible = true
+	k.noteDepLocked(objProc(sp.proc.id))
 	k.touchFPLocked(sp)
 	k.mu.Unlock()
 	// Hand the processor on; no resume will follow, so the goroutine

@@ -3,6 +3,7 @@ package kernel
 import (
 	"errors"
 	"fmt"
+	"sort"
 )
 
 // Snapshot is a passive capture of the scheduler-visible prefix of a
@@ -26,6 +27,12 @@ type Snapshot struct {
 	Fp      uint64   // state fingerprint at the capture point (decision Depth)
 	Marks   []int    // decision mark at each captured decision point
 	Events  int      // decision mark (recorder position) at the capture point
+
+	// Dependency-trace records of the captured prefix (see deps.go);
+	// nil unless the source kernel ran with WithDepTrace.
+	ReadyIDs []int32     // flattened ready-set ids per captured decision
+	Causes   []int32     // readying step of each captured pick
+	Deps     []DepAccess // object accesses of the captured steps
 }
 
 // SnapshotAt captures the first depth scheduling decisions of the run
@@ -48,7 +55,7 @@ func (k *SimKernel) SnapshotAt(depth int) (*Snapshot, error) {
 		depth >= len(k.marks) || depth > len(k.visible) {
 		return nil, fmt.Errorf("kernel: SnapshotAt(%d) out of range: run made %d decisions", depth, len(k.choices))
 	}
-	return &Snapshot{
+	s := &Snapshot{
 		Depth:   depth,
 		Choices: append([]Choice(nil), k.choices[:depth]...),
 		Fps:     append([]uint64(nil), k.fps[:depth]...),
@@ -56,7 +63,30 @@ func (k *SimKernel) SnapshotAt(depth int) (*Snapshot, error) {
 		Fp:      k.fps[depth],
 		Marks:   append([]int(nil), k.marks[:depth]...),
 		Events:  k.marks[depth],
-	}, nil
+	}
+	if k.depTrace {
+		s.ReadyIDs = append([]int32(nil), k.readyIDs[:readyIDOffset(k.choices, depth)]...)
+		s.Causes = append([]int32(nil), k.causes[:depth]...)
+		s.Deps = append([]DepAccess(nil), k.deps[:depCut(k.deps, depth)]...)
+	}
+	return s, nil
+}
+
+// readyIDOffset is the index into the flattened ready-set ids where
+// decision depth's segment begins: the sum of the preceding decisions'
+// ready counts.
+func readyIDOffset(choices []Choice, depth int) int {
+	off := 0
+	for _, c := range choices[:depth] {
+		off += c.Ready
+	}
+	return off
+}
+
+// depCut is the number of leading dependency accesses performed by steps
+// before decision depth; deps is in nondecreasing step order.
+func depCut(deps []DepAccess, depth int) int {
+	return sort.Search(len(deps), func(i int) bool { return deps[i].Step >= int32(depth) })
 }
 
 // Truncate derives the snapshot of a shallower prefix of the same run,
@@ -70,7 +100,7 @@ func (s *Snapshot) Truncate(depth int) (*Snapshot, error) {
 	if depth < 0 || depth >= s.Depth {
 		return nil, fmt.Errorf("kernel: Truncate(%d) out of range: snapshot depth %d", depth, s.Depth)
 	}
-	return &Snapshot{
+	t := &Snapshot{
 		Depth:   depth,
 		Choices: s.Choices[:depth],
 		Fps:     s.Fps[:depth],
@@ -78,7 +108,13 @@ func (s *Snapshot) Truncate(depth int) (*Snapshot, error) {
 		Fp:      s.Fps[depth],
 		Marks:   s.Marks[:depth],
 		Events:  s.Marks[depth],
-	}, nil
+	}
+	if s.ReadyIDs != nil || s.Causes != nil || s.Deps != nil {
+		t.ReadyIDs = s.ReadyIDs[:readyIDOffset(s.Choices, depth)]
+		t.Causes = s.Causes[:depth]
+		t.Deps = s.Deps[:depCut(s.Deps, depth)]
+	}
+	return t, nil
 }
 
 // WithRestore arms the next run to resume from s. The kernel re-drives
@@ -99,6 +135,9 @@ func WithRestore(s *Snapshot) SimOption {
 		k.fps = append(k.fps[:0], s.Fps...)
 		k.visible = append(k.visible[:0], s.Visible...)
 		k.marks = append(k.marks[:0], s.Marks...)
+		k.readyIDs = append(k.readyIDs[:0], s.ReadyIDs...)
+		k.causes = append(k.causes[:0], s.Causes...)
+		k.deps = append(k.deps[:0], s.Deps...)
 	}
 }
 

@@ -95,6 +95,7 @@ func (e Event) String() string {
 type cooperativeKernel interface {
 	NowCooperative() kernel.Time
 	MarkStepVisible()
+	NoteTraceDep()
 }
 
 // Recorder collects events. It is safe for concurrent use; when the
@@ -194,6 +195,7 @@ func (r *Recorder) record(p *kernel.Proc, kind Kind, op string, arg int64, note 
 		// the scheduler handoff orders every access, so neither the
 		// recorder's lock nor the kernel clock's is needed.
 		r.coop.MarkStepVisible()
+		r.coop.NoteTraceDep()
 		return r.append(p, r.coop.NowCooperative(), kind, op, arg, note)
 	}
 	var t kernel.Time
