@@ -3,7 +3,7 @@
 GO        ?= go
 BENCHTIME ?= 2s
 
-.PHONY: all build test race lint bench bench-check hunt load xcheck dpor-audit clean
+.PHONY: all build test race lint bench bench-check hunt load load-check load-million xcheck dpor-audit clean
 
 # Load-run knobs for make load; see cmd/syncload -h for the full set.
 LOAD_RATE     ?= 2000
@@ -51,16 +51,48 @@ bench-check:
 		| tee /dev/stderr | $(GO) run ./cmd/benchjson -o bench-fresh.json
 	$(GO) run ./cmd/benchjson -compare -tolerance $(TOLERANCE) BENCH_explore.json bench-fresh.json
 
-# load runs the real-runtime evaluation matrix — every mechanism × the
-# canonical problem trio under Poisson open-loop and fixed-client
-# closed-loop traffic — traced, oracle-judged, then validated and
-# archived as BENCH_load.json by benchjson. Two steps so syncload's exit
-# code (nonzero on a kernel error or oracle violation) is never
-# swallowed by the pipe.
+# load runs the real-runtime evaluation matrix — every mechanism plus the
+# scalable semaphore variants × the canonical problem trio under Poisson
+# open-loop and fixed-client closed-loop traffic — traced, oracle-judged,
+# prefixed with the histogram-harness calibration, then validated and
+# archived as BENCH_load.json by benchjson. BENCH_load.json is a committed
+# baseline (load-check gates against it). Two steps so syncload's exit
+# code (nonzero on a kernel error or oracle violation) is never swallowed
+# by the pipe.
 load:
-	$(GO) run ./cmd/syncload -rate $(LOAD_RATE) -duration $(LOAD_DURATION) \
-		-json -o load-raw.json
+	$(GO) run ./cmd/syncload -mech all,variants -rate $(LOAD_RATE) -duration $(LOAD_DURATION) \
+		-calibrate -json -o load-raw.json
 	$(GO) run ./cmd/benchjson -load -o BENCH_load.json < load-raw.json
+
+# load-check regression-gates a fresh load run against the committed
+# BENCH_load.json baseline, direction-aware: throughput down or per-class
+# p99 (wait or total) up beyond LOAD_TOLERANCE fails. Pairings only one
+# side ran are skipped. CI refreshes the baseline on the same runner first
+# (make load), so the gate measures the code, not the machine; latency
+# under real scheduling is noisy, hence the generous default floor.
+LOAD_TOLERANCE ?= 0.3
+load-check:
+	$(GO) run ./cmd/syncload -mech all,variants -rate $(LOAD_RATE) -duration $(LOAD_DURATION) \
+		-json -o load-fresh-raw.json
+	$(GO) run ./cmd/benchjson -load -o load-fresh.json < load-fresh-raw.json
+	$(GO) run ./cmd/benchjson -load-compare -tolerance $(LOAD_TOLERANCE) BENCH_load.json load-fresh.json
+
+# load-million is the million-arrival tier: the generator-exactness test
+# scaled to 10^6 arrivals, then a 10^6-op open-loop run per scalable
+# semaphore variant on the FCFS resource, untraced (3M trace events would
+# dominate memory) and without yield-stretched bodies (an offered rate of
+# 10^6/s already outruns the absorb rate, so the open-loop backlog — up to
+# a million in-flight procs — is the stress; stretching each op would turn
+# the run into a goroutine-hoarding contest instead of a semaphore one).
+# The baseline FIFO semaphore is deliberately absent: per-op direct
+# hand-off under a ~10^6-deep backlog takes minutes, and its numbers live
+# in the standard matrix. Calibrated, archived as BENCH_load_million.json.
+load-million:
+	LOAD_MILLION=1 $(GO) test -run TestGeneratorSustainsBatchedArrivals -v ./internal/load/
+	$(GO) run ./cmd/syncload -mech semaphore-fast,semaphore-striped \
+		-problem fcfs -arrival poisson -rate 1000000 -ops 1000000 -duration 0s \
+		-yields 0 -trace=false -watchdog 10m -calibrate -json -o load-million-raw.json
+	$(GO) run ./cmd/benchjson -load -o BENCH_load_million.json < load-million-raw.json
 
 # hunt runs the Figure-1 anomaly search with live progress, shrinks the
 # finding to a 1-minimal schedule, and saves it as a replayable artifact
@@ -90,7 +122,8 @@ xcheck:
 	$(GO) run ./cmd/synclint -hunt
 	$(GO) run ./cmd/synclint -audit internal/explore/testdata
 
-# BENCH_explore.json is a committed baseline, not a build product, so
-# clean leaves it alone.
+# BENCH_explore.json and BENCH_load.json are committed baselines, not
+# build products, so clean leaves them alone.
 clean:
-	rm -f BENCH_load.json load-raw.json bench-fresh.json figure1-found.sched
+	rm -f load-raw.json load-fresh-raw.json load-fresh.json soak-stream.ndjson \
+		load-million-raw.json BENCH_load_million.json bench-fresh.json figure1-found.sched

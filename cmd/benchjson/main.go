@@ -16,6 +16,12 @@
 // run (say, one -bench filter out of several) therefore refreshes its
 // own lines in a committed baseline without discarding the rest.
 //
+// With -load-compare it gates load reports the same way -compare gates
+// bench reports: runs are matched by (mechanism, problem, arrival),
+// throughput is higher-is-better, per-class wait/total p99 latencies are
+// lower-is-better, unmatched runs or empty classes are SKIPped, and the
+// exit status is non-zero when any goodness ratio falls below tolerance.
+//
 // With -compare it gates instead of archiving: given a baseline report
 // and a fresh one, every benchmark present in both is checked on the
 // gated metrics — schedules/sec and explored-fraction (higher is
@@ -29,7 +35,9 @@
 //
 //	go test -run '^$' -bench BenchmarkE1 -benchmem . | benchjson -o BENCH_explore.json
 //	syncload -json | benchjson -load -o BENCH_load.json
+//	syncload -soak -json | benchjson -load -o BENCH_load.json   # NDJSON: every snapshot validated, final archived
 //	benchjson -compare -tolerance 0.8 BENCH_explore.json fresh.json
+//	benchjson -load-compare -tolerance 0.7 BENCH_load.json fresh_load.json
 //
 // Input lines it understands (everything else passes through untouched):
 //
@@ -47,6 +55,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -76,15 +85,20 @@ func main() {
 	out := flag.String("o", "", "write JSON here instead of stdout; an existing bench report is merged into, not overwritten")
 	loadMode := flag.Bool("load", false, "ingest a syncload report instead of bench output")
 	compareMode := flag.Bool("compare", false, "compare two reports (baseline.json fresh.json) on the gated metrics (schedules/sec, schedules-to-finding, explored-fraction); exit non-zero on regression")
-	tolerance := flag.Float64("tolerance", 0.8, "with -compare, minimum acceptable goodness ratio (fresh/baseline, inverted for lower-is-better metrics)")
+	loadCompareMode := flag.Bool("load-compare", false, "compare two syncload reports (baseline.json fresh.json) on throughput and p99 latency; exit non-zero on regression")
+	tolerance := flag.Float64("tolerance", 0.8, "with -compare/-load-compare, minimum acceptable goodness ratio (fresh/baseline, inverted for lower-is-better metrics)")
 	flag.Parse()
 
-	if *compareMode {
+	if *compareMode || *loadCompareMode {
 		if flag.NArg() != 2 {
 			fmt.Fprintln(os.Stderr, "benchjson: -compare wants exactly two arguments: baseline.json fresh.json")
 			os.Exit(2)
 		}
-		ok, err := compareReports(flag.Arg(0), flag.Arg(1), *tolerance, os.Stdout)
+		cmp := compareReports
+		if *loadCompareMode {
+			cmp = compareLoadReports
+		}
+		ok, err := cmp(flag.Arg(0), flag.Arg(1), *tolerance, os.Stdout)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(2)
@@ -275,11 +289,28 @@ func readReport(path string) (Report, error) {
 
 // ingestLoad validates a syncload report and re-emits it normalized.
 // JSON syntax and type errors carry the input line; semantic errors
-// (internal/load's Validate) carry the offending field's path.
+// (internal/load's Validate) carry the offending field's path. Input may
+// also be the NDJSON stream of a soak run (one report per line): every
+// line — each incremental snapshot — is validated, and the last line (the
+// final report) is the one archived.
 func ingestLoad(r io.Reader) ([]byte, error) {
 	data, err := io.ReadAll(r)
 	if err != nil {
 		return nil, err
+	}
+	if lines := ndjsonLines(data); len(lines) > 1 {
+		var last load.Report
+		for i, line := range lines {
+			var rep load.Report
+			if err := json.Unmarshal(line, &rep); err != nil {
+				return nil, fmt.Errorf("load report: NDJSON line %d: %v", i+1, err)
+			}
+			if err := rep.Validate(); err != nil {
+				return nil, fmt.Errorf("load report: NDJSON line %d: %v", i+1, err)
+			}
+			last = rep
+		}
+		return marshal(last)
 	}
 	var rep load.Report
 	if err := json.Unmarshal(data, &rep); err != nil {
@@ -296,6 +327,148 @@ func ingestLoad(r io.Reader) ([]byte, error) {
 		return nil, fmt.Errorf("load report: %v", err)
 	}
 	return marshal(rep)
+}
+
+// ndjsonLines reports the input's non-empty lines when it looks like an
+// NDJSON stream: more than one line, every line a complete JSON object
+// (soak streams are written one document per line; an indented document
+// never has '{'-prefixed continuation lines).
+func ndjsonLines(data []byte) [][]byte {
+	var lines [][]byte
+	for _, line := range bytes.Split(data, []byte{'\n'}) {
+		line = bytes.TrimSpace(line)
+		if len(line) == 0 {
+			continue
+		}
+		if line[0] != '{' || line[len(line)-1] != '}' {
+			return nil
+		}
+		lines = append(lines, line)
+	}
+	return lines
+}
+
+// compareLoadReports gates a fresh syncload report against a baseline:
+// runs are matched by (mechanism, problem, arrival) — soak snapshots
+// (snapshot_seq > 0) are ignored on both sides — and each gated metric
+// present and non-zero on both sides must keep its goodness ratio above
+// tolerance: throughput is higher-is-better, per-class p99 queueing
+// (wait) and end-to-end (total) latency are lower-is-better. Mean and max
+// are deliberately not gated — max is a single-sample lottery under real
+// scheduling, and mean moves with the arrival mix. Unmatched runs and
+// empty classes are SKIPped, never failed, so a narrower CI smoke can
+// gate against a fuller committed baseline. Latency comparisons clamp
+// both sides up to loadLatencyFloorNs first: a p99 of tens of
+// microseconds is scheduler jitter, not queueing, so swings below the
+// floor ratio to ~1 instead of flapping the build, while a genuine blowup
+// from microseconds to milliseconds still lands far below tolerance and
+// fails.
+func compareLoadReports(basePath, freshPath string, tolerance float64, w io.Writer) (bool, error) {
+	base, err := readLoadReport(basePath)
+	if err != nil {
+		return false, err
+	}
+	fresh, err := readLoadReport(freshPath)
+	if err != nil {
+		return false, err
+	}
+	finals := func(rep *load.Report) map[string]*load.RunReport {
+		out := make(map[string]*load.RunReport)
+		for i := range rep.Runs {
+			rr := &rep.Runs[i]
+			if rr.SnapshotSeq == 0 {
+				out[rr.Mechanism+"/"+rr.Problem+"/"+rr.Arrival] = rr
+			}
+		}
+		return out
+	}
+	const loadLatencyFloorNs = 250_000
+	baseBy, freshBy := finals(&base), finals(&fresh)
+	ok, compared := true, 0
+	for _, key := range sortedKeys(baseBy) {
+		brr := baseBy[key]
+		frr, found := freshBy[key]
+		if !found {
+			fmt.Fprintf(w, "SKIP %s: not in %s\n", key, freshPath)
+			continue
+		}
+		check := func(metric string, old, now float64, higherBetter bool) {
+			if old <= 0 || now <= 0 {
+				fmt.Fprintf(w, "SKIP %s %s: zero on one side (%.4g -> %.4g)\n", key, metric, old, now)
+				return
+			}
+			compared++
+			note := ""
+			ratio := now / old
+			if !higherBetter {
+				effOld, effNow := old, now
+				if effOld < loadLatencyFloorNs {
+					effOld = loadLatencyFloorNs
+				}
+				if effNow < loadLatencyFloorNs {
+					effNow = loadLatencyFloorNs
+				}
+				if effOld != old || effNow != now {
+					note = " [floored]"
+				}
+				ratio = effOld / effNow
+			}
+			verdict := "ok"
+			if ratio < tolerance {
+				verdict = "REGRESSION"
+				ok = false
+			}
+			fmt.Fprintf(w, "%-10s %s %s: %.4g -> %.4g (%.2fx, floor %.2fx)%s\n",
+				verdict, key, metric, old, now, ratio, tolerance, note)
+		}
+		check("throughput_ops_sec", brr.ThroughputOpsSec, frr.ThroughputOpsSec, true)
+		for i := range brr.Classes {
+			bc := &brr.Classes[i]
+			var fc *load.ClassReport
+			for j := range frr.Classes {
+				if frr.Classes[j].Name == bc.Name {
+					fc = &frr.Classes[j]
+					break
+				}
+			}
+			if fc == nil {
+				fmt.Fprintf(w, "SKIP %s class %s: not in %s\n", key, bc.Name, freshPath)
+				continue
+			}
+			check(bc.Name+".wait_p99_ns", float64(bc.Wait.P99Ns), float64(fc.Wait.P99Ns), false)
+			check(bc.Name+".total_p99_ns", float64(bc.Total.P99Ns), float64(fc.Total.P99Ns), false)
+		}
+	}
+	if compared == 0 {
+		return false, fmt.Errorf("no load runs with a gated metric in common between %s and %s", basePath, freshPath)
+	}
+	return ok, nil
+}
+
+func sortedKeys(m map[string]*load.RunReport) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// readLoadReport loads and validates a syncload report: a gate against a
+// malformed baseline would pass or fail for the wrong reason.
+func readLoadReport(path string) (load.Report, error) {
+	var r load.Report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("%s: %v", path, err)
+	}
+	if err := r.Validate(); err != nil {
+		return r, fmt.Errorf("%s: %v", path, err)
+	}
+	return r, nil
 }
 
 // lineAt converts a byte offset of the input into a 1-based line number.

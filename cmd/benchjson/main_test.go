@@ -3,7 +3,10 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -351,5 +354,120 @@ func TestIngestLoadRejectsMalformed(t *testing.T) {
 				t.Fatalf("error = %v, want substring %q", err, c.want)
 			}
 		})
+	}
+}
+
+// loadReportJSON builds a minimal valid one-run load report with the given
+// throughput and per-class p99s (wait, total share the same value here).
+func loadReportJSON(t *testing.T, tput float64, p99 int64) string {
+	t.Helper()
+	return fmt.Sprintf(`{"schema":"repro-load/v1","runs":[{"mechanism":"monitor","problem":"fcfs",
+"arrival":"poisson","seed":1,"elapsed_ns":1000,"issued":1,"completed":1,"throughput_ops_sec":%g,"judged":false,
+"classes":[{"name":"use","issued":1,"completed":1,"completed_share":1,"issued_share":1,
+"wait":{"count":1,"p50_ns":%d,"p90_ns":%d,"p99_ns":%d,"max_ns":%d,"mean_ns":1,"buckets":[{"index":5,"count":1}]},
+"total":{"count":1,"p50_ns":%d,"p90_ns":%d,"p99_ns":%d,"max_ns":%d,"mean_ns":1,"buckets":[{"index":5,"count":1}]}}]}]}`,
+		tput, p99, p99, p99, p99, p99, p99, p99, p99)
+}
+
+// The load gate is direction-aware: lower throughput and higher p99 both
+// regress; improvements on either axis pass; unmatched pairings skip.
+func TestCompareLoadReports(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	base := write("base.json", loadReportJSON(t, 1000, 1_000_000))
+
+	var out strings.Builder
+	ok, err := compareLoadReports(base, write("same.json", loadReportJSON(t, 1000, 1_000_000)), 0.8, &out)
+	if err != nil || !ok {
+		t.Fatalf("identical reports: ok=%v err=%v\n%s", ok, err, out.String())
+	}
+
+	out.Reset()
+	ok, err = compareLoadReports(base, write("slow.json", loadReportJSON(t, 500, 1_000_000)), 0.8, &out)
+	if err != nil || ok {
+		t.Fatalf("halved throughput passed: err=%v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION") || !strings.Contains(out.String(), "throughput_ops_sec") {
+		t.Fatalf("missing throughput regression verdict:\n%s", out.String())
+	}
+
+	out.Reset()
+	ok, err = compareLoadReports(base, write("lat.json", loadReportJSON(t, 1000, 10_000_000)), 0.8, &out)
+	if err != nil || ok {
+		t.Fatalf("10x p99 passed: err=%v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "total_p99_ns") {
+		t.Fatalf("missing p99 regression verdict:\n%s", out.String())
+	}
+
+	// Better on both axes passes: direction-awareness, not change detection.
+	out.Reset()
+	ok, err = compareLoadReports(base, write("fast.json", loadReportJSON(t, 2000, 1_000_000)), 0.8, &out)
+	if err != nil || !ok {
+		t.Fatalf("doubled throughput failed: err=%v\n%s", err, out.String())
+	}
+
+	// Microsecond-scale p99 pairs are scheduler jitter, not queueing: a
+	// 10x swing below the noise floor ratios to ~1 (both sides clamp up
+	// to the floor) instead of flapping the gate.
+	tiny := write("tiny-base.json", loadReportJSON(t, 1000, 5_000))
+	out.Reset()
+	ok, err = compareLoadReports(tiny, write("tiny-fresh.json", loadReportJSON(t, 1000, 50_000)), 0.8, &out)
+	if err != nil || !ok {
+		t.Fatalf("sub-floor latency jitter failed the gate: err=%v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "[floored]") {
+		t.Fatalf("sub-floor pair not marked as floored:\n%s", out.String())
+	}
+	// ...but a genuine blowup past the floor still fails.
+	out.Reset()
+	ok, err = compareLoadReports(tiny, write("blowup.json", loadReportJSON(t, 1000, 10_000_000)), 0.8, &out)
+	if err != nil || ok {
+		t.Fatalf("5µs -> 10ms blowup passed: err=%v\n%s", err, out.String())
+	}
+
+	// A fresh run of a different pairing shares nothing: SKIP, then error
+	// because no metric was compared at all.
+	other := strings.Replace(loadReportJSON(t, 1000, 1_000_000), `"problem":"fcfs"`, `"problem":"bounded-buffer"`, 1)
+	out.Reset()
+	if _, err = compareLoadReports(base, write("other.json", other), 0.8, &out); err == nil {
+		t.Fatalf("disjoint reports produced a verdict:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "SKIP") {
+		t.Fatalf("disjoint pairing not SKIPped:\n%s", out.String())
+	}
+
+	// A corrupt baseline is a hard error, not a silent pass.
+	if _, err = compareLoadReports(write("bad.json", `{"schema":"repro-load/v9","runs":[]}`), base, 0.8, io.Discard); err == nil {
+		t.Fatal("invalid baseline accepted")
+	}
+}
+
+// NDJSON soak streams ingest line by line: every snapshot validated, the
+// final (last) report archived; one bad line rejects the stream.
+func TestIngestLoadNDJSON(t *testing.T) {
+	snap := strings.Replace(loadReportJSON(t, 400, 5), `"seed":1`, `"snapshot_seq":1,"seed":1`, 1)
+	final := loadReportJSON(t, 900, 5)
+	oneLine := func(s string) string { return strings.ReplaceAll(s, "\n", " ") }
+	out, err := ingestLoad(strings.NewReader(oneLine(snap) + "\n" + oneLine(final) + "\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), `"throughput_ops_sec": 900`) {
+		t.Fatalf("archived report is not the final line:\n%s", out)
+	}
+	if strings.Contains(string(out), "snapshot_seq") {
+		t.Fatalf("archived report is a snapshot:\n%s", out)
+	}
+	bad := strings.Replace(oneLine(snap), "repro-load/v1", "repro-load/v0", 1)
+	if _, err := ingestLoad(strings.NewReader(bad + "\n" + oneLine(final) + "\n")); err == nil ||
+		!strings.Contains(err.Error(), "NDJSON line 1") {
+		t.Fatalf("bad snapshot line accepted: %v", err)
 	}
 }

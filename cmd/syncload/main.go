@@ -9,8 +9,11 @@
 //
 //	syncload                                  # full matrix: all mechanisms × canonical trio × poisson+closed
 //	syncload -mech monitor -problem fcfs -arrival poisson -rate 5000 -duration 2s
+//	syncload -mech all,variants               # include the scalable semaphore variants
 //	syncload -arrival closed -clients 16 -think 50
 //	syncload -json -o load-raw.json           # machine-readable report (benchjson -load archives it)
+//	syncload -soak -duration 10m -interval 10s -json   # stream NDJSON snapshots while running
+//	syncload -calibrate                       # archive harness calibration in the report
 //	syncload -list
 //
 // Exit status is 0 when every run completed cleanly, 1 when any run hit
@@ -23,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strings"
 	"time"
@@ -52,6 +56,11 @@ type options struct {
 	yields   int
 	watchdog time.Duration
 
+	shards    int
+	soak      bool
+	interval  time.Duration
+	calibrate bool
+
 	trace   bool
 	jsonOut bool
 	outPath string
@@ -75,6 +84,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	bufCap := fs.Int("cap", 0, "bounded-buffer capacity (0: standard)")
 	yields := fs.Int("yields", 2, "yields inside each operation body (contention window width)")
 	watchdog := fs.Duration("watchdog", 0, "per-run watchdog (0: duration+30s)")
+	shards := fs.Int("shards", 0, "latency histogram shards per class (0: cover GOMAXPROCS; 1: shared-histogram baseline)")
+	soak := fs.Bool("soak", false, "stream an incremental snapshot of each run every -interval")
+	interval := fs.Duration("interval", 10*time.Second, "soak snapshot interval")
+	calibrate := fs.Bool("calibrate", false, "measure histogram harness throughput first and archive it in the report")
 	traceFlag := fs.Bool("trace", true, "record each run and judge it with the problem oracle")
 	jsonOut := fs.Bool("json", false, "emit the versioned JSON report (human summary goes to stderr)")
 	outPath := fs.String("o", "", "write the JSON report here instead of stdout (implies -json)")
@@ -89,9 +102,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		for _, s := range solutions.All() {
 			mechs = append(mechs, s.Mechanism)
 		}
+		var variants []string
+		for _, s := range solutions.Variants() {
+			variants = append(variants, s.Mechanism)
+		}
 		fmt.Fprintln(stdout, "mechanisms:", strings.Join(mechs, ", "))
+		fmt.Fprintln(stdout, "variants:  ", strings.Join(variants, ", "), "(opt in with -mech variants or all,variants)")
 		fmt.Fprintln(stdout, "problems:  ", strings.Join(load.LoadProblems(), ", "))
-		fmt.Fprintln(stdout, "arrivals:   closed, poisson, uniform, burst")
+		fmt.Fprintln(stdout, "arrivals:   closed, poisson, uniform, burst, diurnal, pareto")
 		return 0
 	}
 
@@ -99,8 +117,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		rate: *rate, burst: *burst, clients: *clients, think: *think,
 		duration: *duration, ops: *ops, seed: *seed, readFrac: *readFrac,
 		bufCap: *bufCap, yields: *yields, watchdog: *watchdog,
+		shards: *shards, soak: *soak, interval: *interval, calibrate: *calibrate,
 		trace: *traceFlag, jsonOut: *jsonOut || *outPath != "", outPath: *outPath,
 		quiet: *quiet,
+	}
+	if opt.soak && opt.interval <= 0 {
+		fmt.Fprintln(stderr, "syncload: -interval must be positive with -soak")
+		return 2
 	}
 	var err error
 	if opt.mechs, err = expandMechs(*mech); err == nil {
@@ -115,7 +138,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return execute(opt, stdout, stderr)
 }
 
-// execute runs the matrix and emits the report.
+// execute runs the matrix and emits the report. In soak mode each run
+// additionally streams incremental snapshots: one-line NDJSON reports to
+// stdout under -json (the final indented report then goes to -o, or is
+// appended as a last NDJSON line when -o is absent), or compact human soak
+// lines with Jain-decay tracking otherwise.
 func execute(opt *options, stdout, stderr io.Writer) int {
 	human := stdout
 	if opt.jsonOut {
@@ -126,19 +153,36 @@ func execute(opt *options, stdout, stderr io.Writer) int {
 	}
 
 	rep := load.NewReport()
+	if opt.calibrate {
+		hr := load.CalibrateHistograms(250 * time.Millisecond)
+		rep.Harness = &hr
+		fmt.Fprintf(human, "harness: %d cores, %d shards, shared %.2fM rec/s, sharded %.2fM rec/s, speedup %.2fx\n",
+			hr.Cores, hr.HistShards, hr.SharedRecordsPerSec/1e6, hr.ShardedRecordsPerSec/1e6, hr.Speedup)
+	}
 	failed := false
 	for _, mech := range opt.mechs {
 		for _, problem := range opt.problems {
 			for _, arrival := range opt.arrivals {
-				res, err := load.Run(load.Config{
+				cfg := load.Config{
 					Mechanism: mech, Problem: problem, Arrival: arrival,
 					RatePerSec: opt.rate, BurstSize: opt.burst,
 					Clients: opt.clients, ThinkTicks: opt.think,
 					Duration: opt.duration, MaxOps: opt.ops, Seed: opt.seed,
 					ReadFraction: opt.readFrac, BufferCap: opt.bufCap,
 					WorkYields: opt.yields, Watchdog: opt.watchdog,
-					Trace: opt.trace,
-				})
+					Trace: opt.trace, HistShards: opt.shards,
+				}
+				if opt.soak {
+					cfg.SnapshotEvery = opt.interval
+					lastJain := math.NaN()
+					cfg.OnSnapshot = func(r *load.Result) {
+						if err := emitSnapshot(r, opt, stdout, human, &lastJain); err != nil {
+							fmt.Fprintln(stderr, "syncload: snapshot invalid:", err)
+							failed = true
+						}
+					}
+				}
+				res, err := load.Run(cfg)
 				if err != nil {
 					fmt.Fprintln(stderr, "syncload:", err)
 					return 2
@@ -158,19 +202,32 @@ func execute(opt *options, stdout, stderr io.Writer) int {
 		return 2
 	}
 	if opt.jsonOut {
-		buf, err := json.MarshalIndent(rep, "", "  ")
-		if err != nil {
-			fmt.Fprintln(stderr, "syncload:", err)
-			return 2
-		}
-		buf = append(buf, '\n')
 		if opt.outPath != "" {
-			if err := os.WriteFile(opt.outPath, buf, 0o644); err != nil {
+			buf, err := json.MarshalIndent(rep, "", "  ")
+			if err != nil {
 				fmt.Fprintln(stderr, "syncload:", err)
 				return 2
 			}
+			if err := os.WriteFile(opt.outPath, append(buf, '\n'), 0o644); err != nil {
+				fmt.Fprintln(stderr, "syncload:", err)
+				return 2
+			}
+		} else if opt.soak {
+			// Keep stdout pure NDJSON: the final report joins the
+			// snapshot stream as one more single-line document.
+			buf, err := json.Marshal(rep)
+			if err != nil {
+				fmt.Fprintln(stderr, "syncload:", err)
+				return 2
+			}
+			fmt.Fprintf(stdout, "%s\n", buf)
 		} else {
-			stdout.Write(buf)
+			buf, err := json.MarshalIndent(rep, "", "  ")
+			if err != nil {
+				fmt.Fprintln(stderr, "syncload:", err)
+				return 2
+			}
+			stdout.Write(append(buf, '\n'))
 		}
 	}
 	if failed {
@@ -180,19 +237,66 @@ func execute(opt *options, stdout, stderr io.Writer) int {
 	return 0
 }
 
-func expandMechs(s string) ([]string, error) {
-	if s == "all" {
-		var out []string
-		for _, suite := range solutions.All() {
-			out = append(out, suite.Mechanism)
-		}
-		return out, nil
+// emitSnapshot validates and emits one incremental soak result: a compact
+// NDJSON repro-load/v1 report to stdout under -json, a human soak line
+// (with the Jain index's delta since the previous snapshot — the fairness
+// decay a long soak exists to surface) otherwise.
+func emitSnapshot(r *load.Result, opt *options, stdout, human io.Writer, lastJain *float64) error {
+	one := load.Report{Schema: load.SchemaVersion, Runs: []load.RunReport{r.Report()}}
+	if err := one.Validate(); err != nil {
+		return err
 	}
-	out := splitList(s)
-	for _, m := range out {
-		if _, ok := solutions.ByMechanism(m); !ok {
-			return nil, fmt.Errorf("unknown mechanism %q", m)
+	if opt.jsonOut {
+		buf, err := json.Marshal(&one)
+		if err != nil {
+			return err
 		}
+		fmt.Fprintf(stdout, "%s\n", buf)
+		return nil
+	}
+	rr := &one.Runs[0]
+	line := fmt.Sprintf("  soak #%d t=%v completed=%d %.0f ops/s",
+		rr.SnapshotSeq, time.Duration(rr.ElapsedNs).Round(time.Millisecond),
+		rr.Completed, rr.ThroughputOpsSec)
+	var p99 int64
+	for i := range rr.Classes {
+		if q := rr.Classes[i].Total.P99Ns; q > p99 {
+			p99 = q
+		}
+	}
+	line += fmt.Sprintf(" p99=%v", time.Duration(p99).Round(time.Microsecond))
+	if len(rr.ClientCompleted) > 0 {
+		line += fmt.Sprintf(" jain=%.3f", rr.JainIndex)
+		if !math.IsNaN(*lastJain) {
+			line += fmt.Sprintf(" (Δ%+.3f)", rr.JainIndex-*lastJain)
+		}
+		*lastJain = rr.JainIndex
+	}
+	fmt.Fprintln(human, line)
+	return nil
+}
+
+func expandMechs(s string) ([]string, error) {
+	var out []string
+	for _, m := range splitList(s) {
+		switch m {
+		case "all":
+			for _, suite := range solutions.All() {
+				out = append(out, suite.Mechanism)
+			}
+		case "variants":
+			for _, suite := range solutions.Variants() {
+				out = append(out, suite.Mechanism)
+			}
+		default:
+			if _, ok := solutions.ByMechanism(m); !ok {
+				return nil, fmt.Errorf("unknown mechanism %q", m)
+			}
+			out = append(out, m)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no mechanisms given")
 	}
 	return out, nil
 }

@@ -20,8 +20,18 @@ func TestExpandMechs(t *testing.T) {
 	if err != nil || len(two) != 2 || two[0] != "monitor" {
 		t.Fatalf("list = %v, %v", two, err)
 	}
+	vs, err := expandMechs("variants")
+	if err != nil || len(vs) != 2 || vs[0] != "semaphore-fast" || vs[1] != "semaphore-striped" {
+		t.Fatalf("variants = %v, %v", vs, err)
+	}
+	if both, err := expandMechs("all,variants"); err != nil || len(both) != 8 {
+		t.Fatalf("all,variants = %v, %v", both, err)
+	}
 	if _, err := expandMechs("mutex"); err == nil {
 		t.Fatal("unknown mechanism accepted")
+	}
+	if _, err := expandMechs(""); err == nil {
+		t.Fatal("empty mechanism list accepted")
 	}
 }
 
@@ -41,6 +51,10 @@ func TestExpandArrivals(t *testing.T) {
 	ks, err := expandArrivals("poisson,closed")
 	if err != nil || len(ks) != 2 || ks[0] != load.ArrivalPoisson || ks[1] != load.ArrivalClosed {
 		t.Fatalf("arrivals = %v, %v", ks, err)
+	}
+	newOnes, err := expandArrivals("diurnal,pareto")
+	if err != nil || len(newOnes) != 2 || newOnes[0] != load.ArrivalDiurnal || newOnes[1] != load.ArrivalPareto {
+		t.Fatalf("arrivals = %v, %v", newOnes, err)
 	}
 	if _, err := expandArrivals("bursty"); err == nil {
 		t.Fatal("unknown arrival accepted")
@@ -62,7 +76,7 @@ func TestRunList(t *testing.T) {
 	if code := run([]string{"-list"}, &out, &errBuf); code != 0 {
 		t.Fatalf("exit = %d", code)
 	}
-	for _, want := range []string{"semaphore", "bounded-buffer", "poisson"} {
+	for _, want := range []string{"semaphore", "bounded-buffer", "poisson", "diurnal", "pareto", "semaphore-fast", "semaphore-striped"} {
 		if !strings.Contains(out.String(), want) {
 			t.Fatalf("-list output missing %q:\n%s", want, out.String())
 		}
@@ -104,5 +118,100 @@ func TestRunEndToEnd(t *testing.T) {
 	}
 	if !strings.Contains(errBuf.String(), "oracle clean") {
 		t.Fatalf("human summary missing from stderr:\n%s", errBuf.String())
+	}
+}
+
+// Soak mode with -json streams pure NDJSON: every stdout line — the
+// incremental snapshots and the final report — is a standalone valid
+// repro-load/v1 document, snapshot sequence numbers increase, and mid-run
+// quantiles of a non-empty class are never zero.
+func TestRunSoakStreamsValidSnapshots(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	code := run([]string{
+		"-mech", "semaphore-striped", "-problem", "fcfs", "-arrival", "poisson",
+		"-rate", "50000", "-duration", "300ms", "-trace=false",
+		"-soak", "-interval", "50ms", "-json",
+	}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit = %d\nstderr: %s", code, errBuf.String())
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("got %d NDJSON lines, want snapshots plus a final report:\n%s", len(lines), out.String())
+	}
+	lastSeq := 0
+	for i, line := range lines {
+		var rep load.Report
+		if err := json.Unmarshal([]byte(line), &rep); err != nil {
+			t.Fatalf("line %d not a JSON document: %v\n%s", i, err, line)
+		}
+		if err := rep.Validate(); err != nil {
+			t.Fatalf("line %d invalid: %v", i, err)
+		}
+		rr := &rep.Runs[0]
+		final := i == len(lines)-1
+		if final {
+			if rr.SnapshotSeq != 0 {
+				t.Fatalf("final report has snapshot_seq %d", rr.SnapshotSeq)
+			}
+		} else {
+			if rr.SnapshotSeq <= lastSeq {
+				t.Fatalf("line %d: snapshot_seq %d not increasing past %d", i, rr.SnapshotSeq, lastSeq)
+			}
+			lastSeq = rr.SnapshotSeq
+		}
+		for _, c := range rr.Classes {
+			if c.Total.Count > 0 && c.Total.P99Ns == 0 && c.Total.MaxNs > 0 {
+				t.Fatalf("line %d class %s: count=%d max=%d but p99=0", i, c.Name, c.Total.Count, c.Total.MaxNs)
+			}
+		}
+	}
+}
+
+// Human soak mode prints the per-snapshot line with Jain tracking for
+// closed-loop runs.
+func TestRunSoakHumanOutput(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	code := run([]string{
+		"-mech", "monitor", "-problem", "fcfs", "-arrival", "closed",
+		"-clients", "4", "-think", "10", "-duration", "250ms", "-trace=false",
+		"-soak", "-interval", "50ms",
+	}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit = %d\nstderr: %s", code, errBuf.String())
+	}
+	if !strings.Contains(out.String(), "soak #") || !strings.Contains(out.String(), "jain=") {
+		t.Fatalf("soak lines missing from human output:\n%s", out.String())
+	}
+}
+
+// -calibrate archives the harness measurement in the emitted report.
+func TestRunCalibrate(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "load.json")
+	var out, errBuf bytes.Buffer
+	code := run([]string{
+		"-mech", "semaphore", "-problem", "fcfs", "-arrival", "poisson",
+		"-ops", "30", "-duration", "0s", "-rate", "20000",
+		"-calibrate", "-o", path,
+	}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit = %d\nstderr: %s", code, errBuf.String())
+	}
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep load.Report
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Validate(); err != nil {
+		t.Fatalf("report invalid: %v", err)
+	}
+	if rep.Harness == nil || rep.Harness.Cores < 1 || rep.Harness.ShardedRecordsPerSec <= 0 {
+		t.Fatalf("harness block missing or empty: %+v", rep.Harness)
+	}
+	if !strings.Contains(errBuf.String(), "harness:") {
+		t.Fatalf("human calibration line missing:\n%s", errBuf.String())
 	}
 }

@@ -2,16 +2,18 @@ package load
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
+	"time"
 )
 
-// Arrival models. Open-loop traffic (Poisson, uniform, burst) offers
-// operations at externally scheduled instants regardless of how fast the
-// system absorbs them — the load-testing regime that exposes queueing
-// behavior and avoids coordinated omission, because latency is measured
-// from the *intended* arrival time. Closed-loop traffic (a fixed client
-// population with think time) models a bounded user base and measures the
-// latency those users actually experience.
+// Arrival models. Open-loop traffic (Poisson, uniform, burst, diurnal,
+// pareto) offers operations at externally scheduled instants regardless of
+// how fast the system absorbs them — the load-testing regime that exposes
+// queueing behavior and avoids coordinated omission, because latency is
+// measured from the *intended* arrival time. Closed-loop traffic (a fixed
+// client population with think time) models a bounded user base and
+// measures the latency those users actually experience.
 
 // ArrivalKind selects the traffic model of a load run.
 type ArrivalKind int
@@ -30,6 +32,17 @@ const (
 	// ArrivalBurst is open-loop traffic in bursts: Config.BurstSize
 	// back-to-back arrivals, then one long gap, preserving the mean rate.
 	ArrivalBurst
+	// ArrivalDiurnal is open-loop Poisson traffic whose instantaneous
+	// rate swings sinusoidally around Config.RatePerSec — between 0.2x
+	// and 1.8x — over each Config.DiurnalPeriod: the compressed
+	// day/night cycle of a long soak, so a run sees sustained peak and
+	// trough regimes rather than one stationary rate.
+	ArrivalDiurnal
+	// ArrivalPareto is open-loop traffic with heavy-tailed (Lomax/Pareto
+	// type II, shape paretoAlpha) interarrival gaps at the same mean rate:
+	// most gaps are short, but rare very long gaps cluster the arrivals
+	// into flash crowds far burstier than Poisson.
+	ArrivalPareto
 )
 
 // String reports the CLI spelling of the arrival kind.
@@ -43,12 +56,21 @@ func (a ArrivalKind) String() string {
 		return "uniform"
 	case ArrivalBurst:
 		return "burst"
+	case ArrivalDiurnal:
+		return "diurnal"
+	case ArrivalPareto:
+		return "pareto"
 	}
 	return "invalid"
 }
 
 // Open reports whether the kind is an open-loop model.
 func (a ArrivalKind) Open() bool { return a != ArrivalClosed }
+
+// OpenArrivals lists the open-loop kinds in evaluation order.
+func OpenArrivals() []ArrivalKind {
+	return []ArrivalKind{ArrivalPoisson, ArrivalUniform, ArrivalBurst, ArrivalDiurnal, ArrivalPareto}
+}
 
 // ParseArrival parses a CLI spelling of an arrival kind.
 func ParseArrival(s string) (ArrivalKind, error) {
@@ -61,9 +83,22 @@ func ParseArrival(s string) (ArrivalKind, error) {
 		return ArrivalUniform, nil
 	case "burst":
 		return ArrivalBurst, nil
+	case "diurnal":
+		return ArrivalDiurnal, nil
+	case "pareto":
+		return ArrivalPareto, nil
 	}
-	return 0, fmt.Errorf("load: unknown arrival kind %q (want closed, poisson, uniform, or burst)", s)
+	return 0, fmt.Errorf("load: unknown arrival kind %q (want closed, poisson, uniform, burst, diurnal, or pareto)", s)
 }
+
+// paretoAlpha is the Lomax shape of ArrivalPareto. 1.5 keeps the mean
+// finite (alpha > 1, so the configured rate is honored) while the
+// variance is infinite — the classic heavy-tail regime.
+const paretoAlpha = 1.5
+
+// diurnalSwing is the relative amplitude of ArrivalDiurnal's rate
+// modulation: rate(t) = base * (1 ± diurnalSwing).
+const diurnalSwing = 0.8
 
 // gapper produces the deterministic interarrival gap sequence of an
 // open-loop run: given the same seed and parameters, the offered traffic
@@ -74,10 +109,19 @@ type gapper struct {
 	meanGap float64 // ns between arrivals at the configured rate
 	burst   int
 	inBurst int
+
+	periodNs float64 // diurnal modulation period
+	clockNs  float64 // diurnal cursor: cumulative intended time
 }
 
-func newGapper(kind ArrivalKind, rate float64, burstSize int, rng *rand.Rand) *gapper {
-	return &gapper{kind: kind, rng: rng, meanGap: 1e9 / rate, burst: burstSize}
+func newGapper(kind ArrivalKind, rate float64, burstSize int, diurnalPeriod time.Duration, rng *rand.Rand) *gapper {
+	return &gapper{
+		kind:     kind,
+		rng:      rng,
+		meanGap:  1e9 / rate,
+		burst:    burstSize,
+		periodNs: float64(diurnalPeriod.Nanoseconds()),
+	}
 }
 
 // next returns the gap in nanoseconds before the following arrival.
@@ -94,6 +138,21 @@ func (g *gapper) next() int64 {
 		}
 		g.inBurst = 0
 		return int64(float64(g.burst) * g.meanGap)
+	case ArrivalDiurnal:
+		// Exponential gap at the instantaneous rate of the sinusoid —
+		// the standard thinning-free approximation for rates that vary
+		// slowly relative to the gap.
+		phase := 2 * math.Pi * g.clockNs / g.periodNs
+		relRate := 1 + diurnalSwing*math.Sin(phase)
+		gap := int64(g.rng.ExpFloat64() * g.meanGap / relRate)
+		g.clockNs += float64(gap)
+		return gap
+	case ArrivalPareto:
+		// Lomax: gap = scale * (U^(-1/alpha) - 1), scale chosen so the
+		// mean is meanGap (mean = scale/(alpha-1) for alpha > 1).
+		scale := g.meanGap * (paretoAlpha - 1)
+		u := 1 - g.rng.Float64() // (0, 1]
+		return int64(scale * (math.Pow(u, -1/paretoAlpha) - 1))
 	}
 	return int64(g.meanGap)
 }

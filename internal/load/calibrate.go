@@ -1,0 +1,83 @@
+package load
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Harness calibration: before trusting a load run's numbers, measure the
+// measuring stick. GOMAXPROCS writers hammer one shared Histogram and then
+// one ShardedHistogram for the same wall-clock window; the ratio is the
+// contention tax the shared counters charge on this machine. The load
+// engine records through sharded histograms precisely so this tax never
+// caps the observable arrival rate — the calibration archived in a report
+// is the proof, per machine, rather than an asserted constant.
+
+// CalibrateHistograms measures Record throughput (records/sec) for a
+// shared Histogram versus a ShardedHistogram with the default shard count,
+// each hammered by GOMAXPROCS concurrent writers for roughly d per
+// variant. d is clamped below to 10ms so the result is never a
+// division-by-epsilon artifact.
+func CalibrateHistograms(d time.Duration) HarnessReport {
+	if d < 10*time.Millisecond {
+		d = 10 * time.Millisecond
+	}
+	workers := runtime.GOMAXPROCS(0)
+
+	shared := &Histogram{}
+	sharedRate := hammer(workers, d, func(worker uint64, v int64) {
+		shared.Record(v)
+	})
+
+	sh := NewSharded(0)
+	shardedRate := hammer(workers, d, func(worker uint64, v int64) {
+		sh.Record(worker, v)
+	})
+
+	rep := HarnessReport{
+		Cores:                workers,
+		HistShards:           sh.Shards(),
+		SharedRecordsPerSec:  sharedRate,
+		ShardedRecordsPerSec: shardedRate,
+	}
+	if sharedRate > 0 {
+		rep.Speedup = shardedRate / sharedRate
+	}
+	return rep
+}
+
+// hammer runs workers goroutines calling record in a tight loop until the
+// deadline and returns the aggregate records/sec. The value sequence per
+// worker is a cheap LCG walk over a realistic latency range so bucket
+// indices vary the way real latencies do (constant values would park every
+// increment on one cache line and overstate contention).
+func hammer(workers int, d time.Duration, record func(worker uint64, v int64)) float64 {
+	var stop atomic.Bool
+	var total atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker uint64) {
+			defer wg.Done()
+			x := worker*2654435761 + 1
+			var n int64
+			for !stop.Load() {
+				x = x*6364136223846793005 + 1442695040888963407
+				record(worker, int64(x>>40)) // ~[0, 16M) ns: microseconds to ms
+				n++
+			}
+			total.Add(n)
+		}(uint64(w))
+	}
+	time.Sleep(d)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(total.Load()) / elapsed
+}

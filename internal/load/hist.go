@@ -3,6 +3,7 @@ package load
 import (
 	"math"
 	"math/bits"
+	"runtime"
 	"sync/atomic"
 )
 
@@ -70,19 +71,27 @@ func bucketUpper(i int) int64 {
 // Record adds one observation. Negative values clamp to zero (the clock
 // is monotone, but an open-loop operation can complete before its
 // intended arrival instant when the generator is catching up).
+//
+// Publication order is the mid-run consistency contract soak snapshots
+// depend on: max is raised first, the bucket next, count last. A reader
+// that observes count >= n therefore observes the buckets and a max
+// covering those n observations, so Quantile can never clamp a non-empty
+// histogram's answer to a stale zero max (the pre-soak bug: max was
+// published last, and a concurrent Quantile between the bucket increment
+// and the max update reported 0 for a histogram with data).
 func (h *Histogram) Record(v int64) {
 	if v < 0 {
 		v = 0
 	}
-	h.counts[bucketIndex(v)].Add(1)
-	h.count.Add(1)
-	h.sum.Add(uint64(v))
 	for {
 		cur := h.max.Load()
 		if v <= cur || h.max.CompareAndSwap(cur, v) {
-			return
+			break
 		}
 	}
+	h.counts[bucketIndex(v)].Add(1)
+	h.sum.Add(uint64(v))
+	h.count.Add(1)
 }
 
 // Count reports the number of recorded observations.
@@ -100,15 +109,31 @@ func (h *Histogram) Mean() float64 {
 	return float64(h.sum.Load()) / float64(n)
 }
 
-// Quantile reports the q-quantile (0 < q <= 1) as the upper bound of the
-// bucket containing that rank, clamped to the recorded maximum. Returns 0
-// when the histogram is empty.
+// Quantile reports the q-quantile as the upper bound of the bucket
+// containing that rank, clamped to the recorded maximum.
+//
+// The quantile function is defined on (0, 1]; arguments outside it are
+// handled explicitly rather than silently: NaN returns 0 (no rank is
+// meaningful), q <= 0 clamps to the lowest recorded observation (rank 1),
+// and q > 1 clamps to 1 (the maximum). Returns 0 when the histogram is
+// empty. Safe against concurrent Record: the rank is taken against a
+// count snapshot whose observations are fully published (see Record), so
+// a non-empty histogram never reports 0 unless 0 was recorded.
 func (h *Histogram) Quantile(q float64) int64 {
+	if math.IsNaN(q) {
+		return 0
+	}
 	n := h.count.Load()
 	if n == 0 {
 		return 0
 	}
-	rank := uint64(math.Ceil(q * float64(n)))
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(1)
+	if q > 0 {
+		rank = uint64(math.Ceil(q * float64(n)))
+	}
 	if rank < 1 {
 		rank = 1
 	}
@@ -157,3 +182,104 @@ func BucketUpperBound(i int) int64 {
 
 // NumBuckets reports the fixed bucket count of every Histogram.
 func NumBuckets() int { return histBuckets }
+
+// Merge folds src's observations into h, bucket for bucket — the lossless
+// reduction for sharded recording (merging shards is bit-identical to
+// having recorded the combined stream into one histogram, which
+// TestShardedMergeProperty pins).
+//
+// Merge may run while src is still being written (soak snapshots do).
+// The read order mirrors Record's publication order so the merged view is
+// self-consistent: buckets are read first and count is derived from the
+// same reads (never from src.count, which could exceed the buckets seen),
+// and max is read after the buckets, so it covers every observation the
+// buckets contributed. sum is read best-effort; it only feeds the
+// advisory mean.
+func (h *Histogram) Merge(src *Histogram) {
+	var total uint64
+	for i := range src.counts {
+		if c := src.counts[i].Load(); c != 0 {
+			h.counts[i].Add(c)
+			total += c
+		}
+	}
+	if total == 0 {
+		return
+	}
+	h.count.Add(total)
+	h.sum.Add(src.sum.Load())
+	m := src.max.Load()
+	for {
+		cur := h.max.Load()
+		if m <= cur || h.max.CompareAndSwap(cur, m) {
+			return
+		}
+	}
+}
+
+// ShardedHistogram splits recording across cache-line-independent
+// Histogram shards so a million clients do not serialize on one set of
+// atomic counters (the shared-histogram Record line is the first thing
+// that collapses at scale — see CalibrateHistograms). Each Record picks a
+// shard by caller-supplied key; reads merge.
+type ShardedHistogram struct {
+	shards []Histogram
+	mask   uint64
+}
+
+// NewSharded creates a sharded histogram with n shards, rounded up to a
+// power of two; n <= 0 selects defaultHistShards().
+func NewSharded(n int) *ShardedHistogram {
+	if n <= 0 {
+		n = defaultHistShards()
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return &ShardedHistogram{shards: make([]Histogram, p), mask: uint64(p - 1)}
+}
+
+// defaultHistShards covers GOMAXPROCS with a power of two, capped at 16:
+// past core count extra shards only cost merge time.
+func defaultHistShards() int {
+	n := runtime.GOMAXPROCS(0)
+	if n > 16 {
+		n = 16
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// Record adds one observation to the key's shard. Allocation-free, like
+// Histogram.Record; keys from distinct workers should differ (the load
+// engine uses the operation sequence number) so traffic spreads.
+func (s *ShardedHistogram) Record(key uint64, v int64) {
+	s.shards[key&s.mask].Record(v)
+}
+
+// Shards reports the shard count.
+func (s *ShardedHistogram) Shards() int { return len(s.shards) }
+
+// Count reports the total observations across shards.
+func (s *ShardedHistogram) Count() int64 {
+	var n int64
+	for i := range s.shards {
+		n += s.shards[i].Count()
+	}
+	return n
+}
+
+// Merged reduces the shards into a fresh private Histogram. The result is
+// immutable-by-convention (nothing else holds it), which is what makes
+// summaries taken mid-run internally consistent.
+func (s *ShardedHistogram) Merged() *Histogram {
+	out := &Histogram{}
+	for i := range s.shards {
+		out.Merge(&s.shards[i])
+	}
+	return out
+}

@@ -3,8 +3,11 @@ package load
 import (
 	"math"
 	"math/rand"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 )
 
 // Every representable value must land in range, and the round trips
@@ -149,4 +152,188 @@ func TestSummarizePassesValidation(t *testing.T) {
 	if err := se.validate(0); err != nil {
 		t.Fatalf("summary of empty histogram invalid: %v", err)
 	}
+}
+
+// The quantile function's domain contract: out-of-range arguments are
+// clamped or rejected explicitly, never fed into a bogus rank computation
+// (NaN used to poison math.Ceil into rank 0 and q>1 into ranks past the
+// population).
+func TestQuantileEdgeCases(t *testing.T) {
+	var h Histogram
+	for i := int64(1); i <= 30; i++ { // all in unit buckets: exact answers
+		h.Record(i)
+	}
+	cases := []struct {
+		name string
+		q    float64
+		want int64
+	}{
+		{"nan", math.NaN(), 0},
+		{"negative", -1, 1},
+		{"zero", 0, 1},
+		{"tiny", 1e-12, 1},
+		{"median", 0.5, 15},
+		{"one", 1, 30},
+		{"above-one", 1.5, 30},
+		{"inf", math.Inf(1), 30},
+	}
+	for _, tc := range cases {
+		if got := h.Quantile(tc.q); got != tc.want {
+			t.Errorf("%s: Quantile(%v) = %d, want %d", tc.name, tc.q, got, tc.want)
+		}
+	}
+	var empty Histogram
+	for _, q := range []float64{math.NaN(), -1, 0, 0.5, 1, 2} {
+		if got := empty.Quantile(q); got != 0 {
+			t.Errorf("empty: Quantile(%v) = %d, want 0", q, got)
+		}
+	}
+}
+
+// The mid-run consistency contract soak snapshots rely on: while writers
+// record strictly positive values, any reader that observes Count > 0 must
+// observe non-zero quantiles — Record's publication order (max first,
+// count last) makes a stale-zero max impossible. Run under -race this also
+// sweeps the reader/writer interleavings of Quantile and Merge.
+func TestQuantileNeverZeroMidRun(t *testing.T) {
+	var h Histogram
+	sh := NewSharded(4)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := uint64(0); ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				v := 1000 + rng.Int63n(4000)
+				h.Record(v)
+				sh.Record(i, v)
+			}
+		}(int64(w + 1))
+	}
+	for i := 0; i < 2000; i++ {
+		if h.Count() > 0 {
+			for _, q := range []float64{0.5, 0.99, 1} {
+				if got := h.Quantile(q); got == 0 {
+					t.Fatalf("shared: Count=%d but Quantile(%v)=0", h.Count(), q)
+				}
+			}
+		}
+		m := sh.Merged()
+		if m.Count() > 0 {
+			if got := m.Quantile(0.99); got == 0 {
+				t.Fatalf("merged: Count=%d but q99=0", m.Count())
+			}
+			if m.Max() == 0 {
+				t.Fatalf("merged: Count=%d but Max=0", m.Count())
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// Merging shards must be lossless: bit-identical buckets, count, sum, and
+// max to recording the combined stream into one histogram.
+func TestShardedMergeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var ref Histogram
+	sh := NewSharded(8)
+	for i := uint64(0); i < 50_000; i++ {
+		v := rng.Int63n(1<<40) - 10 // includes negatives: clamp path too
+		ref.Record(v)
+		sh.Record(i, v)
+	}
+	if got := sh.Count(); got != ref.Count() {
+		t.Fatalf("sharded Count = %d, want %d", got, ref.Count())
+	}
+	m := sh.Merged()
+	if m.Count() != ref.Count() || m.Max() != ref.Max() || m.Mean() != ref.Mean() {
+		t.Fatalf("merged count/max/mean = %d/%d/%v, want %d/%d/%v",
+			m.Count(), m.Max(), m.Mean(), ref.Count(), ref.Max(), ref.Mean())
+	}
+	got, want := m.NonZeroBuckets(), ref.NonZeroBuckets()
+	if len(got) != len(want) {
+		t.Fatalf("merged has %d non-zero buckets, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("bucket %d: merged %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 1} {
+		if m.Quantile(q) != ref.Quantile(q) {
+			t.Fatalf("q%v: merged %d, want %d", q, m.Quantile(q), ref.Quantile(q))
+		}
+	}
+}
+
+// Sharded recording must stay as allocation-free as the shared path: it
+// replaces it on every operation completion.
+func TestShardedRecordDoesNotAllocate(t *testing.T) {
+	sh := NewSharded(0)
+	key, v := uint64(0), int64(0)
+	if allocs := testing.AllocsPerRun(1000, func() {
+		sh.Record(key, v)
+		key++
+		v += 997
+	}); allocs != 0 {
+		t.Fatalf("sharded Record allocates %v per op", allocs)
+	}
+}
+
+// Calibration smoke: sane fields, and the archived form validates.
+func TestCalibrateHistograms(t *testing.T) {
+	hr := CalibrateHistograms(20 * time.Millisecond)
+	if err := hr.validate(); err != nil {
+		t.Fatalf("calibration invalid: %v", err)
+	}
+	if hr.Cores != runtime.GOMAXPROCS(0) {
+		t.Errorf("cores = %d, want %d", hr.Cores, runtime.GOMAXPROCS(0))
+	}
+	if hr.SharedRecordsPerSec <= 0 || hr.ShardedRecordsPerSec <= 0 || hr.Speedup <= 0 {
+		t.Errorf("zero rate in calibration: %+v", hr)
+	}
+	rep := NewReport()
+	rep.Harness = &hr
+	rep.Runs = append(rep.Runs, RunReport{}) // invalid run: Validate must still reach it
+	if err := rep.Validate(); err == nil {
+		t.Error("invalid run accepted")
+	}
+}
+
+func BenchmarkHistogramRecordShared(b *testing.B) {
+	var h Histogram
+	b.RunParallel(func(pb *testing.PB) {
+		v := int64(1)
+		for pb.Next() {
+			h.Record(v)
+			v = v*6364136223846793005 + 1442695040888963407
+			if v < 0 {
+				v = -v
+			}
+		}
+	})
+}
+
+func BenchmarkHistogramRecordSharded(b *testing.B) {
+	sh := NewSharded(0)
+	var worker atomic.Uint64
+	b.RunParallel(func(pb *testing.PB) {
+		key := worker.Add(1)
+		v := int64(1)
+		for pb.Next() {
+			sh.Record(key, v)
+			v = v*6364136223846793005 + 1442695040888963407
+			if v < 0 {
+				v = -v
+			}
+		}
+	})
 }

@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -85,6 +86,28 @@ type Config struct {
 	// problem's oracle (exclusion/safety rules; see the package comment).
 	// Costs memory proportional to the operation count.
 	Trace bool
+
+	// HistShards is the shard count of each class's latency histograms
+	// (rounded up to a power of two). 0 selects a default covering
+	// GOMAXPROCS; 1 pins the legacy single shared histogram (every
+	// recorder contends on one set of atomics — the calibration
+	// baseline).
+	HistShards int
+
+	// DiurnalPeriod is the modulation period of ArrivalDiurnal (default
+	// 60s): the offered rate swings sinusoidally around RatePerSec over
+	// each period.
+	DiurnalPeriod time.Duration
+
+	// SnapshotEvery streams incremental soak snapshots: every interval of
+	// kernel-clock time, OnSnapshot is called with a mid-run Result whose
+	// histograms are consistent merged copies (quantiles of a non-empty
+	// class are never 0 — see Histogram.Record's publication order).
+	// Zero, or a nil OnSnapshot, disables snapshots. The callback runs on
+	// a kernel daemon while the run is in flight; it must not block for
+	// long and must not touch the kernel.
+	SnapshotEvery time.Duration
+	OnSnapshot    func(*Result)
 }
 
 // normalize fills defaults and validates; it mutates the (caller-copied)
@@ -149,6 +172,15 @@ func (cfg *Config) normalize() error {
 	if cfg.Watchdog == 0 {
 		cfg.Watchdog = cfg.Duration + 30*time.Second
 	}
+	if cfg.HistShards < 0 {
+		return fmt.Errorf("load: negative histogram shard count %d", cfg.HistShards)
+	}
+	if cfg.DiurnalPeriod < 0 || cfg.SnapshotEvery < 0 {
+		return fmt.Errorf("load: negative diurnal period or snapshot interval")
+	}
+	if cfg.DiurnalPeriod == 0 {
+		cfg.DiurnalPeriod = time.Minute
+	}
 	return nil
 }
 
@@ -161,13 +193,18 @@ type ClassResult struct {
 	Total     *Histogram // intended arrival → completion
 }
 
-// Result is the outcome of one load run.
+// Result is the outcome of one load run, or — when SnapshotSeq > 0 — an
+// incremental soak snapshot of a run still in flight.
 type Result struct {
 	Config    Config
 	ElapsedNs int64
 	Issued    int64
 	Completed int64
 	Classes   []ClassResult
+
+	// SnapshotSeq is 0 for a final result and the 1-based snapshot index
+	// for incremental results delivered via Config.OnSnapshot.
+	SnapshotSeq int
 
 	// ClientCompleted is the per-client completion count of a
 	// closed-loop run (fairness between identical clients); JainIndex is
@@ -226,6 +263,13 @@ func Run(cfg Config) (*Result, error) {
 	eng := &engine{cfg: &cfg, k: k, w: w}
 	eng.budget.Store(math.MaxInt64)
 	if cfg.MaxOps > 0 {
+		// Balanced workloads issue whole cycles only (a partial cycle —
+		// say a deposit with no matching remove — can never drain), so the
+		// effective budget rounds down to a cycle multiple; both loops then
+		// make issued counts match it exactly (refund-and-stop below).
+		if w.balanced {
+			cfg.MaxOps -= cfg.MaxOps % int64(len(w.classes))
+		}
 		eng.budget.Store(cfg.MaxOps)
 	}
 	eng.deadlineNs = math.MaxInt64
@@ -233,32 +277,18 @@ func Run(cfg Config) (*Result, error) {
 		eng.deadlineNs = cfg.Duration.Nanoseconds()
 	}
 
+	eng.spawnSnapshotter()
 	if cfg.Arrival.Open() {
 		eng.spawnGenerator()
 	} else {
 		eng.spawnClients()
 	}
 	kernelErr := k.Run()
+	eng.snapMu.Lock()
+	eng.snapDone = true // no snapshot callbacks past this point
+	eng.snapMu.Unlock()
 
-	res := &Result{Config: cfg, ElapsedNs: k.Now(), KernelErr: kernelErr}
-	for _, c := range w.classes {
-		cr := ClassResult{
-			Name:      c.name,
-			Issued:    c.issued.Load(),
-			Completed: c.completed.Load(),
-			Wait:      c.wait,
-			Total:     c.total,
-		}
-		res.Issued += cr.Issued
-		res.Completed += cr.Completed
-		res.Classes = append(res.Classes, cr)
-	}
-	if !cfg.Arrival.Open() {
-		for i := range eng.clients {
-			res.ClientCompleted = append(res.ClientCompleted, eng.clients[i].completed.Load())
-		}
-		res.JainIndex = jain(res.ClientCompleted)
-	}
+	res := eng.collect(kernelErr, 0)
 	if rec != nil {
 		tr := rec.Events()
 		res.Judged = true
@@ -266,6 +296,68 @@ func Run(cfg Config) (*Result, error) {
 		res.Violations = w.judge(tr)
 	}
 	return res, nil
+}
+
+// collect assembles a Result from the engine's live counters. For the
+// final result (snapshotSeq 0) everything has quiesced; for soak snapshots
+// it runs concurrently with the clients, and the read order keeps the
+// result self-consistent: a class's histograms are merged before its
+// completed counter is read, and completed before issued, so
+// hist-count <= completed-later-observed <= issued holds and the report
+// validator's invariants are satisfied mid-run.
+func (e *engine) collect(kernelErr error, snapshotSeq int) *Result {
+	res := &Result{
+		Config:      *e.cfg,
+		ElapsedNs:   e.k.Now(),
+		KernelErr:   kernelErr,
+		SnapshotSeq: snapshotSeq,
+	}
+	for _, c := range e.w.classes {
+		cr := ClassResult{
+			Name:  c.name,
+			Wait:  c.wait.Merged(),
+			Total: c.total.Merged(),
+		}
+		cr.Completed = c.completed.Load()
+		cr.Issued = c.issued.Load()
+		res.Issued += cr.Issued
+		res.Completed += cr.Completed
+		res.Classes = append(res.Classes, cr)
+	}
+	if !e.cfg.Arrival.Open() {
+		for i := range e.clients {
+			res.ClientCompleted = append(res.ClientCompleted, e.clients[i].completed.Load())
+		}
+		res.JainIndex = jain(res.ClientCompleted)
+	}
+	return res
+}
+
+// spawnSnapshotter starts the soak daemon: every SnapshotEvery of kernel
+// time it hands an incremental Result to OnSnapshot. A daemon process does
+// not block run termination; snapMu/snapDone fence the callback against
+// the final collection so a late-firing snapshot can never interleave
+// with the caller's post-run reporting.
+func (e *engine) spawnSnapshotter() {
+	cfg := e.cfg
+	if cfg.SnapshotEvery <= 0 || cfg.OnSnapshot == nil {
+		return
+	}
+	ticks := cfg.SnapshotEvery.Nanoseconds() / cfg.Tick.Nanoseconds()
+	if ticks < 1 {
+		ticks = 1
+	}
+	e.k.SpawnDaemon("soak-snapshot", func(p *kernel.Proc) {
+		for seq := 1; ; seq++ {
+			p.Sleep(ticks)
+			res := e.collect(nil, seq)
+			e.snapMu.Lock()
+			if !e.snapDone {
+				cfg.OnSnapshot(res)
+			}
+			e.snapMu.Unlock()
+		}
+	})
 }
 
 // engine holds the shared issuing state of one run.
@@ -277,6 +369,9 @@ type engine struct {
 	deadlineNs int64        // kernel-clock issue deadline
 	opSeq      atomic.Int64
 	clients    []clientState
+
+	snapMu   sync.Mutex // fences OnSnapshot against final collection
+	snapDone bool
 }
 
 type clientState struct {
@@ -300,34 +395,82 @@ func (e *engine) pickClass(rng *rand.Rand) *class {
 	return cs[len(cs)-1]
 }
 
+// genBatchCycles is how many issuing cycles' worth of budget the open-loop
+// generator claims per atomic operation: at >=10^6 arrivals/run the
+// per-arrival budget CAS was measurable, and one claim per 64 cycles
+// amortizes it to noise while the refund-and-stop keeps issued counts
+// exact.
+const genBatchCycles = 64
+
 // spawnGenerator issues open-loop traffic: a generator process walks the
 // deterministic arrival schedule, sleeping until each intended instant
 // and spawning a fresh process per arrival. Arrivals never wait for
 // earlier operations to finish — that is what makes the loop open.
+//
+// Deadline clamping is per arrival: each cycle's arrival instants are
+// drawn before anything is issued, and a cycle whose last instant falls
+// past the deadline is dropped whole (for weighted single-op cycles this
+// is exact per-arrival clamping; balanced workloads cannot issue a
+// partial cycle — the unmatched operations could never drain — so the
+// straddling cycle is dropped entirely, and no arrival is ever issued
+// past the deadline). Budget exhaustion refunds the unissued remainder
+// instead of silently swallowing it, so issued totals equal the effective
+// MaxOps exactly.
 func (e *engine) spawnGenerator() {
 	cfg := e.cfg
 	e.k.Spawn("loadgen", func(gp *kernel.Proc) {
 		rng := rand.New(rand.NewSource(cfg.Seed))
-		g := newGapper(cfg.Arrival, cfg.RatePerSec, cfg.BurstSize, rng)
+		g := newGapper(cfg.Arrival, cfg.RatePerSec, cfg.BurstSize, cfg.DiurnalPeriod, rng)
 		tickNs := cfg.Tick.Nanoseconds()
-		order := make([]int, len(e.w.classes))
+		n := 1
+		if e.w.balanced {
+			n = len(e.w.classes)
+		}
+		order := make([]int, n)
 		for i := range order {
 			order[i] = i
 		}
+		cycleAt := make([]int64, n)
 		next := int64(0)
+		credits := int64(0) // budget claimed but not yet issued
+		defer func() {
+			if credits > 0 {
+				e.budget.Add(credits)
+			}
+		}()
 		for {
-			// One issuing cycle: every class once for balanced
+			// Draw the whole cycle first: every class once for balanced
 			// workloads (in shuffled order, so the interleaving of
 			// deposit/remove arrivals still varies), one weighted pick
 			// otherwise.
-			n := 1
 			if e.w.balanced {
-				n = len(order)
 				rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
 			}
-			if next > e.deadlineNs || e.budget.Add(int64(-n)) < 0 {
+			for i := 0; i < n; i++ {
+				cycleAt[i] = next
+				next += g.next()
+			}
+			if cycleAt[n-1] > e.deadlineNs {
 				return
 			}
+			// Claim budget in batches; the generator is the run's only
+			// consumer, so an overdraft refund leaves the remainder exact.
+			if credits < int64(n) {
+				claim := int64(n) * genBatchCycles
+				if rem := e.budget.Add(-claim); rem < 0 {
+					e.budget.Add(-rem) // refund the overdraft
+					claim += rem
+				}
+				credits += claim
+				if credits < int64(n) {
+					// Budget cannot cover another full cycle; hand any
+					// sub-cycle remainder back (only possible when MaxOps
+					// was not cycle-aligned, which Run pre-rounds away for
+					// balanced workloads).
+					return
+				}
+			}
+			credits -= int64(n)
 			for i := 0; i < n; i++ {
 				var c *class
 				if e.w.balanced {
@@ -335,7 +478,7 @@ func (e *engine) spawnGenerator() {
 				} else {
 					c = e.pickClass(rng)
 				}
-				at := next
+				at := cycleAt[i]
 				// Sleep until the intended instant; if the generator is
 				// behind schedule it spawns immediately (the backlog is
 				// charged to the operation's latency via at).
@@ -348,7 +491,6 @@ func (e *engine) spawnGenerator() {
 					c.do(p, at, seq)
 					c.completed.Add(1)
 				})
-				next += g.next()
 			}
 		}
 	})
@@ -377,6 +519,12 @@ func (e *engine) spawnClients() {
 					n = len(e.w.classes)
 				}
 				if e.budget.Add(int64(-n)) < 0 {
+					// Refund-and-stop: the budget cannot cover this cycle.
+					// Every client claims whole cycles and Run pre-rounds
+					// MaxOps to a cycle multiple, so after each loser's
+					// refund the issued total matches the budget exactly
+					// (the old behavior swallowed up to n-1 ops here).
+					e.budget.Add(int64(n))
 					return
 				}
 				if e.w.balanced {

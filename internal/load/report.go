@@ -20,6 +20,11 @@ const SchemaVersion = "repro-load/v1"
 type Report struct {
 	Schema string      `json:"schema"`
 	Runs   []RunReport `json:"runs"`
+
+	// Harness, when present, archives the measurement-harness calibration
+	// (shared vs sharded histogram throughput) the runs were taken under —
+	// the evidence that the harness itself was not the bottleneck.
+	Harness *HarnessReport `json:"harness,omitempty"`
 }
 
 // NewReport returns an empty report at the current schema version.
@@ -32,6 +37,10 @@ type RunReport struct {
 	Problem   string `json:"problem"`
 	Arrival   string `json:"arrival"`
 
+	// SnapshotSeq is 0 for a final report and the 1-based index of an
+	// incremental soak snapshot (ElapsedNs is then the snapshot instant).
+	SnapshotSeq int `json:"snapshot_seq,omitempty"`
+
 	RatePerSec   float64 `json:"rate_per_sec,omitempty"`
 	BurstSize    int     `json:"burst_size,omitempty"`
 	Clients      int     `json:"clients,omitempty"`
@@ -40,6 +49,7 @@ type RunReport struct {
 	ReadFraction float64 `json:"read_fraction,omitempty"`
 	BufferCap    int     `json:"buffer_cap,omitempty"`
 	WorkYields   int     `json:"work_yields,omitempty"`
+	HistShards   int     `json:"hist_shards,omitempty"`
 
 	ElapsedNs        int64   `json:"elapsed_ns"`
 	Issued           int64   `json:"issued"`
@@ -112,8 +122,10 @@ func (r *Result) Report() RunReport {
 		Mechanism:        cfg.Mechanism,
 		Problem:          cfg.Problem,
 		Arrival:          cfg.Arrival.String(),
+		SnapshotSeq:      r.SnapshotSeq,
 		Seed:             cfg.Seed,
 		WorkYields:       cfg.WorkYields,
+		HistShards:       cfg.HistShards,
 		ElapsedNs:        r.ElapsedNs,
 		Issued:           r.Issued,
 		Completed:        r.Completed,
@@ -179,6 +191,44 @@ func (rep *Report) Validate() error {
 		if err := rep.Runs[i].validate(); err != nil {
 			return fmt.Errorf("runs[%d].%w", i, err)
 		}
+	}
+	if rep.Harness != nil {
+		if err := rep.Harness.validate(); err != nil {
+			return fmt.Errorf("harness.%w", err)
+		}
+	}
+	return nil
+}
+
+// HarnessReport archives the measurement-harness calibration recorded by
+// CalibrateHistograms alongside the runs it accompanied: how fast the
+// shared and sharded histograms absorb Record calls on this machine, and
+// hence how much headroom the harness has over the offered load. Archived
+// so a regression in recorded throughput is distinguishable from a
+// regression in the mechanisms under test.
+type HarnessReport struct {
+	Cores                int     `json:"cores"`
+	HistShards           int     `json:"hist_shards"`
+	SharedRecordsPerSec  float64 `json:"shared_records_per_sec"`
+	ShardedRecordsPerSec float64 `json:"sharded_records_per_sec"`
+	// Speedup = sharded/shared. On one core it hovers near 1 (sharding
+	// buys nothing without parallel writers); the >= 5x acceptance claim
+	// applies at 8+ cores.
+	Speedup float64 `json:"speedup"`
+}
+
+func (h *HarnessReport) validate() error {
+	if h.Cores < 1 {
+		return fmt.Errorf("cores: %d, want >= 1", h.Cores)
+	}
+	if h.HistShards < 1 {
+		return fmt.Errorf("hist_shards: %d, want >= 1", h.HistShards)
+	}
+	if h.SharedRecordsPerSec < 0 || h.ShardedRecordsPerSec < 0 {
+		return fmt.Errorf("records_per_sec: negative rate")
+	}
+	if h.Speedup < 0 {
+		return fmt.Errorf("speedup: negative")
 	}
 	return nil
 }

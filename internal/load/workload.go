@@ -21,8 +21,8 @@ type class struct {
 	name   string
 	weight float64 // selection probability for unbalanced workloads
 
-	wait  *Histogram // intended-arrival → admission (queueing delay)
-	total *Histogram // intended-arrival → completion
+	wait  *ShardedHistogram // intended-arrival → admission (queueing delay)
+	total *ShardedHistogram // intended-arrival → completion
 
 	issued    atomic.Int64
 	completed atomic.Int64
@@ -69,8 +69,8 @@ func DefaultProblems() []string {
 	return []string{problems.NameBoundedBuffer, problems.NameReadersPriority, problems.NameFCFS}
 }
 
-func newClass(name string, weight float64) *class {
-	return &class{name: name, weight: weight, wait: &Histogram{}, total: &Histogram{}}
+func newClass(name string, weight float64, shards int) *class {
+	return &class{name: name, weight: weight, wait: NewSharded(shards), total: NewSharded(shards)}
 }
 
 // yieldWork stretches an operation body, creating real contention windows
@@ -105,8 +105,8 @@ func buildWorkload(cfg *Config, s solutions.Suite, k kernel.Kernel, rec *trace.R
 	switch cfg.Problem {
 	case problems.NameBoundedBuffer:
 		bb := s.NewBoundedBuffer(k, cfg.BufferCap)
-		dep := newClass(problems.OpDeposit, 0.5)
-		rem := newClass(problems.OpRemove, 0.5)
+		dep := newClass(problems.OpDeposit, 0.5, cfg.HistShards)
+		rem := newClass(problems.OpRemove, 0.5, cfg.HistShards)
 		dep.do = func(p *kernel.Proc, at, seq int64) {
 			if rec != nil {
 				rec.Request(p, problems.OpDeposit, seq)
@@ -116,8 +116,8 @@ func buildWorkload(cfg *Config, s solutions.Suite, k kernel.Kernel, rec *trace.R
 				runBody(rec, p, problems.OpDeposit, seq, yields, &enter, now)
 			})
 			end := now()
-			dep.wait.Record(enter - at)
-			dep.total.Record(end - at)
+			dep.wait.Record(uint64(seq), enter-at)
+			dep.total.Record(uint64(seq), end-at)
 		}
 		rem.do = func(p *kernel.Proc, at, seq int64) {
 			if rec != nil {
@@ -128,8 +128,8 @@ func buildWorkload(cfg *Config, s solutions.Suite, k kernel.Kernel, rec *trace.R
 				runBody(rec, p, problems.OpRemove, item, yields, &enter, now)
 			})
 			end := now()
-			rem.wait.Record(enter - at)
-			rem.total.Record(end - at)
+			rem.wait.Record(uint64(seq), enter-at)
+			rem.total.Record(uint64(seq), end-at)
 		}
 		capacity := cfg.BufferCap
 		return &workload{
@@ -142,7 +142,7 @@ func buildWorkload(cfg *Config, s solutions.Suite, k kernel.Kernel, rec *trace.R
 
 	case problems.NameFCFS:
 		res := s.NewFCFS(k)
-		use := newClass(problems.OpUse, 1)
+		use := newClass(problems.OpUse, 1, cfg.HistShards)
 		use.do = func(p *kernel.Proc, at, seq int64) {
 			if rec != nil {
 				rec.Request(p, problems.OpUse, trace.NoArg)
@@ -152,8 +152,8 @@ func buildWorkload(cfg *Config, s solutions.Suite, k kernel.Kernel, rec *trace.R
 				runBody(rec, p, problems.OpUse, trace.NoArg, yields, &enter, now)
 			})
 			end := now()
-			use.wait.Record(enter - at)
-			use.total.Record(end - at)
+			use.wait.Record(uint64(seq), enter-at)
+			use.total.Record(uint64(seq), end-at)
 		}
 		return &workload{
 			classes: []*class{use},
@@ -165,8 +165,8 @@ func buildWorkload(cfg *Config, s solutions.Suite, k kernel.Kernel, rec *trace.R
 	case problems.NameReadersPriority, problems.NameWritersPriority, problems.NameFCFSRW:
 		newDB, _ := solutions.RWConstructor(s, cfg.Problem)
 		db := newDB(k)
-		rd := newClass(problems.OpRead, cfg.ReadFraction)
-		wr := newClass(problems.OpWrite, 1-cfg.ReadFraction)
+		rd := newClass(problems.OpRead, cfg.ReadFraction, cfg.HistShards)
+		wr := newClass(problems.OpWrite, 1-cfg.ReadFraction, cfg.HistShards)
 		rd.do = func(p *kernel.Proc, at, seq int64) {
 			if rec != nil {
 				rec.Request(p, problems.OpRead, trace.NoArg)
@@ -176,8 +176,8 @@ func buildWorkload(cfg *Config, s solutions.Suite, k kernel.Kernel, rec *trace.R
 				runBody(rec, p, problems.OpRead, trace.NoArg, yields, &enter, now)
 			})
 			end := now()
-			rd.wait.Record(enter - at)
-			rd.total.Record(end - at)
+			rd.wait.Record(uint64(seq), enter-at)
+			rd.total.Record(uint64(seq), end-at)
 		}
 		wr.do = func(p *kernel.Proc, at, seq int64) {
 			if rec != nil {
@@ -188,8 +188,8 @@ func buildWorkload(cfg *Config, s solutions.Suite, k kernel.Kernel, rec *trace.R
 				runBody(rec, p, problems.OpWrite, trace.NoArg, yields, &enter, now)
 			})
 			end := now()
-			wr.wait.Record(enter - at)
-			wr.total.Record(end - at)
+			wr.wait.Record(uint64(seq), enter-at)
+			wr.total.Record(uint64(seq), end-at)
 		}
 		problem := cfg.Problem
 		return &workload{

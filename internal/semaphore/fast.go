@@ -1,0 +1,117 @@
+// Scalable semaphore variants.
+//
+// The baseline Semaphore in this package is strictly FIFO with direct
+// hand-off: every V funnels through one mutex and the permit is handed to
+// the longest waiter. That is exactly the selection assumption the paper
+// makes (§5.1) — and exactly what collapses under a million clients, where
+// the hand-off mutex becomes a global serialization point.
+//
+// Fast is the first rung of the complexity hierarchy above test-and-set: a
+// fetch-and-add/CAS fast path that touches no lock when permits are
+// available, paying for it with Mesa-style barging. A process that arrives
+// while a woken waiter is still being rescheduled can steal the permit, so
+// admission is NOT first-come-first-served. The sacrifice is deliberate
+// and measured: package solutions/semscale runs Fast through the same
+// oracles and load matrix as the baseline, and the FCFS criterion is the
+// one it fails (see DESIGN.md §8).
+package semaphore
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/kernel"
+)
+
+// Fast is a counting semaphore with a lock-free acquire/release fast path
+// and Mesa (barging) semantics: V publishes the permit by incrementing a
+// shared counter before waking a waiter, so the woken process re-contends
+// and can lose to a late arrival.
+type Fast struct {
+	count   atomic.Int64 // available permits; never negative
+	mu      sync.Mutex   // guards waiters only — never held across Park
+	waiters kernel.WaitList
+}
+
+// NewFast creates a fast-path semaphore with the given initial count.
+// Negative initial counts are rejected, matching New.
+func NewFast(initial int64) *Fast {
+	if initial < 0 {
+		panic(fmt.Sprintf("semaphore: negative initial count %d", initial))
+	}
+	s := &Fast{}
+	s.count.Store(initial)
+	return s
+}
+
+// tryAcquire claims one permit by CAS, without blocking or queueing.
+func (s *Fast) tryAcquire() bool {
+	for {
+		c := s.count.Load()
+		if c <= 0 {
+			return false
+		}
+		if s.count.CompareAndSwap(c, c-1) {
+			return true
+		}
+	}
+}
+
+// P decrements the semaphore, blocking while no permits are available.
+//
+// Unlike Semaphore.P there is no FIFO guarantee: the uncontended path is a
+// single CAS that never consults the wait queue, so a late arrival barges
+// past queued waiters. The slow path re-checks the counter after taking
+// the queue lock — V increments the counter before it inspects the queue,
+// so a process that observes zero permits under the lock is guaranteed to
+// be seen (and woken) by the V that next publishes one.
+func (s *Fast) P(p *kernel.Proc) {
+	for {
+		if s.tryAcquire() {
+			return
+		}
+		s.mu.Lock()
+		if s.tryAcquire() { // closes the publish/park window, see above
+			s.mu.Unlock()
+			return
+		}
+		s.waiters.Push(p)
+		s.mu.Unlock()
+		p.Park()
+		// Mesa semantics: the wakeup is advisory, not a hand-off. The
+		// permit that triggered it may already be gone; re-contend.
+	}
+}
+
+// TryP attempts to decrement without blocking, reporting success. It
+// barges: unlike Semaphore.TryP it can succeed while older processes are
+// queued, which is precisely the FCFS sacrifice the variant makes.
+func (s *Fast) TryP() bool {
+	return s.tryAcquire()
+}
+
+// V increments the semaphore and wakes the longest waiter, if any. The
+// increment is published before the queue is inspected, so a concurrent P
+// either sees the permit on its locked re-check or is already queued and
+// gets the wakeup.
+func (s *Fast) V() {
+	s.count.Add(1)
+	s.mu.Lock()
+	w := s.waiters.Pop()
+	s.mu.Unlock()
+	if w != nil {
+		w.Unpark()
+	}
+}
+
+// Value reports the current count; advisory, as for Semaphore.Value.
+func (s *Fast) Value() int64 { return s.count.Load() }
+
+// Waiting reports the number of processes blocked in P. A woken process
+// that is re-contending is not counted until it re-queues.
+func (s *Fast) Waiting() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.waiters.Len()
+}

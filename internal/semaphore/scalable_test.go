@@ -1,0 +1,322 @@
+package semaphore
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/kernel"
+)
+
+func TestFastPWithPositiveCountDoesNotBlock(t *testing.T) {
+	k := kernel.NewSim()
+	s := NewFast(2)
+	done := 0
+	k.Spawn("p", func(p *kernel.Proc) {
+		s.P(p)
+		s.P(p)
+		done = 2
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if done != 2 || s.Value() != 0 {
+		t.Fatalf("done=%d value=%d", done, s.Value())
+	}
+}
+
+func TestFastPBlocksAtZeroUntilV(t *testing.T) {
+	k := kernel.NewSim()
+	s := NewFast(0)
+	var order []string
+	k.Spawn("waiter", func(p *kernel.Proc) {
+		s.P(p)
+		order = append(order, "acquired")
+	})
+	k.Spawn("releaser", func(p *kernel.Proc) {
+		order = append(order, "releasing")
+		s.V()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(order) != "[releasing acquired]" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+// TestFastBargesPastWaiter pins the FCFS sacrifice: with the baseline
+// Semaphore this schedule is impossible (V hands the permit directly to
+// the queued waiter), but Fast publishes the permit to the shared counter,
+// so a process that is already running takes it before the woken waiter is
+// rescheduled.
+func TestFastBargesPastWaiter(t *testing.T) {
+	k := kernel.NewSim()
+	s := NewFast(0)
+	var order []string
+	k.Spawn("waiter", func(p *kernel.Proc) {
+		s.P(p)
+		order = append(order, "waiter")
+	})
+	k.Spawn("barger", func(p *kernel.Proc) {
+		s.V()  // wakes the waiter, but the permit sits in the counter
+		s.P(p) // steals it before the waiter is rescheduled
+		order = append(order, "barger")
+		s.V() // hand it back so the waiter can finish
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(order) != "[barger waiter]" {
+		t.Fatalf("order = %v, want the barger to overtake the queued waiter", order)
+	}
+}
+
+// TestTryPBargingContrast: the same one-waiter scenario through TryP. The
+// baseline refuses the permit while a waiter is queued; the scalable
+// variants barge.
+func TestTryPBargingContrast(t *testing.T) {
+	run := func(tryAfterV func(p *kernel.Proc) bool, v func(), spawnWaiter func(k kernel.Kernel)) bool {
+		k := kernel.NewSim()
+		spawnWaiter(k)
+		got := false
+		k.Spawn("barger", func(p *kernel.Proc) {
+			v()
+			got = tryAfterV(p)
+			if !got {
+				v() // baseline handed the permit to the waiter already
+			} else {
+				v() // return the stolen permit to unblock the waiter
+			}
+		})
+		if err := k.Run(); err != nil {
+			panic(err)
+		}
+		return got
+	}
+
+	base := New(0)
+	if run(func(*kernel.Proc) bool { return base.TryP() }, base.V,
+		func(k kernel.Kernel) { k.Spawn("w", func(p *kernel.Proc) { base.P(p) }) }) {
+		t.Error("baseline TryP barged past a queued waiter")
+	}
+	fast := NewFast(0)
+	if !run(func(*kernel.Proc) bool { return fast.TryP() }, fast.V,
+		func(k kernel.Kernel) { k.Spawn("w", func(p *kernel.Proc) { fast.P(p) }) }) {
+		t.Error("Fast.TryP failed to barge: permit was published but not stolen")
+	}
+	st := NewStriped(0, 4)
+	if !run(func(p *kernel.Proc) bool { return st.TryP(p) }, st.V,
+		func(k kernel.Kernel) { k.Spawn("w", func(p *kernel.Proc) { st.P(p) }) }) {
+		t.Error("Striped.TryP failed to barge: permit was published but not stolen")
+	}
+}
+
+// TestFastWakeOrderWithoutBargers: absent bargers the central queue still
+// wakes longest-waiting first, so the variant degrades to FIFO when
+// uncontested — the property the load matrix fairness columns quantify.
+func TestFastWakeOrderWithoutBargers(t *testing.T) {
+	k := kernel.NewSim()
+	s := NewFast(0)
+	var order []int
+	for i := 1; i <= 5; i++ {
+		k.Spawn("w", func(p *kernel.Proc) {
+			s.P(p)
+			order = append(order, p.ID())
+		})
+	}
+	k.Spawn("releaser", func(p *kernel.Proc) {
+		for i := 0; i < 5; i++ {
+			s.V()
+			p.Yield()
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range order {
+		if id != i+1 {
+			t.Fatalf("wake order = %v, want FIFO by spawn order", order)
+		}
+	}
+}
+
+func TestStripedBasics(t *testing.T) {
+	s := NewStriped(10, 3)
+	if s.Stripes() != 4 {
+		t.Fatalf("Stripes() = %d, want shard count rounded up to 4", s.Stripes())
+	}
+	if s.Value() != 10 {
+		t.Fatalf("Value() = %d, want the initial count summed across shards", s.Value())
+	}
+	if DefaultStripes() < 1 || DefaultStripes()&(DefaultStripes()-1) != 0 {
+		t.Fatalf("DefaultStripes() = %d, want a positive power of two", DefaultStripes())
+	}
+	k := kernel.NewSim()
+	drained := 0
+	k.Spawn("p", func(p *kernel.Proc) {
+		for s.TryP(p) {
+			drained++
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if drained != 10 || s.Value() != 0 {
+		t.Fatalf("drained %d permits (value %d), want all 10 via steal scan", drained, s.Value())
+	}
+}
+
+func TestStripedPBlocksAtZeroUntilV(t *testing.T) {
+	k := kernel.NewSim()
+	s := NewStriped(0, 4)
+	var order []string
+	k.Spawn("waiter", func(p *kernel.Proc) {
+		s.P(p)
+		order = append(order, "acquired")
+	})
+	k.Spawn("releaser", func(p *kernel.Proc) {
+		order = append(order, "releasing")
+		s.V()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(order) != "[releasing acquired]" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestNegativeInitialPanicsScalable(t *testing.T) {
+	for name, f := range map[string]func(){
+		"fast":    func() { NewFast(-1) },
+		"striped": func() { NewStriped(-1, 4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: negative initial count accepted", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestScalableStressReal mirrors TestCountingSemaphoreStressReal for both
+// variants: under the race detector, the pool limit must hold and every
+// permit must be conserved (final Value == initial) despite barging.
+func TestScalableStressReal(t *testing.T) {
+	type sem interface {
+		P(p *kernel.Proc)
+		V()
+		Value() int64
+	}
+	for name, mk := range map[string]func(int64) sem{
+		"fast":    func(n int64) sem { return NewFast(n) },
+		"striped": func(n int64) sem { return NewStriped(n, 4) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			k := kernel.NewReal(kernel.WithWatchdog(30 * time.Second))
+			const limit = 3
+			s := mk(limit)
+			mu := NewMutex()
+			inUse, maxUse := 0, 0
+			for i := 0; i < 20; i++ {
+				k.Spawn("user", func(p *kernel.Proc) {
+					for j := 0; j < 50; j++ {
+						s.P(p)
+						mu.Lock(p)
+						inUse++
+						if inUse > maxUse {
+							maxUse = inUse
+						}
+						mu.Unlock(p)
+						p.Yield()
+						mu.Lock(p)
+						inUse--
+						mu.Unlock(p)
+						s.V()
+					}
+				})
+			}
+			if err := k.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if maxUse > limit {
+				t.Fatalf("pool admitted %d concurrent users, limit %d", maxUse, limit)
+			}
+			if s.Value() != limit {
+				t.Fatalf("final count = %d, want %d (permit leaked or conjured)", s.Value(), limit)
+			}
+		})
+	}
+}
+
+// Property: single-process P/V interleavings keep Value exact for both
+// variants, matching TestSemaphorePropertyCounting for the baseline.
+func TestScalablePropertyCounting(t *testing.T) {
+	f := func(initial uint8, ops []bool, stripes uint8) bool {
+		init := int64(initial % 16)
+		fast := NewFast(init)
+		striped := NewStriped(init, int(stripes%8))
+		count := init
+		ok := true
+		k := kernel.NewSim()
+		k.Spawn("p", func(p *kernel.Proc) {
+			for _, isV := range ops {
+				if isV {
+					fast.V()
+					striped.V()
+					count++
+				} else if count > 0 {
+					fast.P(p)
+					striped.P(p)
+					count--
+				}
+				if fast.Value() != count || striped.Value() != count {
+					ok = false
+					return
+				}
+			}
+		})
+		if err := k.Run(); err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkFastUncontendedPV(b *testing.B) {
+	k := kernel.NewReal()
+	s := NewFast(1)
+	done := make(chan struct{})
+	k.Spawn("p", func(p *kernel.Proc) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.P(p)
+			s.V()
+		}
+		close(done)
+	})
+	<-done
+}
+
+func BenchmarkStripedUncontendedPV(b *testing.B) {
+	k := kernel.NewReal()
+	s := NewStriped(1, 0)
+	done := make(chan struct{})
+	k.Spawn("p", func(p *kernel.Proc) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.P(p)
+			s.V()
+		}
+		close(done)
+	})
+	<-done
+}

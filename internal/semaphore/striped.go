@@ -1,0 +1,193 @@
+package semaphore
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/kernel"
+)
+
+// stripe is one shard of a Striped semaphore's permit count, padded to a
+// cache line so shards owned by different cores do not false-share.
+type stripe struct {
+	n atomic.Int64
+	_ [56]byte
+}
+
+// Striped is a counting semaphore whose permit count is split across
+// cache-line-padded shards. Each process has a home shard (hashed from its
+// kernel ID), so uncontended P/V traffic from different processes lands on
+// different cache lines instead of one global counter — the striping that
+// "A Complexity-Based Hierarchy for Multiprocessor Synchronization" places
+// above single-word fetch-and-add.
+//
+// What it gives up, and how: a permit freed on shard A is invisible to a
+// fast-path P on shard B until B's steal scan reaches A, and waiters park
+// in one central queue woken in Mesa style, so — like Fast — admission
+// order is not FCFS, and "fairness" is only fairness among shards, not
+// among processes. Those sacrificed Bloom criteria are measured, not
+// asserted, by solutions/semscale and the load matrix.
+//
+// Liveness around the park/publish race uses a Dekker-style store-then-
+// check protocol on seq-cst atomics: P announces itself in a waiter count
+// before its final (locked) steal scan; V publishes its credit before
+// checking the waiter count. Whichever order the two interleave in, at
+// least one side observes the other, so a parked waiter always has a V
+// responsible for waking it.
+type Striped struct {
+	shards  []stripe
+	mask    uint64
+	rot     atomic.Uint64 // V-side credit cursor: spreads frees across shards
+	waiters atomic.Int64  // processes announced for / parked in the slow path
+	mu      sync.Mutex    // guards queue only — never held across Park
+	queue   kernel.WaitList
+}
+
+// DefaultStripes reports the shard count NewStriped uses when given
+// shards <= 0: the smallest power of two covering GOMAXPROCS, capped at 16.
+func DefaultStripes() int {
+	n := runtime.GOMAXPROCS(0)
+	if n > 16 {
+		n = 16
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// NewStriped creates a striped semaphore with the given initial count
+// spread round-robin across the shards. shards is rounded up to a power of
+// two; shards <= 0 selects DefaultStripes. Negative initial counts are
+// rejected, matching New.
+func NewStriped(initial int64, shards int) *Striped {
+	if initial < 0 {
+		panic(fmt.Sprintf("semaphore: negative initial count %d", initial))
+	}
+	if shards <= 0 {
+		shards = DefaultStripes()
+	}
+	p := 1
+	for p < shards {
+		p <<= 1
+	}
+	s := &Striped{shards: make([]stripe, p), mask: uint64(p - 1)}
+	for i := int64(0); i < initial; i++ {
+		s.shards[uint64(i)&s.mask].n.Add(1)
+	}
+	return s
+}
+
+// home hashes a process ID onto a shard (splitmix64 finalizer, so
+// consecutive spawn-order IDs scatter).
+func (s *Striped) home(p *kernel.Proc) uint64 {
+	z := uint64(p.ID()) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return (z ^ (z >> 31)) & s.mask
+}
+
+// tryShard claims one permit from shard i by CAS.
+func (s *Striped) tryShard(i uint64) bool {
+	c := &s.shards[i].n
+	for {
+		v := c.Load()
+		if v <= 0 {
+			return false
+		}
+		if c.CompareAndSwap(v, v-1) {
+			return true
+		}
+	}
+}
+
+// steal scans every shard starting at home, claiming the first free
+// permit. It succeeds whenever the summed count is positive and no
+// concurrent claimer beats it to every positive shard.
+func (s *Striped) steal(home uint64) bool {
+	for k := uint64(0); k <= s.mask; k++ {
+		if s.tryShard((home + k) & s.mask) {
+			return true
+		}
+	}
+	return false
+}
+
+// P decrements the semaphore, blocking while no shard has a permit.
+// The fast path touches only the caller's home shard; on miss it steals
+// from the other shards before queueing centrally. Not FCFS — see the
+// type comment.
+func (s *Striped) P(p *kernel.Proc) {
+	h := s.home(p)
+	for {
+		if s.tryShard(h) || s.steal(h) {
+			return
+		}
+		s.mu.Lock()
+		s.waiters.Add(1) // announce before the final scan (Dekker store)
+		if s.steal(h) {  // final scan: sees any credit published before V's check
+			s.waiters.Add(-1)
+			s.mu.Unlock()
+			return
+		}
+		s.queue.Push(p)
+		s.mu.Unlock()
+		p.Park()
+		// Mesa wakeup: the popping V published a credit somewhere, but a
+		// barger may have taken it already; re-contend from the top.
+	}
+}
+
+// TryP attempts to decrement without blocking, reporting success. Like
+// Fast.TryP it barges past queued waiters.
+func (s *Striped) TryP(p *kernel.Proc) bool {
+	h := s.home(p)
+	return s.tryShard(h) || s.steal(h)
+}
+
+// V increments the semaphore on a rotating shard, then rescues a parked
+// waiter if one is announced: the credit is published before the waiter
+// count is checked (Dekker check), so V and a racing P cannot both miss
+// each other. The wakeup is advisory — the woken process re-contends for
+// the published credit and can lose it to a barger, in which case it
+// re-parks and the barger's own V becomes responsible for the queue.
+func (s *Striped) V() {
+	i := s.rot.Add(1) & s.mask
+	s.shards[i].n.Add(1)
+	if s.waiters.Load() == 0 {
+		return
+	}
+	s.mu.Lock()
+	w := s.queue.Pop()
+	if w != nil {
+		s.waiters.Add(-1)
+	}
+	s.mu.Unlock()
+	if w != nil {
+		w.Unpark()
+	}
+}
+
+// Value reports the summed count across shards. Advisory: the shards are
+// read one at a time, so a concurrent P/V pair can make the sum transiently
+// miss or double-see a permit. Exact between scheduling points on the
+// simulated kernel.
+func (s *Striped) Value() int64 {
+	var sum int64
+	for i := range s.shards {
+		sum += s.shards[i].n.Load()
+	}
+	return sum
+}
+
+// Stripes reports the shard count.
+func (s *Striped) Stripes() int { return len(s.shards) }
+
+// Waiting reports the number of processes parked in (or committed to) the
+// slow path.
+func (s *Striped) Waiting() int {
+	return int(s.waiters.Load())
+}

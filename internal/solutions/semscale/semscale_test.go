@@ -1,0 +1,94 @@
+package semscale
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/kernel"
+	"repro/internal/semaphore"
+	"repro/internal/solutions/semsol"
+)
+
+// TestVariantResourceNotFCFS pins the sacrificed Bloom criterion as a
+// deterministic schedule, not a statistical claim. One process holds the
+// resource while a second queues; the holder releases and immediately
+// re-requests. On the baseline FIFO semaphore the release hands the
+// resource to the queued waiter, so the holder's second use runs last. On
+// the barging variants the release publishes a permit that the holder's
+// own re-request steals before the waiter is rescheduled — admission
+// order inverts.
+func TestVariantResourceNotFCFS(t *testing.T) {
+	order := func(use func(p *kernel.Proc, body func())) string {
+		k := kernel.NewSim()
+		var got []string
+		k.Spawn("holder", func(p *kernel.Proc) {
+			use(p, func() {
+				got = append(got, "holder")
+				p.Yield() // let the waiter queue behind us
+			})
+			use(p, func() { got = append(got, "holder-again") })
+		})
+		k.Spawn("waiter", func(p *kernel.Proc) {
+			use(p, func() { got = append(got, "waiter") })
+		})
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return fmt.Sprint(got)
+	}
+
+	base := semsol.NewFCFS()
+	if got := order(base.Use); got != "[holder waiter holder-again]" {
+		t.Errorf("baseline admission = %v, want FCFS hand-off to the queued waiter", got)
+	}
+	for _, f := range []Factory{FastFactory(), StripedFactory(4)} {
+		r := NewFCFSResource(f)
+		if got := order(r.Use); got != "[holder holder-again waiter]" {
+			t.Errorf("%s admission = %v, want the re-request to barge past the queued waiter", f.Variant, got)
+		}
+	}
+}
+
+// TestVariantBoundedBufferIntegritySim: items flow FIFO through the buffer
+// itself even though admission to slots/items barges — the buffer mutex,
+// not the counting semaphores, carries ordering of the data structure.
+func TestVariantBoundedBufferIntegritySim(t *testing.T) {
+	for _, f := range []Factory{FastFactory(), StripedFactory(0)} {
+		t.Run(f.Variant, func(t *testing.T) {
+			k := kernel.NewSim()
+			b := NewBoundedBuffer(f, 2)
+			var got []int64
+			k.Spawn("producer", func(p *kernel.Proc) {
+				for i := int64(1); i <= 6; i++ {
+					b.Deposit(p, i, func() {})
+				}
+			})
+			k.Spawn("consumer", func(p *kernel.Proc) {
+				for i := 0; i < 6; i++ {
+					b.Remove(p, func(v int64) { got = append(got, v) })
+				}
+			})
+			if err := k.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if fmt.Sprint(got) != "[1 2 3 4 5 6]" {
+				t.Fatalf("consumed %v, want FIFO item order", got)
+			}
+		})
+	}
+}
+
+// TestFactoriesProduceDistinctPrimitives guards the registry wiring: the
+// factories really hand out the scalable types, not the baseline.
+func TestFactoriesProduceDistinctPrimitives(t *testing.T) {
+	if _, ok := FastFactory().New(1).(*semaphore.Fast); !ok {
+		t.Error("FastFactory did not produce *semaphore.Fast")
+	}
+	s, ok := StripedFactory(8).New(3).(*semaphore.Striped)
+	if !ok {
+		t.Fatal("StripedFactory did not produce *semaphore.Striped")
+	}
+	if s.Stripes() != 8 || s.Value() != 3 {
+		t.Errorf("striped factory: stripes=%d value=%d, want 8 and 3", s.Stripes(), s.Value())
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"repro/internal/solutions/cspsol"
 	"repro/internal/solutions/monitorsol"
 	"repro/internal/solutions/pathexprsol"
+	"repro/internal/solutions/semscale"
 	"repro/internal/solutions/semsol"
 	"repro/internal/solutions/serializersol"
 	"repro/internal/trace"
@@ -166,9 +167,54 @@ func All() []Suite {
 	}
 }
 
-// ByMechanism finds a suite by mechanism key.
+// Variants returns the scalable-primitive variant suites (package
+// semscale): the semsol solutions rebuilt on fetch-and-add and striped
+// semaphores. They are intentionally NOT part of All() — the paper's
+// T1–T6 tables and the conformance matrix evaluate the six historical
+// mechanisms — but ByMechanism resolves them, so the load matrix and
+// syncload can put their shed contention and sacrificed Bloom criteria
+// (FCFS admission, see semscale's package comment) on the same footing.
+//
+// Disk, AlarmClock and OneSlot delegate to semsol: their private gate
+// semaphores are per-request hand-offs where FIFO delivery is the
+// specification, not a contended ingress worth striping.
+func Variants() []Suite {
+	mk := func(name string, f semscale.Factory) Suite {
+		return Suite{
+			Mechanism: name,
+			NewBoundedBuffer: func(k kernel.Kernel, c int) problems.BoundedBuffer {
+				return semscale.NewBoundedBuffer(f, c)
+			},
+			NewFCFS: func(k kernel.Kernel) problems.Resource { return semscale.NewFCFSResource(f) },
+			NewReadersPriority: func(k kernel.Kernel) problems.RWStore {
+				return semscale.NewReadersPriority(f)
+			},
+			NewWritersPriority: func(k kernel.Kernel) problems.RWStore {
+				return semscale.NewWritersPriority(f)
+			},
+			NewFCFSRW: func(k kernel.Kernel) problems.RWStore { return semscale.NewFCFSRW(f) },
+			NewDisk: func(k kernel.Kernel, start, max int64) problems.Disk {
+				return semsol.NewDisk(start, max)
+			},
+			NewAlarmClock: func(k kernel.Kernel) problems.AlarmClock { return semsol.NewAlarmClock() },
+			NewOneSlot:    func(k kernel.Kernel) problems.OneSlot { return semsol.NewOneSlot() },
+		}
+	}
+	return []Suite{
+		mk("semaphore-fast", semscale.FastFactory()),
+		mk("semaphore-striped", semscale.StripedFactory(0)),
+	}
+}
+
+// ByMechanism finds a suite by mechanism key, searching the six historical
+// suites first, then the scalable variants.
 func ByMechanism(name string) (Suite, bool) {
 	for _, s := range All() {
+		if s.Mechanism == name {
+			return s, true
+		}
+	}
+	for _, s := range Variants() {
 		if s.Mechanism == name {
 			return s, true
 		}

@@ -1,0 +1,121 @@
+package solutions
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/kernel"
+	"repro/internal/problems"
+)
+
+// TestVariantsRegistry: the scalable variants resolve through ByMechanism
+// without joining the six historical suites (All() stays the paper's set).
+func TestVariantsRegistry(t *testing.T) {
+	vs := Variants()
+	if len(vs) != 2 {
+		t.Fatalf("variants = %d, want 2", len(vs))
+	}
+	for _, s := range vs {
+		if s.NewBoundedBuffer == nil || s.NewFCFS == nil || s.NewReadersPriority == nil ||
+			s.NewWritersPriority == nil || s.NewFCFSRW == nil || s.NewDisk == nil ||
+			s.NewAlarmClock == nil || s.NewOneSlot == nil {
+			t.Errorf("variant suite %s has a nil factory", s.Mechanism)
+		}
+	}
+	for _, name := range []string{"semaphore-fast", "semaphore-striped"} {
+		if _, ok := ByMechanism(name); !ok {
+			t.Errorf("ByMechanism(%s) not found", name)
+		}
+	}
+	for _, s := range All() {
+		if s.Mechanism == "semaphore-fast" || s.Mechanism == "semaphore-striped" {
+			t.Errorf("variant %s leaked into All()", s.Mechanism)
+		}
+	}
+}
+
+// TestVariantConformanceSim runs the variant suites under the simulated
+// kernel across scheduling policies. The safety constraints (exclusion,
+// integrity) must hold everywhere; the strict ordering/priority oracles
+// are NOT applied — barging semantics make FCFS-class criteria exactly the
+// thing the variants sacrifice, demonstrated deterministically in package
+// semscale's overtaking test and quantified by the load matrix.
+func TestVariantConformanceSim(t *testing.T) {
+	policies := map[string]func() kernel.Policy{
+		"fifo":    kernel.FIFO,
+		"lifo":    kernel.LIFO,
+		"rand-1":  func() kernel.Policy { return kernel.Random(1) },
+		"rand-7":  func() kernel.Policy { return kernel.Random(7) },
+		"rand-42": func() kernel.Policy { return kernel.Random(42) },
+	}
+	for _, suite := range Variants() {
+		for _, problem := range problems.AllProblems() {
+			for polName, pol := range policies {
+				name := fmt.Sprintf("%s/%s/%s", suite.Mechanism, problem, polName)
+				t.Run(name, func(t *testing.T) {
+					k := kernel.NewSim(kernel.WithPolicy(pol()))
+					tr, vs, err := RunStandard(k, suite, problem, false)
+					if err != nil {
+						t.Fatalf("run failed: %v\ntrace:\n%s", err, tr)
+					}
+					for _, v := range vs {
+						t.Errorf("violation: %v", v)
+					}
+					if t.Failed() {
+						t.Logf("trace:\n%s", tr)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestVariantConformanceReal runs the variant suites under the real kernel
+// (with -race in CI): the CAS fast paths and the Dekker waiter protocol
+// are exactly the code the race detector should sweat.
+func TestVariantConformanceReal(t *testing.T) {
+	for _, suite := range Variants() {
+		for _, problem := range problems.AllProblems() {
+			name := fmt.Sprintf("%s/%s", suite.Mechanism, problem)
+			t.Run(name, func(t *testing.T) {
+				k := kernel.NewReal(kernel.WithWatchdog(60 * time.Second))
+				tr, vs, err := RunStandard(k, suite, problem, false)
+				if err != nil {
+					t.Fatalf("run failed: %v", err)
+				}
+				for _, v := range vs {
+					t.Errorf("violation: %v", v)
+				}
+				if t.Failed() {
+					t.Logf("trace:\n%s", tr)
+				}
+			})
+		}
+	}
+}
+
+// TestVariantDeterministicReplay: shard rotation and steal scans must not
+// leak nondeterminism into the simulated kernel — identically-scheduled
+// runs stay byte-identical, which is what validates using the variants
+// under exploration at all.
+func TestVariantDeterministicReplay(t *testing.T) {
+	for _, suite := range Variants() {
+		for _, problem := range problems.AllProblems() {
+			name := fmt.Sprintf("%s/%s", suite.Mechanism, problem)
+			t.Run(name, func(t *testing.T) {
+				run := func() string {
+					k := kernel.NewSim(kernel.WithPolicy(kernel.Random(99)))
+					tr, _, err := RunStandard(k, suite, problem, false)
+					if err != nil {
+						t.Fatal(err)
+					}
+					return tr.String()
+				}
+				if run() != run() {
+					t.Fatal("two identically-scheduled runs produced different traces")
+				}
+			})
+		}
+	}
+}
