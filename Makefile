@@ -3,7 +3,7 @@
 GO        ?= go
 BENCHTIME ?= 2s
 
-.PHONY: all build test race lint bench bench-check hunt load load-check load-million xcheck dpor-audit clean
+.PHONY: all build test race lint bench bench-check hunt load load-check load-million fuzz xcheck dpor-audit clean
 
 # Load-run knobs for make load; see cmd/syncload -h for the full set.
 LOAD_RATE     ?= 2000
@@ -94,6 +94,21 @@ load-million:
 		-yields 0 -trace=false -watchdog 10m -calibrate -json -o load-million-raw.json
 	$(GO) run ./cmd/benchjson -load -o BENCH_load_million.json < load-million-raw.json
 
+# fuzz is the generated-corpus smoke: FUZZ_N constraint sets from a fixed
+# seed, every mechanism plus the naive-gate control, explored under -race
+# with a small budget. Findings are shrunk and sealed into fuzz-artifacts/
+# and the deterministic repro-fuzz/v1 summary lands in fuzz-summary.json;
+# the replay step then re-verifies every sealed artifact in the same
+# invocation, so a sealed schedule that no longer reproduces fails the
+# target. The sweep itself exits 0 — findings on the control are the
+# point, not a failure.
+FUZZ_N    ?= 8
+FUZZ_SEED ?= 26
+fuzz:
+	$(GO) run -race ./cmd/syncfuzz -n $(FUZZ_N) -seed $(FUZZ_SEED) \
+		-o fuzz-artifacts -summary fuzz-summary.json
+	$(GO) run -race ./cmd/syncfuzz -replay fuzz-artifacts
+
 # hunt runs the Figure-1 anomaly search with live progress, shrinks the
 # finding to a 1-minimal schedule, and saves it as a replayable artifact
 # (exploration exits 1 on a finding — expected here — so the replay step
@@ -126,4 +141,6 @@ xcheck:
 # build products, so clean leaves them alone.
 clean:
 	rm -f load-raw.json load-fresh-raw.json load-fresh.json soak-stream.ndjson \
-		load-million-raw.json BENCH_load_million.json bench-fresh.json figure1-found.sched
+		load-million-raw.json BENCH_load_million.json bench-fresh.json figure1-found.sched \
+		fuzz-summary.json
+	rm -rf fuzz-artifacts

@@ -21,6 +21,9 @@
 //	    schedule exploration (the synclint xcheck gate)
 //	T8  schedule-space coverage under partial-order reduction, one row
 //	    per T4 pairing (opt-in: runs only as -experiment T8, never in all)
+//	T9  discriminating power of the generated constraint corpus: verdict
+//	    counts by mechanism × constraint shape, naive-gate control
+//	    included (opt-in: runs only as -experiment T9, never in all)
 //	E1  mechanism evolution: the numeric path operator fixes the
 //	    weakness T1 predicts (Flon–Habermann, discussed in §5.1)
 //	E2  starvation: the admissible-starvation profile of each variant
@@ -46,10 +49,11 @@ import (
 	"repro/internal/problems"
 	"repro/internal/solutions"
 	"repro/internal/synclint/xcheck"
+	"repro/internal/synth"
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "experiment id (F1 F2 T1 T2 T3 T4 T5 T6 T7 E1 E2 B2) or all; T8 (DPOR coverage table) runs only when named explicitly")
+	experiment := flag.String("experiment", "all", "experiment id (F1 F2 T1 T2 T3 T4 T5 T6 T7 E1 E2 B2) or all; T8 (DPOR coverage) and T9 (synth corpus power) run only when named explicitly")
 	detail := flag.Bool("detail", false, "include per-declaration similarity detail in T2")
 	workers := flag.Int("workers", 0, "goroutines per schedule exploration (0 = all cores; results are identical for any value)")
 	pool := flag.Bool("pool", false, "recycle kernels/recorders across exploration runs (throughput only; identical results)")
@@ -253,6 +257,40 @@ func writeReport(w io.Writer, experiment string, detail bool) ([]string, error) 
 			if r.Explored <= 0 || r.Explored > 1 {
 				contradict("T8: %s/%s explored fraction %v out of (0, 1]", r.Mechanism, r.Problem, r.Explored)
 			}
+		}
+	}
+	// T9 is opt-in for the same reason: it explores a whole generated
+	// corpus across every adapter, which is a fuzzing figure rather than
+	// part of the paper's reproduction.
+	if experiment == "T9" {
+		ran = true
+		fmt.Fprintln(w)
+		// The window is chosen so the fixed smoke budget has teeth: it
+		// contains corpus seeds the naive-gate control loses races on.
+		const n, seed = 12, 18
+		rows, err := eval.RunSynthPower(n, seed)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprint(w, eval.RenderSynthPower(rows, n, seed))
+		gateCaught, pathRefused := false, false
+		for _, r := range rows {
+			if r.Mechanism == synth.NaiveGate && r.Fail > 0 {
+				gateCaught = true
+			}
+			if r.Mechanism == "pathexpr" && r.Inexpressible > 0 {
+				pathRefused = true
+			}
+			if r.Mechanism != synth.NaiveGate && r.Fail+r.Error > 0 {
+				contradict("T9: correct mechanism %s failed %d and errored %d generated problems (shape %s)",
+					r.Mechanism, r.Fail, r.Error, r.Shape)
+			}
+		}
+		if !gateCaught {
+			contradict("T9: the naive-gate control passed the whole corpus — the generated problems have no discriminating power at this budget")
+		}
+		if !pathRefused {
+			contradict("T9: path expressions expressed every sampled set — the vocabulary gate is not engaging")
 		}
 	}
 	if run("E1") {

@@ -47,7 +47,7 @@ func TestReportGolden(t *testing.T) {
 // TestUnknownExperiment pins the error path.
 func TestUnknownExperiment(t *testing.T) {
 	var buf bytes.Buffer
-	if _, err := writeReport(&buf, "T9", false); err == nil {
+	if _, err := writeReport(&buf, "T99", false); err == nil {
 		t.Fatal("want error for unknown experiment id")
 	}
 }

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSummaryIsWorkersInvariant pins the determinism contract: the same
+// corpus seed and budgets produce a byte-identical summary regardless of
+// exploration parallelism.
+func TestSummaryIsWorkersInvariant(t *testing.T) {
+	dir := t.TempDir()
+	paths := [2]string{filepath.Join(dir, "w1.json"), filepath.Join(dir, "w4.json")}
+	for i, workers := range []string{"1", "4"} {
+		var out, errb bytes.Buffer
+		code := run([]string{
+			"-n", "4", "-seed", "11", "-runs", "40", "-dfs", "30",
+			"-workers", workers, "-quiet", "-summary", paths[i],
+		}, &out, &errb)
+		if code != 0 {
+			t.Fatalf("workers=%s: exit %d, stderr: %s", workers, code, errb.String())
+		}
+	}
+	a, err := os.ReadFile(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(paths[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("summaries differ between -workers 1 and 4:\n--- w1 ---\n%s\n--- w4 ---\n%s", a, b)
+	}
+	if !strings.Contains(string(a), `"schema": "repro-fuzz/v1"`) {
+		t.Fatalf("summary missing schema tag:\n%s", a)
+	}
+}
+
+// TestSealAndReplayRoundTrip fuzzes a corpus window known to produce
+// findings (the naive-gate control is always in the sweep), seals them,
+// and verifies every artifact through the -replay path.
+func TestSealAndReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	art := filepath.Join(dir, "artifacts")
+	var out, errb bytes.Buffer
+	code := run([]string{
+		"-n", "8", "-seed", "26", "-runs", "120", "-dfs", "60",
+		"-quiet", "-o", art, "-summary", filepath.Join(dir, "s.json"),
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("fuzz: exit %d, stderr: %s", code, errb.String())
+	}
+	ents, err := os.ReadDir(art)
+	if err != nil || len(ents) == 0 {
+		t.Fatalf("no sealed artifacts produced (err %v) — corpus window no longer yields findings?", err)
+	}
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-replay", art}, &out, &errb); code != 0 {
+		t.Fatalf("replay: exit %d, stderr: %s", code, errb.String())
+	}
+	if got := strings.Count(out.String(), "verified"); got != len(ents) {
+		t.Fatalf("replay verified %d of %d artifacts:\n%s", got, len(ents), out.String())
+	}
+}
+
+// TestUsageErrors pins the exit-code contract for bad invocations.
+func TestUsageErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-n", "0"},
+		{"-mech", "quantum"},
+		{"-bogus-flag"},
+	} {
+		var out, errb bytes.Buffer
+		if code := run(args, &out, &errb); code != 2 {
+			t.Errorf("run(%v) = %d, want 2", args, code)
+		}
+	}
+}

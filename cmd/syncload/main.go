@@ -56,10 +56,11 @@ type options struct {
 	yields   int
 	watchdog time.Duration
 
-	shards    int
-	soak      bool
-	interval  time.Duration
-	calibrate bool
+	shards      int
+	soak        bool
+	interval    time.Duration
+	fairnessMin float64
+	calibrate   bool
 
 	trace   bool
 	jsonOut bool
@@ -87,6 +88,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	shards := fs.Int("shards", 0, "latency histogram shards per class (0: cover GOMAXPROCS; 1: shared-histogram baseline)")
 	soak := fs.Bool("soak", false, "stream an incremental snapshot of each run every -interval")
 	interval := fs.Duration("interval", 10*time.Second, "soak snapshot interval")
+	fairnessMin := fs.Float64("fairness-min", 0, "soak-only: fail (exit 1) if any snapshot's Jain fairness index drops below this (0: disabled)")
 	calibrate := fs.Bool("calibrate", false, "measure histogram harness throughput first and archive it in the report")
 	traceFlag := fs.Bool("trace", true, "record each run and judge it with the problem oracle")
 	jsonOut := fs.Bool("json", false, "emit the versioned JSON report (human summary goes to stderr)")
@@ -117,13 +119,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 		rate: *rate, burst: *burst, clients: *clients, think: *think,
 		duration: *duration, ops: *ops, seed: *seed, readFrac: *readFrac,
 		bufCap: *bufCap, yields: *yields, watchdog: *watchdog,
-		shards: *shards, soak: *soak, interval: *interval, calibrate: *calibrate,
+		shards: *shards, soak: *soak, interval: *interval,
+		fairnessMin: *fairnessMin, calibrate: *calibrate,
 		trace: *traceFlag, jsonOut: *jsonOut || *outPath != "", outPath: *outPath,
 		quiet: *quiet,
 	}
 	if opt.soak && opt.interval <= 0 {
 		fmt.Fprintln(stderr, "syncload: -interval must be positive with -soak")
 		return 2
+	}
+	if opt.fairnessMin != 0 {
+		if !opt.soak {
+			fmt.Fprintln(stderr, "syncload: -fairness-min only applies to soak snapshots; add -soak")
+			return 2
+		}
+		if opt.fairnessMin < 0 || opt.fairnessMin > 1 {
+			fmt.Fprintln(stderr, "syncload: -fairness-min must be in (0, 1] (Jain index range)")
+			return 2
+		}
 	}
 	var err error
 	if opt.mechs, err = expandMechs(*mech); err == nil {
@@ -177,7 +190,7 @@ func execute(opt *options, stdout, stderr io.Writer) int {
 					lastJain := math.NaN()
 					cfg.OnSnapshot = func(r *load.Result) {
 						if err := emitSnapshot(r, opt, stdout, human, &lastJain); err != nil {
-							fmt.Fprintln(stderr, "syncload: snapshot invalid:", err)
+							fmt.Fprintln(stderr, "syncload:", err)
 							failed = true
 						}
 					}
@@ -240,21 +253,25 @@ func execute(opt *options, stdout, stderr io.Writer) int {
 // emitSnapshot validates and emits one incremental soak result: a compact
 // NDJSON repro-load/v1 report to stdout under -json, a human soak line
 // (with the Jain index's delta since the previous snapshot — the fairness
-// decay a long soak exists to surface) otherwise.
+// decay a long soak exists to surface) otherwise. With -fairness-min set,
+// a snapshot whose Jain index falls below the floor is still emitted but
+// returns an error, failing the run: the soak keeps streaming so the
+// decay trajectory stays observable, while the exit code records that
+// the floor was breached.
 func emitSnapshot(r *load.Result, opt *options, stdout, human io.Writer, lastJain *float64) error {
 	one := load.Report{Schema: load.SchemaVersion, Runs: []load.RunReport{r.Report()}}
 	if err := one.Validate(); err != nil {
-		return err
+		return fmt.Errorf("snapshot invalid: %w", err)
 	}
+	rr := &one.Runs[0]
 	if opt.jsonOut {
 		buf, err := json.Marshal(&one)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(stdout, "%s\n", buf)
-		return nil
+		return checkFairnessFloor(rr, opt)
 	}
-	rr := &one.Runs[0]
 	line := fmt.Sprintf("  soak #%d t=%v completed=%d %.0f ops/s",
 		rr.SnapshotSeq, time.Duration(rr.ElapsedNs).Round(time.Millisecond),
 		rr.Completed, rr.ThroughputOpsSec)
@@ -273,6 +290,17 @@ func emitSnapshot(r *load.Result, opt *options, stdout, human io.Writer, lastJai
 		*lastJain = rr.JainIndex
 	}
 	fmt.Fprintln(human, line)
+	return checkFairnessFloor(rr, opt)
+}
+
+// checkFairnessFloor enforces -fairness-min against one snapshot. Only
+// snapshots with per-client completion data carry a Jain index (closed-
+// loop traffic); open-loop snapshots pass vacuously.
+func checkFairnessFloor(rr *load.RunReport, opt *options) error {
+	if opt.fairnessMin > 0 && len(rr.ClientCompleted) > 0 && rr.JainIndex < opt.fairnessMin {
+		return fmt.Errorf("fairness floor breached: %s/%s snapshot #%d jain=%.3f < -fairness-min %.3f",
+			rr.Mechanism, rr.Problem, rr.SnapshotSeq, rr.JainIndex, opt.fairnessMin)
+	}
 	return nil
 }
 
@@ -310,6 +338,11 @@ func expandProblems(s string) ([]string, error) {
 	}
 	out := splitList(s)
 	for _, p := range out {
+		if strings.HasPrefix(p, "synth:") {
+			// Generated problem (synth:<seed>); the load engine parses
+			// the seed and reports malformed ones.
+			continue
+		}
 		found := false
 		for _, known := range load.LoadProblems() {
 			if p == known {
@@ -317,7 +350,7 @@ func expandProblems(s string) ([]string, error) {
 			}
 		}
 		if !found {
-			return nil, fmt.Errorf("problem %q is not load-generable (want one of %v)", p, load.LoadProblems())
+			return nil, fmt.Errorf("problem %q is not load-generable (want one of %v, or synth:<seed>)", p, load.LoadProblems())
 		}
 	}
 	return out, nil

@@ -215,3 +215,56 @@ func TestRunCalibrate(t *testing.T) {
 		t.Fatalf("human calibration line missing:\n%s", errBuf.String())
 	}
 }
+
+// -fairness-min is a soak-snapshot gate: usable only with -soak, range-
+// checked, passing when fairness holds, and failing the run (exit 1)
+// when a snapshot's Jain index falls below the floor.
+func TestRunFairnessMin(t *testing.T) {
+	t.Run("requires soak", func(t *testing.T) {
+		var out, errBuf bytes.Buffer
+		if code := run([]string{"-fairness-min", "0.9"}, &out, &errBuf); code != 2 {
+			t.Fatalf("exit = %d, want 2; stderr: %s", code, errBuf.String())
+		}
+		if !strings.Contains(errBuf.String(), "add -soak") {
+			t.Fatalf("stderr = %q", errBuf.String())
+		}
+	})
+	t.Run("range checked", func(t *testing.T) {
+		var out, errBuf bytes.Buffer
+		if code := run([]string{"-soak", "-fairness-min", "1.5"}, &out, &errBuf); code != 2 {
+			t.Fatalf("exit = %d, want 2; stderr: %s", code, errBuf.String())
+		}
+	})
+	t.Run("holds on a fair run", func(t *testing.T) {
+		var out, errBuf bytes.Buffer
+		code := run([]string{
+			"-mech", "monitor", "-problem", "fcfs", "-arrival", "closed",
+			"-clients", "4", "-think", "10", "-duration", "250ms", "-trace=false",
+			"-soak", "-interval", "50ms", "-fairness-min", "0.05",
+		}, &out, &errBuf)
+		if code != 0 {
+			t.Fatalf("exit = %d\nstderr: %s", code, errBuf.String())
+		}
+	})
+	t.Run("breach fails the run", func(t *testing.T) {
+		// An unreachable floor: any closed-loop snapshot with a finite
+		// population has jain <= 1, so a floor above 1 cannot hold. The
+		// flag gate rejects >1, so drive checkFairnessFloor directly.
+		rr := &load.RunReport{
+			Mechanism: "monitor", Problem: "fcfs", SnapshotSeq: 3,
+			ClientCompleted: []int64{9, 1}, JainIndex: 0.61,
+		}
+		err := checkFairnessFloor(rr, &options{fairnessMin: 0.9})
+		if err == nil || !strings.Contains(err.Error(), "fairness floor breached") {
+			t.Fatalf("err = %v, want floor breach", err)
+		}
+		if err := checkFairnessFloor(rr, &options{fairnessMin: 0.5}); err != nil {
+			t.Fatalf("floor 0.5 against jain 0.61: %v", err)
+		}
+		// Open-loop snapshots (no per-client data) pass vacuously.
+		open := &load.RunReport{Mechanism: "monitor", Problem: "fcfs", JainIndex: 0}
+		if err := checkFairnessFloor(open, &options{fairnessMin: 0.9}); err != nil {
+			t.Fatalf("open-loop snapshot: %v", err)
+		}
+	})
+}

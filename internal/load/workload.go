@@ -2,11 +2,14 @@ package load
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 	"sync/atomic"
 
 	"repro/internal/kernel"
 	"repro/internal/problems"
 	"repro/internal/solutions"
+	"repro/internal/synth"
 	"repro/internal/trace"
 )
 
@@ -102,6 +105,13 @@ func runBody(rec *trace.Recorder, p *kernel.Proc, op string, arg int64, yields i
 func buildWorkload(cfg *Config, s solutions.Suite, k kernel.Kernel, rec *trace.Recorder) (*workload, error) {
 	yields := cfg.WorkYields
 	now := k.Now
+	if seedStr, ok := strings.CutPrefix(cfg.Problem, "synth:"); ok {
+		seed, err := strconv.ParseInt(seedStr, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("load: bad synth seed %q (want synth:<seed>)", seedStr)
+		}
+		return buildSynthWorkload(seed, s, k, rec, cfg, yields, now)
+	}
 	switch cfg.Problem {
 	case problems.NameBoundedBuffer:
 		bb := s.NewBoundedBuffer(k, cfg.BufferCap)
@@ -199,5 +209,70 @@ func buildWorkload(cfg *Config, s solutions.Suite, k kernel.Kernel, rec *trace.R
 			},
 		}, nil
 	}
-	return nil, fmt.Errorf("load: problem %q is not load-generable (supported: %v)", cfg.Problem, LoadProblems())
+	return nil, fmt.Errorf("load: problem %q is not load-generable (supported: %v, plus synth:<seed>)", cfg.Problem, LoadProblems())
+}
+
+// buildSynthWorkload generates the constraint set for the seed and runs
+// it through the mechanism's synth adapter, so generated problems get
+// the same load treatment as the canonical ones. Traffic weights follow
+// each class's share of the generated workload's operations; sets whose
+// constraints couple the classes (slots, history) are issued in
+// balanced cycles. Judging uses the derived oracle in non-strict mode —
+// the same exclusion-and-safety-only discipline as the canonical
+// problems on real-kernel traces.
+//
+// Unlike runBody, the Enter/Exit emissions here are split across hook
+// closures by design: the synth adapter fires Enter inside the grant
+// decision and Exit before the release, under its own exclusion, so
+// the recorded interval is atomic with the gate's view (see
+// synth.Hooks). Resource.Do invokes each hook exactly once, in order.
+//
+//synclint:allow bracket: intervals open in the Enter hook and close in the Exit hook; pairing is the Resource.Do contract, not lexical structure
+func buildSynthWorkload(seed int64, s solutions.Suite, k kernel.Kernel, rec *trace.Recorder, cfg *Config, yields int, now func() int64) (*workload, error) {
+	set := synth.Generate(seed)
+	if err := set.LoadSafe(); err != nil {
+		return nil, err
+	}
+	res, err := synth.NewResource(s.Mechanism, set, k)
+	if err != nil {
+		return nil, fmt.Errorf("load: %s cannot run %s: %w", s.Mechanism, set.Name, err)
+	}
+	totalOps := 0
+	for _, c := range set.Classes {
+		totalOps += c.Ops()
+	}
+	var classes []*class
+	for ci := range set.Classes {
+		sc := set.Classes[ci]
+		cl := newClass(sc.Name, float64(sc.Ops())/float64(totalOps), cfg.HistShards)
+		cl.do = func(p *kernel.Proc, at, seq int64) {
+			arg, has := int64(0), false
+			ra := trace.NoArg
+			if len(sc.Args) > 0 {
+				arg, has = sc.Args[seq%int64(len(sc.Args))], true
+				ra = arg
+			}
+			var enter int64
+			h := synth.Hooks{Enter: func() { enter = now() }}
+			if rec != nil {
+				h = synth.Hooks{
+					Request: func() { rec.Request(p, sc.Name, ra) },
+					Enter:   func() { enter = now(); rec.Enter(p, sc.Name, ra) },
+					Exit:    func() { rec.Exit(p, sc.Name, ra) },
+				}
+			}
+			res.Do(p, ci, arg, has, h, func() { yieldWork(p, yields) })
+			end := now()
+			cl.wait.Record(uint64(seq), enter-at)
+			cl.total.Record(uint64(seq), end-at)
+		}
+		classes = append(classes, cl)
+	}
+	return &workload{
+		classes:  classes,
+		balanced: set.Balanced(),
+		judge: func(tr trace.Trace) []problems.Violation {
+			return set.Check(tr, false)
+		},
+	}, nil
 }

@@ -1,0 +1,51 @@
+package synth
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+const (
+	goldenSeed = 1
+	goldenN    = 24
+)
+
+// TestGoldenCorpus pins the sampler's output for a fixed seed: any
+// generator change shows up as a reviewed diff of testdata/corpus.golden
+// (regenerate with `go test ./internal/synth -run Golden -update`), not
+// as a silent change in fuzz coverage.
+func TestGoldenCorpus(t *testing.T) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(Sample(goldenSeed, goldenN)); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.Bytes()
+
+	path := filepath.Join("testdata", "corpus.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create the golden file)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("sampler output for seed %d drifted from %s; run with -update and review the diff.\n--- got ---\n%s",
+			goldenSeed, path, got)
+	}
+}

@@ -1,0 +1,687 @@
+// Package synth generates synchronization problems from Bloom's
+// constraint grid instead of instantiating them by hand.
+//
+// The paper's method describes a synchronization scheme as a set of
+// constraints — exclusion ("if condition then exclude class A") and
+// priority ("if condition then class A precedes class B") — whose
+// conditions reference six categories of information (§3). The repo's
+// seven canonical problems are points in that grid; this package samples
+// it: a typed condition AST (Cond), a seeded sampler emitting
+// well-formed, satisfiable constraint Sets (sampler.go), a mechanically
+// derived trace oracle for any Set (oracle.go), a reference admission
+// policy every mechanism adapter shares (policy.go, resource.go), and a
+// workload emitter that makes each Set runnable under exploration and
+// load (program.go). cmd/syncfuzz drives the whole pipeline at scale.
+package synth
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Class is one operation class of a generated problem: the unit the
+// constraints talk about ("readers", "writers", "deposit", …). Its name
+// doubles as the trace operation name.
+type Class struct {
+	Name   string  `json:"name"`
+	Procs  int     `json:"procs"`  // processes issuing this class
+	Rounds int     `json:"rounds"` // operations per process
+	Args   []int64 `json:"args,omitempty"`
+	Yields int     `json:"yields"`          // yields inside the operation body
+	Gap    int     `json:"gap,omitempty"`   // yields between a process's rounds
+	Delay  int64   `json:"delay,omitempty"` // ticks slept before the first request
+	// SlotDelta is the class's contribution to the shared slot counter
+	// when an operation completes (+1 producer, -1 consumer); the slot
+	// counter is the grammar's "local state" axis.
+	SlotDelta int `json:"slot_delta,omitempty"`
+}
+
+// Ops is the total number of operations the class issues.
+func (c Class) Ops() int { return c.Procs * c.Rounds }
+
+// Arg returns the argument for the round-th operation of the proc-th
+// process, and whether the class carries arguments at all.
+func (c Class) Arg(proc, round int) (int64, bool) {
+	if len(c.Args) == 0 {
+		return 0, false
+	}
+	return c.Args[(proc*c.Rounds+round)%len(c.Args)], true
+}
+
+// CountKind selects which per-class population a CountGE condition
+// inspects.
+type CountKind int
+
+const (
+	// CountWaiting: requests recorded but not yet admitted (SyncState).
+	CountWaiting CountKind = iota
+	// CountActive: admitted and not yet completed (SyncState).
+	CountActive
+	// CountStarted: admitted, completed or not (History).
+	CountStarted
+	// CountDone: completed (History).
+	CountDone
+)
+
+func (k CountKind) String() string {
+	switch k {
+	case CountWaiting:
+		return "waiting"
+	case CountActive:
+		return "active"
+	case CountStarted:
+		return "started"
+	case CountDone:
+		return "done"
+	}
+	return fmt.Sprintf("CountKind(%d)", int(k))
+}
+
+// Cand is a candidate operation as a condition sees it: its class, its
+// request parameter, and its request stamp (request time).
+type Cand struct {
+	Class  int
+	Arg    int64
+	HasArg bool
+	Stamp  int64
+}
+
+// StateView is the state a condition may consult, mirroring the paper's
+// information categories: per-class populations (synchronization state
+// and history), the slot counter (local state), and the most recently
+// admitted class (history). Both the runtime Gate and the derived trace
+// oracle implement it, which is what makes the oracle derivation
+// mechanical — the same Cond evaluates against either.
+type StateView interface {
+	Count(class int, kind CountKind) int
+	Slots() int
+	// LastStarted is the class of the most recently admitted operation,
+	// -1 before any admission.
+	LastStarted() int
+}
+
+// Cond is a constraint condition. Eval judges a candidate against a
+// state view; for priority conditions, other is the disfavored candidate
+// (nil for exclusion conditions). Uses reports the paper's information
+// categories the condition references; Pair reports whether it compares
+// two candidates (permitted only in priority rules); String renders a
+// canonical form (classes appear as c0, c1, … in definition order).
+type Cond interface {
+	Eval(sv StateView, self Cand, other *Cand) bool
+	Uses() []core.InfoType
+	Pair() bool
+	String() string
+}
+
+// True always holds: the pure request-type rule ("readers precede
+// writers, unconditionally").
+type True struct{}
+
+func (True) Eval(StateView, Cand, *Cand) bool { return true }
+func (True) Uses() []core.InfoType            { return nil }
+func (True) Pair() bool                       { return false }
+func (True) String() string                   { return "true" }
+
+// CountGE holds when the selected population of Class has at least N
+// members ("a writer is active", "two readers are waiting").
+type CountGE struct {
+	Class int
+	Kind  CountKind
+	N     int
+}
+
+func (c CountGE) Eval(sv StateView, _ Cand, _ *Cand) bool {
+	return sv.Count(c.Class, c.Kind) >= c.N
+}
+func (c CountGE) Uses() []core.InfoType {
+	if c.Kind == CountStarted || c.Kind == CountDone {
+		return []core.InfoType{core.History}
+	}
+	return []core.InfoType{core.SyncState}
+}
+func (c CountGE) Pair() bool     { return false }
+func (c CountGE) String() string { return fmt.Sprintf("%s(c%d)>=%d", c.Kind, c.Class, c.N) }
+
+// StartedBelowArg holds while fewer than self.Arg operations of Class
+// have started — the alarm-clock shape ("exclude wakeme(n) until n ticks
+// have run").
+type StartedBelowArg struct{ Class int }
+
+func (c StartedBelowArg) Eval(sv StateView, self Cand, _ *Cand) bool {
+	return self.HasArg && int64(sv.Count(c.Class, CountStarted)) < self.Arg
+}
+func (c StartedBelowArg) Uses() []core.InfoType {
+	return []core.InfoType{core.RequestParams, core.History}
+}
+func (c StartedBelowArg) Pair() bool     { return false }
+func (c StartedBelowArg) String() string { return fmt.Sprintf("started(c%d)<arg", c.Class) }
+
+// SlotsGE holds when the slot counter is at least N ("the buffer is
+// full" for a producer with cap N).
+type SlotsGE struct{ N int }
+
+func (c SlotsGE) Eval(sv StateView, _ Cand, _ *Cand) bool { return sv.Slots() >= c.N }
+func (c SlotsGE) Uses() []core.InfoType                   { return []core.InfoType{core.LocalState} }
+func (c SlotsGE) Pair() bool                              { return false }
+func (c SlotsGE) String() string                          { return fmt.Sprintf("slots>=%d", c.N) }
+
+// SlotsLE holds when the slot counter is at most N ("the buffer is
+// empty" for a consumer with N = 0).
+type SlotsLE struct{ N int }
+
+func (c SlotsLE) Eval(sv StateView, _ Cand, _ *Cand) bool { return sv.Slots() <= c.N }
+func (c SlotsLE) Uses() []core.InfoType                   { return []core.InfoType{core.LocalState} }
+func (c SlotsLE) Pair() bool                              { return false }
+func (c SlotsLE) String() string                          { return fmt.Sprintf("slots<=%d", c.N) }
+
+// ArgGE holds when the candidate's own argument is at least N.
+type ArgGE struct{ N int64 }
+
+func (c ArgGE) Eval(_ StateView, self Cand, _ *Cand) bool { return self.HasArg && self.Arg >= c.N }
+func (c ArgGE) Uses() []core.InfoType                     { return []core.InfoType{core.RequestParams} }
+func (c ArgGE) Pair() bool                                { return false }
+func (c ArgGE) String() string                            { return fmt.Sprintf("arg>=%d", c.N) }
+
+// ArgLE holds when the candidate's own argument is at most N.
+type ArgLE struct{ N int64 }
+
+func (c ArgLE) Eval(_ StateView, self Cand, _ *Cand) bool { return self.HasArg && self.Arg <= c.N }
+func (c ArgLE) Uses() []core.InfoType                     { return []core.InfoType{core.RequestParams} }
+func (c ArgLE) Pair() bool                                { return false }
+func (c ArgLE) String() string                            { return fmt.Sprintf("arg<=%d", c.N) }
+
+// LastStartedIs holds when the most recently admitted operation was of
+// Class — the one-slot-buffer alternation shape.
+type LastStartedIs struct{ Class int }
+
+func (c LastStartedIs) Eval(sv StateView, _ Cand, _ *Cand) bool { return sv.LastStarted() == c.Class }
+func (c LastStartedIs) Uses() []core.InfoType                   { return []core.InfoType{core.History} }
+func (c LastStartedIs) Pair() bool                              { return false }
+func (c LastStartedIs) String() string                          { return fmt.Sprintf("last(c%d)", c.Class) }
+
+// OlderReq holds when the favored candidate requested before the
+// disfavored one — first-come-first-served.
+type OlderReq struct{}
+
+func (OlderReq) Eval(_ StateView, self Cand, other *Cand) bool {
+	return other != nil && self.Stamp < other.Stamp
+}
+func (OlderReq) Uses() []core.InfoType { return []core.InfoType{core.RequestTime} }
+func (OlderReq) Pair() bool            { return true }
+func (OlderReq) String() string        { return "older" }
+
+// SmallerArg holds when the favored candidate's argument is strictly
+// smaller (shortest-delay-first scheduling). Equal arguments favor
+// neither side.
+type SmallerArg struct{}
+
+func (SmallerArg) Eval(_ StateView, self Cand, other *Cand) bool {
+	return other != nil && self.HasArg && other.HasArg && self.Arg < other.Arg
+}
+func (SmallerArg) Uses() []core.InfoType { return []core.InfoType{core.RequestParams} }
+func (SmallerArg) Pair() bool            { return true }
+func (SmallerArg) String() string        { return "smaller-arg" }
+
+// LargerArg holds when the favored candidate's argument is strictly
+// larger.
+type LargerArg struct{}
+
+func (LargerArg) Eval(_ StateView, self Cand, other *Cand) bool {
+	return other != nil && self.HasArg && other.HasArg && self.Arg > other.Arg
+}
+func (LargerArg) Uses() []core.InfoType { return []core.InfoType{core.RequestParams} }
+func (LargerArg) Pair() bool            { return true }
+func (LargerArg) String() string        { return "larger-arg" }
+
+// Not negates a condition.
+type Not struct{ X Cond }
+
+func (c Not) Eval(sv StateView, self Cand, other *Cand) bool { return !c.X.Eval(sv, self, other) }
+func (c Not) Uses() []core.InfoType                          { return c.X.Uses() }
+func (c Not) Pair() bool                                     { return c.X.Pair() }
+func (c Not) String() string                                 { return "!(" + c.X.String() + ")" }
+
+// And conjoins two conditions.
+type And struct{ X, Y Cond }
+
+func (c And) Eval(sv StateView, self Cand, other *Cand) bool {
+	return c.X.Eval(sv, self, other) && c.Y.Eval(sv, self, other)
+}
+func (c And) Uses() []core.InfoType { return unionUses(c.X.Uses(), c.Y.Uses()) }
+func (c And) Pair() bool            { return c.X.Pair() || c.Y.Pair() }
+func (c And) String() string        { return "(" + c.X.String() + " & " + c.Y.String() + ")" }
+
+// Or disjoins two conditions.
+type Or struct{ X, Y Cond }
+
+func (c Or) Eval(sv StateView, self Cand, other *Cand) bool {
+	return c.X.Eval(sv, self, other) || c.Y.Eval(sv, self, other)
+}
+func (c Or) Uses() []core.InfoType { return unionUses(c.X.Uses(), c.Y.Uses()) }
+func (c Or) Pair() bool            { return c.X.Pair() || c.Y.Pair() }
+func (c Or) String() string        { return "(" + c.X.String() + " | " + c.Y.String() + ")" }
+
+// unionUses merges two Uses lists into the paper's canonical order.
+func unionUses(a, b []core.InfoType) []core.InfoType {
+	var out []core.InfoType
+	for _, t := range core.AllInfoTypes() {
+		for _, u := range a {
+			if u == t {
+				out = append(out, t)
+				break
+			}
+		}
+		if len(out) > 0 && out[len(out)-1] == t {
+			continue
+		}
+		for _, u := range b {
+			if u == t {
+				out = append(out, t)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// walkCond visits c and every sub-condition.
+func walkCond(c Cond, fn func(Cond)) {
+	fn(c)
+	switch v := c.(type) {
+	case Not:
+		walkCond(v.X, fn)
+	case And:
+		walkCond(v.X, fn)
+		walkCond(v.Y, fn)
+	case Or:
+		walkCond(v.X, fn)
+		walkCond(v.Y, fn)
+	}
+}
+
+// condUsesWaiting reports whether c consults the waiting population —
+// the one view that is exact only on deterministic traces (a recorded
+// request may not have reached the mechanism yet on the real kernel).
+func condUsesWaiting(c Cond) bool {
+	found := false
+	walkCond(c, func(c Cond) {
+		if g, ok := c.(CountGE); ok && g.Kind == CountWaiting {
+			found = true
+		}
+	})
+	return found
+}
+
+// condUsesSelfArg reports whether c reads the candidate's argument.
+func condUsesSelfArg(c Cond) bool {
+	found := false
+	walkCond(c, func(c Cond) {
+		switch c.(type) {
+		case ArgGE, ArgLE, StartedBelowArg, SmallerArg, LargerArg:
+			found = true
+		}
+	})
+	return found
+}
+
+// condClasses collects the class indices c references.
+func condClasses(c Cond) []int {
+	var out []int
+	walkCond(c, func(c Cond) {
+		switch v := c.(type) {
+		case CountGE:
+			out = append(out, v.Class)
+		case StartedBelowArg:
+			out = append(out, v.Class)
+		case LastStartedIs:
+			out = append(out, v.Class)
+		}
+	})
+	return out
+}
+
+// ExcludeWhen is an exclusion constraint: while Cond holds, no operation
+// of Class may be admitted.
+type ExcludeWhen struct {
+	Cond  Cond
+	Class int
+}
+
+func (x ExcludeWhen) String() string {
+	return fmt.Sprintf("exclude c%d when %s", x.Class, x.Cond)
+}
+
+// PriorityWhen is a priority constraint: a waiting candidate of class A
+// for which Cond(A-candidate, B-candidate) holds must be admitted before
+// the B candidate.
+type PriorityWhen struct {
+	Cond Cond
+	A, B int
+}
+
+func (p PriorityWhen) String() string {
+	return fmt.Sprintf("priority c%d over c%d when %s", p.A, p.B, p.Cond)
+}
+
+// Set is one generated synchronization problem: its operation classes
+// and the constraints governing them.
+type Set struct {
+	Name       string
+	Seed       int64
+	Classes    []Class
+	Excludes   []ExcludeWhen
+	Priorities []PriorityWhen
+}
+
+// priorityAtoms is the closed set of conditions a priority rule may
+// carry. Restricting priority conditions to state-free comparisons keeps
+// the admission relation well-founded (Validate proves it per shape) and
+// keeps oracle and mechanism in agreement: a stateful priority condition
+// would be evaluated by the mechanism at grant time but by the oracle at
+// the recorded Enter, and the two states can differ.
+func priorityAtom(c Cond) bool {
+	switch c.(type) {
+	case True, OlderReq, SmallerArg, LargerArg:
+		return true
+	}
+	return false
+}
+
+// Validate checks structural well-formedness plus the priority-shape
+// rules that make a Set deadlock-free by construction on the priority
+// axis (exclusion-induced stalls are the sampler's rejection pass):
+//
+//   - every priority condition is one of true, older, smaller-arg,
+//     larger-arg; a same-class rule must not be unconditional;
+//   - at most one rule per ordered class pair;
+//   - unconditional cross-class rules must form an acyclic class graph
+//     and exclude pair-comparison cross rules (mixing the two measures
+//     can cycle: A older than B, B's argument smaller than C's, C older
+//     than A blocks all three);
+//   - otherwise every rule in the set compares the same measure (all
+//     older, all smaller-arg, or all larger-arg), which is a strict
+//     partial order on candidates and therefore always leaves a minimal
+//     unblocked candidate.
+func (s *Set) Validate() error {
+	if len(s.Classes) == 0 {
+		return fmt.Errorf("synth: set %s has no classes", s.Name)
+	}
+	names := map[string]bool{}
+	for i, c := range s.Classes {
+		if c.Name == "" {
+			return fmt.Errorf("synth: class %d has no name", i)
+		}
+		if names[c.Name] {
+			return fmt.Errorf("synth: duplicate class name %q", c.Name)
+		}
+		names[c.Name] = true
+		if c.Procs < 1 || c.Rounds < 1 {
+			return fmt.Errorf("synth: class %s: procs and rounds must be positive", c.Name)
+		}
+	}
+	inRange := func(i int) bool { return i >= 0 && i < len(s.Classes) }
+
+	for i, x := range s.Excludes {
+		if !inRange(x.Class) {
+			return fmt.Errorf("synth: exclude %d targets unknown class %d", i, x.Class)
+		}
+		if x.Cond == nil {
+			return fmt.Errorf("synth: exclude %d has no condition", i)
+		}
+		if x.Cond.Pair() {
+			return fmt.Errorf("synth: exclude %d (%s) uses a pair condition", i, x)
+		}
+		for _, c := range condClasses(x.Cond) {
+			if !inRange(c) {
+				return fmt.Errorf("synth: exclude %d (%s) references unknown class %d", i, x, c)
+			}
+		}
+		if condUsesSelfArg(x.Cond) && len(s.Classes[x.Class].Args) == 0 {
+			return fmt.Errorf("synth: exclude %d (%s) reads the argument of argless class %s",
+				i, x, s.Classes[x.Class].Name)
+		}
+	}
+
+	seenPair := map[[2]int]bool{}
+	var crossTrue, crossPair, selfRules []PriorityWhen
+	for i, p := range s.Priorities {
+		if !inRange(p.A) || !inRange(p.B) {
+			return fmt.Errorf("synth: priority %d references an unknown class", i)
+		}
+		if p.Cond == nil || !priorityAtom(p.Cond) {
+			return fmt.Errorf("synth: priority %d (%s) must use true/older/smaller-arg/larger-arg", i, p)
+		}
+		if seenPair[[2]int{p.A, p.B}] {
+			return fmt.Errorf("synth: duplicate priority rule for (c%d, c%d)", p.A, p.B)
+		}
+		seenPair[[2]int{p.A, p.B}] = true
+		if condUsesSelfArg(p.Cond) && (len(s.Classes[p.A].Args) == 0 || len(s.Classes[p.B].Args) == 0) {
+			return fmt.Errorf("synth: priority %d (%s) compares arguments of an argless class", i, p)
+		}
+		switch {
+		case p.A == p.B:
+			if _, ok := p.Cond.(True); ok {
+				return fmt.Errorf("synth: priority %d (%s): an unconditional same-class rule blocks the class against itself", i, p)
+			}
+			selfRules = append(selfRules, p)
+		default:
+			if _, ok := p.Cond.(True); ok {
+				crossTrue = append(crossTrue, p)
+			} else {
+				crossPair = append(crossPair, p)
+			}
+		}
+	}
+	if len(crossTrue) > 0 && len(crossPair) > 0 {
+		return fmt.Errorf("synth: set %s mixes unconditional and pair-comparison cross-class priority rules", s.Name)
+	}
+	if len(crossTrue) > 0 {
+		if cycle := trueCycle(len(s.Classes), crossTrue); cycle {
+			return fmt.Errorf("synth: set %s: unconditional priority rules form a class cycle", s.Name)
+		}
+	}
+	if len(crossPair) > 0 {
+		measure := fmt.Sprintf("%T", crossPair[0].Cond)
+		for _, p := range append(crossPair, selfRules...) {
+			if fmt.Sprintf("%T", p.Cond) != measure {
+				return fmt.Errorf("synth: set %s mixes priority measures (%s vs %s)", s.Name, measure, fmt.Sprintf("%T", p.Cond))
+			}
+		}
+	}
+	return nil
+}
+
+// trueCycle reports whether the unconditional-priority class graph has a
+// cycle.
+func trueCycle(n int, rules []PriorityWhen) bool {
+	adj := make([][]int, n)
+	for _, r := range rules {
+		adj[r.A] = append(adj[r.A], r.B)
+	}
+	state := make([]int, n) // 0 unvisited, 1 in stack, 2 done
+	var visit func(int) bool
+	visit = func(u int) bool {
+		state[u] = 1
+		for _, v := range adj[u] {
+			if state[v] == 1 || (state[v] == 0 && visit(v)) {
+				return true
+			}
+		}
+		state[u] = 2
+		return false
+	}
+	for u := 0; u < n; u++ {
+		if state[u] == 0 && visit(u) {
+			return true
+		}
+	}
+	return false
+}
+
+// Scheme renders the set as a core.Scheme, the same currency the
+// handwritten problems use: one constraint per rule with stable IDs (x0,
+// x1, … for exclusion; p0, p1, … for priority) — the derived oracle
+// reports violations under exactly these IDs. A cross-class priority
+// rule additionally uses request-type information (it discriminates on
+// the class of the request), mirroring the readers-priority spec.
+func (s *Set) Scheme() core.Scheme {
+	sch := core.Scheme{Name: s.Name}
+	for i, x := range s.Excludes {
+		sch.Constraints = append(sch.Constraints, core.Constraint{
+			ID:   fmt.Sprintf("x%d", i),
+			Kind: core.Exclusion,
+			Uses: x.Cond.Uses(),
+			Desc: "if " + x.Cond.String() + " then exclude " + s.Classes[x.Class].Name,
+		})
+	}
+	for i, p := range s.Priorities {
+		uses := p.Cond.Uses()
+		if p.A != p.B {
+			uses = unionUses(uses, []core.InfoType{core.RequestType})
+		}
+		sch.Constraints = append(sch.Constraints, core.Constraint{
+			ID:   fmt.Sprintf("p%d", i),
+			Kind: core.Priority,
+			Uses: uses,
+			Desc: fmt.Sprintf("if %s then %s precedes %s", p.Cond, s.Classes[p.A].Name, s.Classes[p.B].Name),
+		})
+	}
+	return sch
+}
+
+// shortInfo abbreviates an information type for shape keys.
+func shortInfo(t core.InfoType) string {
+	switch t {
+	case core.RequestType:
+		return "type"
+	case core.RequestTime:
+		return "time"
+	case core.RequestParams:
+		return "param"
+	case core.SyncState:
+		return "sync"
+	case core.LocalState:
+		return "local"
+	case core.History:
+		return "hist"
+	}
+	return "?"
+}
+
+// Shape is the set's canonical constraint shape: one token per
+// constraint — kind plus the information types its condition uses —
+// sorted and joined. Two sets with the same shape pose the same *kind*
+// of problem, which is the aggregation key of the fuzz summary's
+// expressive-power table.
+func (s *Set) Shape() string {
+	var toks []string
+	for _, c := range s.Scheme().Constraints {
+		prefix := "x:"
+		if c.Kind == core.Priority {
+			prefix = "p:"
+		}
+		var us []string
+		for _, u := range c.Uses {
+			us = append(us, shortInfo(u))
+		}
+		if len(us) == 0 {
+			us = []string{"none"}
+		}
+		toks = append(toks, prefix+strings.Join(us, ","))
+	}
+	sort.Strings(toks)
+	return strings.Join(toks, "+")
+}
+
+// Balanced reports whether traffic against the set must issue its
+// classes in equal numbers (full cycles): true when any class moves the
+// slot count or any exclusion condition depends on history or local
+// state, so a surplus of one class (extra removes with nothing
+// deposited, a second put before a get) could never drain.
+func (s *Set) Balanced() bool {
+	for _, c := range s.Classes {
+		if c.SlotDelta != 0 {
+			return true
+		}
+	}
+	for _, x := range s.Excludes {
+		for _, u := range x.Cond.Uses() {
+			if u == core.History || u == core.LocalState {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// LoadSafe reports whether the set can take open-ended traffic (package
+// load) without wedging by construction. The sampler's feasibility
+// witness only proves the set's own workload drains; two condition
+// families are sound at that concurrency but not under arbitrary
+// traffic, and are refused here:
+//
+//   - waiting-population exclusions (waiting(c)>=n) latch shut as soon
+//     as the backlog exceeds what the set's own process counts allow;
+//   - started-below-argument exclusions (started(c) < arg) wedge at
+//     drain time when the remaining traffic cannot supply the count.
+func (s *Set) LoadSafe() error {
+	for i, x := range s.Excludes {
+		unsafe := ""
+		walkCond(x.Cond, func(c Cond) {
+			switch a := c.(type) {
+			case CountGE:
+				if a.Kind == CountWaiting {
+					unsafe = "waiting-population condition"
+				}
+			case StartedBelowArg:
+				unsafe = "started-below-argument condition"
+			}
+		})
+		if unsafe != "" {
+			return fmt.Errorf("synth: %s not load-generable: exclusion x%d (%s when %s) is a %s, feasible only at the set's own concurrency",
+				s.Name, i, s.Classes[x.Class].Name, x.Cond, unsafe)
+		}
+	}
+	return nil
+}
+
+// setJSON is the canonical serialized form: conditions as their
+// canonical strings, classes by name. It is write-only — consumers
+// regenerate a Set from its seed rather than parsing conditions back.
+type setJSON struct {
+	Name       string     `json:"name"`
+	Seed       int64      `json:"seed"`
+	Shape      string     `json:"shape"`
+	Classes    []Class    `json:"classes"`
+	Excludes   []ruleJSON `json:"excludes,omitempty"`
+	Priorities []ruleJSON `json:"priorities,omitempty"`
+}
+
+type ruleJSON struct {
+	ID    string `json:"id"`
+	Cond  string `json:"cond"`
+	Class string `json:"class,omitempty"`
+	Over  string `json:"over,omitempty"`
+}
+
+// MarshalJSON renders the canonical JSON form used by the golden corpus
+// and the fuzz summary.
+func (s *Set) MarshalJSON() ([]byte, error) {
+	out := setJSON{Name: s.Name, Seed: s.Seed, Shape: s.Shape(), Classes: s.Classes}
+	for i, x := range s.Excludes {
+		out.Excludes = append(out.Excludes, ruleJSON{
+			ID: fmt.Sprintf("x%d", i), Cond: x.Cond.String(), Class: s.Classes[x.Class].Name,
+		})
+	}
+	for i, p := range s.Priorities {
+		out.Priorities = append(out.Priorities, ruleJSON{
+			ID: fmt.Sprintf("p%d", i), Cond: p.Cond.String(),
+			Class: s.Classes[p.A].Name, Over: s.Classes[p.B].Name,
+		})
+	}
+	return json.Marshal(out)
+}

@@ -1,0 +1,108 @@
+package synth
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/problems"
+)
+
+// TestLoadSafe pins the two condition families the load gate refuses and
+// confirms everything else passes, including conditions that merely
+// mention the refused atoms inside priority rules (priorities cannot
+// carry them by construction, but the gate only inspects excludes).
+func TestLoadSafe(t *testing.T) {
+	base := []Class{
+		{Name: "a", Procs: 2, Rounds: 2, Yields: 1},
+		{Name: "b", Procs: 2, Rounds: 2, Yields: 1},
+	}
+	cases := []struct {
+		name string
+		set  Set
+		want string // substring of the error, "" for safe
+	}{
+		{
+			name: "plain exclusion is safe",
+			set: Set{Name: "t0", Classes: base, Excludes: []ExcludeWhen{
+				{Class: 0, Cond: CountGE{Kind: CountActive, Class: 1, N: 1}},
+			}},
+		},
+		{
+			name: "waiting-population exclusion refused",
+			set: Set{Name: "t1", Classes: base, Excludes: []ExcludeWhen{
+				{Class: 0, Cond: CountGE{Kind: CountWaiting, Class: 0, N: 2}},
+			}},
+			want: "waiting-population",
+		},
+		{
+			name: "waiting atom nested under Or refused",
+			set: Set{Name: "t2", Classes: base, Excludes: []ExcludeWhen{
+				{Class: 1, Cond: Or{
+					X: CountGE{Kind: CountActive, Class: 0, N: 1},
+					Y: CountGE{Kind: CountWaiting, Class: 1, N: 3},
+				}},
+			}},
+			want: "waiting-population",
+		},
+		{
+			name: "started-below-arg exclusion refused",
+			set: Set{Name: "t3", Classes: base, Excludes: []ExcludeWhen{
+				{Class: 0, Cond: StartedBelowArg{Class: 1}},
+			}},
+			want: "started-below-argument",
+		},
+		{
+			name: "slots and history are safe",
+			set: Set{Name: "t4", Classes: base, Excludes: []ExcludeWhen{
+				{Class: 0, Cond: SlotsLE{N: 0}},
+				{Class: 1, Cond: LastStartedIs{Class: 1}},
+			}},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.set.LoadSafe()
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("LoadSafe() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("LoadSafe() = %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestLoadSafeCanonical: every canonical problem the sampler mirrors is
+// load-generable except the ones that genuinely consult the refused
+// axes (readers-priority and fcfs wait on the waiting population only
+// through priorities, which are exempt; alarm-clock's wakeme waits on
+// started(tick)<arg and is refused).
+func TestLoadSafeCanonical(t *testing.T) {
+	for _, name := range problems.AllProblems() {
+		set, ok := Canonical(name)
+		if !ok {
+			continue // not expressible in the grammar at all
+		}
+		err := set.LoadSafe()
+		wantUnsafe := false
+		for _, x := range set.Excludes {
+			if condUsesWaiting(x.Cond) {
+				wantUnsafe = true
+			}
+			walkCond(x.Cond, func(c Cond) {
+				if _, ok := c.(StartedBelowArg); ok {
+					wantUnsafe = true
+				}
+			})
+		}
+		if wantUnsafe && err == nil {
+			t.Errorf("%s: LoadSafe() = nil, want refusal", name)
+		}
+		if !wantUnsafe && err != nil {
+			t.Errorf("%s: LoadSafe() = %v, want nil", name, err)
+		}
+	}
+}

@@ -1,0 +1,208 @@
+package synth
+
+// Compiling constraint sets to path expressions — or refusing to. Path
+// expressions declare admissible operation sequences; they have no
+// access to request time, request parameters, or queue state, so only a
+// slice of the grammar maps onto them. PathSources either produces a
+// list of path-expression sources whose conjunction enforces the set's
+// constraints, or reports the first constraint outside the vocabulary.
+// That refusal is a result, not a failure: cmd/syncfuzz records it as
+// "inexpressible", which is exactly Bloom's §5 verdict generalized from
+// anecdote (readers-priority) to a measured rate over the sampled grid.
+//
+// The expressible fragment:
+//
+//   - a slot-coupled producer/consumer pair (SlotsGE(cap) on the +1
+//     class, SlotsLE(0) on the -1 class) → "path cap : prod ; cons end";
+//   - a strict-alternation pair (last(p) excluding p, !last(p)
+//     excluding q) → "path 1 : p ; q end";
+//   - symmetric exclusion cliques over active-count atoms
+//     (Or-combinations of active(c)>=1) → "path 1 : a , {b} , … end",
+//     burst braces for classes without self-exclusion;
+//   - a lone self bound active(c)>=n → "path n : c end".
+//
+// Everything else — priority rules of any kind, waiting/started/done
+// counts, argument conditions, asymmetric exclusion, And/Not
+// combinations — is inexpressible.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// PathSources compiles the set into path-expression sources, or reports
+// why the constraint set is outside the path-expression vocabulary.
+func PathSources(s *Set) ([]string, error) {
+	if len(s.Priorities) > 0 {
+		p := s.Priorities[0]
+		return nil, fmt.Errorf("pathexpr: priority rule %s: path expressions order operations only by sequence shape, not by %s", p, p.Cond)
+	}
+
+	type slotRule struct {
+		class, cap int
+	}
+	var prod, cons *slotRule
+	// Alternation pair: altA carries "last(altA) excludes altA", altB
+	// carries "!(last(altBRef)) excludes altB"; they must agree.
+	altA, altB, altBRef := -1, -1, -1
+	edges := map[[2]int]bool{} // [target, activeClass]
+	inGraph := map[int]bool{}
+	bounds := map[int]int{}
+
+	for _, x := range s.Excludes {
+		switch c := x.Cond.(type) {
+		case SlotsGE:
+			if s.Classes[x.Class].SlotDelta == 1 && prod == nil {
+				prod = &slotRule{x.Class, c.N}
+				continue
+			}
+		case SlotsLE:
+			if c.N == 0 && s.Classes[x.Class].SlotDelta == -1 && cons == nil {
+				cons = &slotRule{x.Class, 0}
+				continue
+			}
+		case LastStartedIs:
+			if c.Class == x.Class && altA < 0 {
+				altA = x.Class
+				continue
+			}
+		case Not:
+			if l, ok := c.X.(LastStartedIs); ok && l.Class != x.Class && altB < 0 {
+				altB, altBRef = x.Class, l.Class
+				continue
+			}
+		case CountGE:
+			if c.Kind == CountActive && c.N >= 2 && c.Class == x.Class {
+				if _, dup := bounds[x.Class]; !dup {
+					bounds[x.Class] = c.N
+					continue
+				}
+			}
+		}
+		atoms, err := activeAtoms(x.Cond)
+		if err != nil {
+			return nil, fmt.Errorf("pathexpr: rule %s: %v", x, err)
+		}
+		for _, a := range atoms {
+			edges[[2]int{x.Class, a}] = true
+			inGraph[x.Class] = true
+			inGraph[a] = true
+		}
+	}
+
+	var paths []string
+
+	if (prod == nil) != (cons == nil) {
+		return nil, fmt.Errorf("pathexpr: set %s: an unpaired slot rule has no sequence-shape equivalent", s.Name)
+	}
+	if prod != nil {
+		paths = append(paths, fmt.Sprintf("path %d : %s ; %s end",
+			prod.cap, s.Classes[prod.class].Name, s.Classes[cons.class].Name))
+	}
+
+	if altA >= 0 || altB >= 0 {
+		if altA < 0 || altB < 0 || altBRef != altA {
+			return nil, fmt.Errorf("pathexpr: set %s: an unpaired alternation rule has no sequence-shape equivalent", s.Name)
+		}
+		paths = append(paths, fmt.Sprintf("path 1 : %s ; %s end",
+			s.Classes[altA].Name, s.Classes[altB].Name))
+	}
+
+	for class := range bounds {
+		if inGraph[class] {
+			return nil, fmt.Errorf("pathexpr: set %s: class %s mixes a concurrency bound with cross-class exclusion",
+				s.Name, s.Classes[class].Name)
+		}
+	}
+	for class := 0; class < len(s.Classes); class++ {
+		if n, ok := bounds[class]; ok {
+			paths = append(paths, fmt.Sprintf("path %d : %s end", n, s.Classes[class].Name))
+		}
+	}
+
+	comps, err := cliques(s, edges, inGraph)
+	if err != nil {
+		return nil, err
+	}
+	for _, comp := range comps {
+		var terms []string
+		for _, class := range comp {
+			if edges[[2]int{class, class}] {
+				terms = append(terms, s.Classes[class].Name)
+			} else {
+				terms = append(terms, "{"+s.Classes[class].Name+"}")
+			}
+		}
+		paths = append(paths, fmt.Sprintf("path 1 : %s end", strings.Join(terms, " , ")))
+	}
+	return paths, nil
+}
+
+// activeAtoms flattens an exclusion condition into active(c)>=1 atoms,
+// accepting only Or-combinations of them.
+func activeAtoms(c Cond) ([]int, error) {
+	switch v := c.(type) {
+	case CountGE:
+		if v.Kind != CountActive {
+			return nil, fmt.Errorf("%s counts %s requests, which operation sequences cannot observe", v, v.Kind)
+		}
+		if v.N != 1 {
+			return nil, fmt.Errorf("%s thresholds the active count inside a disjunction", v)
+		}
+		return []int{v.Class}, nil
+	case Or:
+		x, err := activeAtoms(v.X)
+		if err != nil {
+			return nil, err
+		}
+		y, err := activeAtoms(v.Y)
+		if err != nil {
+			return nil, err
+		}
+		return append(x, y...), nil
+	}
+	return nil, fmt.Errorf("condition %s is outside the sequence-shape vocabulary", c)
+}
+
+// cliques partitions the exclusion graph into connected components and
+// requires each to be a complete symmetric digraph — the only shape
+// "path 1 : x , y , … end" can express. Components are returned in
+// class-index order.
+func cliques(s *Set, edges map[[2]int]bool, inGraph map[int]bool) ([][]int, error) {
+	seen := map[int]bool{}
+	var comps [][]int
+	for class := 0; class < len(s.Classes); class++ {
+		if !inGraph[class] || seen[class] {
+			continue
+		}
+		comp := []int{}
+		stack := []int{class}
+		seen[class] = true
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, u)
+			for v := 0; v < len(s.Classes); v++ {
+				if v == u || seen[v] {
+					continue
+				}
+				if edges[[2]int{u, v}] || edges[[2]int{v, u}] {
+					seen[v] = true
+					stack = append(stack, v)
+				}
+			}
+		}
+		sort.Ints(comp)
+		for _, u := range comp {
+			for _, v := range comp {
+				if u != v && !edges[[2]int{u, v}] {
+					return nil, fmt.Errorf("pathexpr: set %s: asymmetric exclusion (%s excluded while %s runs, but not the converse) has no sequence-shape equivalent",
+						s.Name, s.Classes[v].Name, s.Classes[u].Name)
+				}
+			}
+		}
+		comps = append(comps, comp)
+	}
+	return comps, nil
+}

@@ -1,0 +1,116 @@
+package synth
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/problems"
+)
+
+func TestPathSourcesBoundedBuffer(t *testing.T) {
+	set, _ := Canonical(problems.NameBoundedBuffer)
+	got, err := PathSources(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"path 3 : deposit ; remove end",
+		"path 1 : deposit , remove end",
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("PathSources = %q, want %q", got, want)
+	}
+}
+
+func TestPathSourcesOneSlot(t *testing.T) {
+	set, _ := Canonical(problems.NameOneSlot)
+	got, err := PathSources(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"path 1 : put ; get end",
+		"path 1 : put , get end",
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("PathSources = %q, want %q", got, want)
+	}
+}
+
+func TestPathSourcesRWExclusionUsesBurst(t *testing.T) {
+	// The exclusion skeleton alone (no priority rule) is the classic
+	// readers–writers path: readers in a burst, writers serialized.
+	set := rwBase("rw-exclusion-only")
+	got, err := PathSources(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"path 1 : {read} , write end"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("PathSources = %q, want %q", got, want)
+	}
+}
+
+func TestPathSourcesInexpressible(t *testing.T) {
+	cases := []struct {
+		name    string
+		problem string
+		reason  string
+	}{
+		{"priority", problems.NameReadersPriority, "priority"},
+		{"request time", problems.NameFCFS, "priority"},
+		{"argument-dependent", problems.NameAlarmClock, "vocabulary"},
+	}
+	for _, tc := range cases {
+		set, _ := Canonical(tc.problem)
+		_, err := PathSources(set)
+		if err == nil {
+			t.Errorf("%s: PathSources accepted %s", tc.name, tc.problem)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.reason) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.reason)
+		}
+	}
+}
+
+func TestPathSourcesAsymmetricExclusion(t *testing.T) {
+	set := &Set{
+		Name: "asym",
+		Classes: []Class{
+			{Name: "a", Procs: 1, Rounds: 1},
+			{Name: "b", Procs: 1, Rounds: 1},
+		},
+		// a excluded while b is active, but not the converse.
+		Excludes: []ExcludeWhen{{Cond: CountGE{Class: 1, Kind: CountActive, N: 1}, Class: 0}},
+	}
+	if err := set.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	_, err := PathSources(set)
+	if err == nil || !strings.Contains(err.Error(), "asymmetric") {
+		t.Fatalf("PathSources = %v, want asymmetric-exclusion refusal", err)
+	}
+}
+
+func TestPathSourcesSelfBound(t *testing.T) {
+	set := &Set{
+		Name: "bound",
+		Classes: []Class{
+			{Name: "a", Procs: 3, Rounds: 1},
+		},
+		Excludes: []ExcludeWhen{{Cond: CountGE{Class: 0, Kind: CountActive, N: 2}, Class: 0}},
+	}
+	if err := set.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := PathSources(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"path 2 : a end"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("PathSources = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,73 @@
+package synth
+
+// Scenario emission: a Set plus a mechanism name becomes the same
+// (program, oracle) pair solutions.StandardProgram produces for the
+// canonical problems, so generated problems flow through exploration,
+// replay, and sealing without any new plumbing.
+
+import (
+	"repro/internal/explore"
+	"repro/internal/kernel"
+	"repro/internal/problems"
+	"repro/internal/trace"
+)
+
+// Program emits the set's workload under the mechanism as an
+// exploration program, paired with the set's strict derived oracle.
+// The error is the mechanism's Supports verdict (pathexpr refusing an
+// inexpressible set).
+func Program(set *Set, mech string) (explore.Program, explore.Oracle, error) {
+	if err := Supports(mech, set); err != nil {
+		return nil, nil, err
+	}
+	prog := func(k kernel.Kernel, rec *trace.Recorder) {
+		res, err := NewResource(mech, set, k)
+		if err != nil {
+			// Supports passed above; a failure here is a synth bug.
+			panic(err)
+		}
+		for ci := range set.Classes {
+			c := set.Classes[ci]
+			for pi := 0; pi < c.Procs; pi++ {
+				k.Spawn(c.Name, func(p *kernel.Proc) {
+					if c.Delay > 0 {
+						p.Sleep(c.Delay)
+					}
+					for round := 0; round < c.Rounds; round++ {
+						arg, has := c.Arg(pi, round)
+						ra := arg
+						if !has {
+							ra = trace.NoArg
+						}
+						h := Hooks{
+							Request: func() { rec.Request(p, c.Name, ra) },
+							// The Enter/Exit pair is split across hook
+							// closures by design: the adapter fires Enter
+							// inside the grant decision and Exit before the
+							// release, under its own exclusion, so the
+							// recorded interval is atomic with the gate's
+							// view (see Hooks). Do invokes them exactly
+							// once each, in order, around body.
+							//synclint:allow bracket: intervals open in the Enter hook and close in the Exit hook; pairing is the Resource.Do contract, not lexical structure
+							Enter: func() { rec.Enter(p, c.Name, ra) },
+							//synclint:allow bracket: closes the interval opened by the Enter hook above
+							Exit: func() { rec.Exit(p, c.Name, ra) },
+						}
+						res.Do(p, ci, arg, has, h, func() {
+							for y := 0; y < c.Yields; y++ {
+								p.Yield()
+							}
+						})
+						for gap := 0; gap < c.Gap; gap++ {
+							p.Yield()
+						}
+					}
+				})
+			}
+		}
+	}
+	oracle := func(tr trace.Trace) []problems.Violation {
+		return set.Check(tr, true)
+	}
+	return prog, oracle, nil
+}

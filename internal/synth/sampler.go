@@ -1,0 +1,424 @@
+package synth
+
+// The seeded sampler: draw a candidate Set from the constraint grid,
+// then keep it only if it survives three filters —
+//
+//   1. Validate: structural well-formedness plus the priority-shape
+//      rules (grammar.go).
+//   2. Vacuity probe: every exclusion condition must evaluate both true
+//      and false somewhere across a few hundred randomly drawn
+//      plausible states; a condition that never fires adds nothing, and
+//      one that always fires excludes its class permanently.
+//   3. Feasibility witness: under several arrival orders (canonical,
+//      reversed, seeded shuffles) the reference Gate must be able to
+//      drain the full candidate population one grant at a time. A stall
+//      means the constraints themselves can wedge — contradictory
+//      exclusions, a priority ring, an argument no admissible state
+//      accepts.
+//
+// The filters are heuristics, not proofs: a Set can pass the witness
+// and still deadlock under an adversarial interleaving mid-run. That is
+// deliberate — exploration treats such deadlocks as findings, and they
+// are findings about the *constraints*, which is exactly what a fuzzer
+// is for. Rejection resamples with a remixed seed, up to maxAttempts,
+// then falls back to a canonical mutual-exclusion+FCFS set so Generate
+// is total: every seed yields a runnable problem, byte-identical across
+// runs and hosts.
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+const maxAttempts = 64
+
+// mix derives the per-attempt RNG seed from the problem seed. SplitMix64
+// finalizer: consecutive seeds must not yield correlated streams.
+func mix(seed int64, attempt int) int64 {
+	z := uint64(seed)*0x9e3779b97f4a7c15 + uint64(attempt)*0xbf58476d1ce4e5b9 + 0x94d049bb133111eb
+	z ^= z >> 31
+	z *= 0xd6e8feb86659fd93
+	z ^= z >> 27
+	v := int64(z & 0x7fffffffffffffff)
+	if v == 0 {
+		v = 1
+	}
+	return v
+}
+
+// Generate returns the constraint set for a seed: the first sampled
+// candidate that survives validation, the vacuity probe, and the
+// feasibility witness, or the deterministic fallback after maxAttempts
+// rejections. The same seed always yields the same Set.
+func Generate(seed int64) *Set {
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		r := rand.New(rand.NewSource(mix(seed, attempt)))
+		s := sampleOnce(r)
+		if s == nil {
+			continue
+		}
+		s.Name = fmt.Sprintf("synth-%d", seed)
+		s.Seed = seed
+		if s.Validate() != nil {
+			continue
+		}
+		if !vacuityOK(s, r) {
+			continue
+		}
+		if !feasible(s, r) {
+			continue
+		}
+		return s
+	}
+	return fallbackSet(seed)
+}
+
+// Sample generates n sets for seeds seed, seed+1, …, seed+n-1.
+func Sample(seed int64, n int) []*Set {
+	out := make([]*Set, n)
+	for i := range out {
+		out[i] = Generate(seed + int64(i))
+	}
+	return out
+}
+
+// fallbackSet is the guaranteed-valid set used when every attempt for a
+// seed is rejected: single-class mutual exclusion with FCFS service.
+func fallbackSet(seed int64) *Set {
+	return &Set{
+		Name: fmt.Sprintf("synth-%d", seed),
+		Seed: seed,
+		Classes: []Class{
+			{Name: "a", Procs: 2, Rounds: 2, Yields: 1, Gap: 1},
+		},
+		Excludes: []ExcludeWhen{
+			{Cond: CountGE{Class: 0, Kind: CountActive, N: 1}, Class: 0},
+		},
+		Priorities: []PriorityWhen{
+			{Cond: OlderReq{}, A: 0, B: 0},
+		},
+	}
+}
+
+var classNames = []string{"a", "b", "c"}
+
+// maxTotalOps bounds the candidate population so exploration's schedule
+// space stays tractable per generated problem.
+const maxTotalOps = 7
+
+func totalOps(s *Set) int {
+	n := 0
+	for _, c := range s.Classes {
+		n += c.Ops()
+	}
+	return n
+}
+
+// sampleOnce draws one candidate Set, or nil when the draw is
+// structurally hopeless (no constraints at all).
+func sampleOnce(r *rand.Rand) *Set {
+	n := 2 + r.Intn(2)
+	s := &Set{}
+	for i := 0; i < n; i++ {
+		c := Class{
+			Name:   classNames[i],
+			Procs:  1 + r.Intn(2),
+			Rounds: 1 + r.Intn(2),
+			Yields: 1 + r.Intn(2),
+			Gap:    r.Intn(2),
+			Delay:  int64(r.Intn(3)),
+		}
+		if r.Float64() < 0.4 {
+			na := 2 + r.Intn(2)
+			for j := 0; j < na; j++ {
+				c.Args = append(c.Args, 1+int64(r.Intn(5)))
+			}
+		}
+		s.Classes = append(s.Classes, c)
+	}
+	for totalOps(s) > maxTotalOps {
+		bi := 0
+		for i := range s.Classes {
+			if s.Classes[i].Ops() > s.Classes[bi].Ops() {
+				bi = i
+			}
+		}
+		if s.Classes[bi].Rounds > 1 {
+			s.Classes[bi].Rounds--
+		} else {
+			s.Classes[bi].Procs--
+		}
+	}
+
+	// Structured shapes first: a slot-coupled producer/consumer pair
+	// (bounded-buffer family) or a strict alternation pair (one-slot
+	// family). Mutually exclusive — their history/local-state rules
+	// interact badly when stacked on the same classes.
+	switch {
+	case r.Float64() < 0.3:
+		s.Classes[0].SlotDelta = 1
+		s.Classes[1].SlotDelta = -1
+		capacity := 1 + r.Intn(2)
+		s.Excludes = append(s.Excludes,
+			ExcludeWhen{Cond: SlotsGE{capacity}, Class: 0},
+			ExcludeWhen{Cond: SlotsLE{0}, Class: 1})
+	case r.Float64() < 0.2 && s.Classes[0].Ops() == s.Classes[1].Ops():
+		s.Excludes = append(s.Excludes,
+			ExcludeWhen{Cond: LastStartedIs{0}, Class: 0},
+			ExcludeWhen{Cond: Not{LastStartedIs{0}}, Class: 1})
+	}
+
+	// Free-form exclusion rules on top.
+	nx := 1 + r.Intn(3)
+	for i := 0; i < nx; i++ {
+		t := r.Intn(n)
+		if c := sampleCond(r, s, t, 0); c != nil {
+			s.Excludes = append(s.Excludes, ExcludeWhen{Cond: c, Class: t})
+		}
+	}
+	if len(s.Excludes) == 0 {
+		return nil
+	}
+
+	samplePriorities(r, s)
+	return s
+}
+
+// sampleCond draws an exclusion condition for class target: combinators
+// to depth 2 over the atom pool. Started/Done counters are reachable
+// only through StartedBelowArg — a bare "exclude while started(c)>=n"
+// latches permanently and would drown the corpus in rejections.
+func sampleCond(r *rand.Rand, s *Set, target, depth int) Cond {
+	if depth < 2 && r.Float64() < 0.3 {
+		switch r.Intn(3) {
+		case 0:
+			if x := sampleCond(r, s, target, depth+1); x != nil {
+				return Not{x}
+			}
+		case 1:
+			x := sampleCond(r, s, target, depth+1)
+			y := sampleCond(r, s, target, depth+1)
+			if x != nil && y != nil {
+				return And{x, y}
+			}
+		default:
+			x := sampleCond(r, s, target, depth+1)
+			y := sampleCond(r, s, target, depth+1)
+			if x != nil && y != nil {
+				return Or{x, y}
+			}
+		}
+		return nil
+	}
+	n := len(s.Classes)
+	hasArgs := len(s.Classes[target].Args) > 0
+	for tries := 0; tries < 4; tries++ {
+		switch r.Intn(6) {
+		case 0, 1, 2:
+			return CountGE{Class: r.Intn(n), Kind: CountKind(r.Intn(2)), N: 1 + r.Intn(2)}
+		case 3:
+			if hasArgs {
+				if r.Intn(2) == 0 {
+					return ArgGE{N: 2 + int64(r.Intn(3))}
+				}
+				return ArgLE{N: 2 + int64(r.Intn(3))}
+			}
+		case 4:
+			if hasArgs {
+				return StartedBelowArg{Class: r.Intn(n)}
+			}
+		default:
+			return LastStartedIs{Class: r.Intn(n)}
+		}
+	}
+	return CountGE{Class: r.Intn(n), Kind: CountActive, N: 1}
+}
+
+// samplePriorities draws one of the priority archetypes Validate proves
+// deadlock-free: none, downhill unconditional, global FCFS, global
+// argument order, or per-class self rules.
+func samplePriorities(r *rand.Rand, s *Set) {
+	n := len(s.Classes)
+	switch r.Intn(5) {
+	case 0: // none
+	case 1: // downhill unconditional: acyclic by construction (i < j)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if r.Float64() < 0.6 {
+					s.Priorities = append(s.Priorities, PriorityWhen{Cond: True{}, A: i, B: j})
+				}
+			}
+		}
+	case 2: // FCFS over a subset of ordered pairs (self pairs included)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if r.Float64() < 0.5 {
+					s.Priorities = append(s.Priorities, PriorityWhen{Cond: OlderReq{}, A: i, B: j})
+				}
+			}
+		}
+	case 3: // single argument-order measure over arg-carrying pairs
+		var m Cond = SmallerArg{}
+		if r.Intn(2) == 0 {
+			m = LargerArg{}
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if len(s.Classes[i].Args) == 0 || len(s.Classes[j].Args) == 0 {
+					continue
+				}
+				if r.Float64() < 0.5 {
+					s.Priorities = append(s.Priorities, PriorityWhen{Cond: m, A: i, B: j})
+				}
+			}
+		}
+	default: // self-FCFS per class
+		for i := 0; i < n; i++ {
+			if r.Float64() < 0.5 {
+				s.Priorities = append(s.Priorities, PriorityWhen{Cond: OlderReq{}, A: i, B: i})
+			}
+		}
+	}
+}
+
+// probeView is a fabricated StateView for the vacuity probe: plausible
+// per-class populations, not necessarily reachable ones.
+type probeView struct {
+	waiting, active, started, done []int
+	slots, last                    int
+}
+
+func (v probeView) Count(class int, kind CountKind) int {
+	switch kind {
+	case CountWaiting:
+		return v.waiting[class]
+	case CountActive:
+		return v.active[class]
+	case CountStarted:
+		return v.started[class]
+	case CountDone:
+		return v.done[class]
+	}
+	return 0
+}
+func (v probeView) Slots() int       { return v.slots }
+func (v probeView) LastStarted() int { return v.last }
+
+func randomView(s *Set, r *rand.Rand) probeView {
+	n := len(s.Classes)
+	v := probeView{
+		waiting: make([]int, n),
+		active:  make([]int, n),
+		started: make([]int, n),
+		done:    make([]int, n),
+		last:    -1,
+	}
+	for i, c := range s.Classes {
+		lim := c.Ops()
+		if lim > 4 {
+			lim = 4
+		}
+		st := r.Intn(lim + 1)
+		d := r.Intn(st + 1)
+		v.started[i] = st
+		v.done[i] = d
+		v.active[i] = st - d
+		v.waiting[i] = r.Intn(4)
+		v.slots += d * c.SlotDelta
+		if st > 0 && r.Intn(2) == 0 {
+			v.last = i
+		}
+	}
+	return v
+}
+
+func randomCand(s *Set, class int, r *rand.Rand) Cand {
+	c := Cand{Class: class, Stamp: int64(1 + r.Intn(16))}
+	if args := s.Classes[class].Args; len(args) > 0 {
+		c.Arg = args[r.Intn(len(args))]
+		c.HasArg = true
+	}
+	return c
+}
+
+// vacuityOK rejects sets with an exclusion condition that is constant
+// across the probe distribution.
+func vacuityOK(s *Set, r *rand.Rand) bool {
+	const probes = 200
+	sawTrue := make([]bool, len(s.Excludes))
+	sawFalse := make([]bool, len(s.Excludes))
+	for p := 0; p < probes; p++ {
+		v := randomView(s, r)
+		for xi, x := range s.Excludes {
+			if x.Cond.Eval(v, randomCand(s, x.Class, r), nil) {
+				sawTrue[xi] = true
+			} else {
+				sawFalse[xi] = true
+			}
+		}
+	}
+	for xi := range s.Excludes {
+		if !sawTrue[xi] || !sawFalse[xi] {
+			return false
+		}
+	}
+	return true
+}
+
+// candidates enumerates every operation the set's workload will issue,
+// in canonical class-major order.
+func candidates(s *Set) []Cand {
+	var out []Cand
+	for ci, c := range s.Classes {
+		for p := 0; p < c.Procs; p++ {
+			for round := 0; round < c.Rounds; round++ {
+				arg, has := c.Arg(p, round)
+				out = append(out, Cand{Class: ci, Arg: arg, HasArg: has})
+			}
+		}
+	}
+	return out
+}
+
+// drains reports whether the reference Gate can admit and complete the
+// whole population, arriving in the given order, one serialized grant
+// at a time.
+func drains(s *Set, order []Cand) bool {
+	g := NewGate(s)
+	for _, c := range order {
+		g.Arrive(c.Class, c.Arg, c.HasArg)
+	}
+	for g.WaitingCount() > 0 {
+		w := g.NextGrant()
+		if w == nil {
+			return false
+		}
+		g.Grant(w)
+		g.Release(w.Class)
+	}
+	return true
+}
+
+// feasible runs the drain witness under the canonical order, its
+// reverse, and six seeded shuffles.
+func feasible(s *Set, r *rand.Rand) bool {
+	base := candidates(s)
+	if !drains(s, base) {
+		return false
+	}
+	rev := make([]Cand, len(base))
+	for i, c := range base {
+		rev[len(base)-1-i] = c
+	}
+	if !drains(s, rev) {
+		return false
+	}
+	for k := 0; k < 6; k++ {
+		ord := append([]Cand(nil), base...)
+		r.Shuffle(len(ord), func(i, j int) { ord[i], ord[j] = ord[j], ord[i] })
+		if !drains(s, ord) {
+			return false
+		}
+	}
+	return true
+}
